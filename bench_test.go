@@ -1,0 +1,169 @@
+// Benchmarks: one testing.B benchmark per table and figure of the
+// paper's evaluation (each runs the corresponding experiment runner at
+// a small scale and reports its wall clock), plus micro-benchmarks for
+// the pipeline substrates. Regenerate any experiment at larger scale
+// with cmd/levabench.
+package leva_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/synth"
+	"repro/internal/textify"
+	"repro/internal/walk"
+	"repro/internal/word2vec"
+)
+
+// benchScale keeps every experiment bench laptop-sized; levabench runs
+// the same code at any scale.
+const benchScale = 0.05
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, experiments.Options{
+			Scale: benchScale, Seed: 42, Dim: 32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.String() == "" {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkFig3(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6a(b *testing.B)  { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bc(b *testing.B) { benchExperiment(b, "fig6bc") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkFig7a(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "table7") }
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFig7c(b *testing.B)  { benchExperiment(b, "fig7c") }
+func BenchmarkTable8(b *testing.B) { benchExperiment(b, "table8") }
+
+// Substrate micro-benchmarks.
+
+func benchTokenized(b *testing.B) []*textify.TokenizedTable {
+	b.Helper()
+	spec := synth.Genes(synth.GenesOptions{Scale: 0.2, Seed: 1})
+	model, err := textify.Fit(spec.DB, textify.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok, err := model.TransformAll(spec.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tok
+}
+
+func BenchmarkTextify(b *testing.B) {
+	spec := synth.Genes(synth.GenesOptions{Scale: 0.2, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := textify.Fit(spec.DB, textify.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := model.TransformAll(spec.DB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphConstruction(b *testing.B) {
+	tok := benchTokenized(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _ := graph.Build(tok, graph.Options{})
+		if g.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkGraphPairwiseAblation quantifies the edge-count blowup the
+// value-node construction avoids (DESIGN.md ablation).
+func BenchmarkGraphPairwiseAblation(b *testing.B) {
+	spec := synth.Genes(synth.GenesOptions{Scale: 0.05, Seed: 1})
+	model, _ := textify.Fit(spec.DB, textify.Options{})
+	tok, _ := model.TransformAll(spec.DB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.BuildPairwise(tok)
+		b.ReportMetric(float64(g.NumEdges()), "edges")
+	}
+}
+
+func BenchmarkEmbedMF(b *testing.B) {
+	tok := benchTokenized(b)
+	g, _ := graph.Build(tok, graph.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		embed.MF(g, embed.MFOptions{Dim: 64, Seed: 1})
+	}
+}
+
+func BenchmarkWalkGeneration(b *testing.B) {
+	tok := benchTokenized(b)
+	g, _ := graph.Build(tok, graph.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		walk.Generate(g, walk.Options{WalkLength: 40, WalksPerNode: 4, Seed: 1})
+	}
+}
+
+func BenchmarkSGNSTraining(b *testing.B) {
+	tok := benchTokenized(b)
+	g, _ := graph.Build(tok, graph.Options{})
+	corpus := walk.Generate(g, walk.Options{WalkLength: 40, WalksPerNode: 4, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		word2vec.Train(corpus.Walks, g.NumNodes(), word2vec.Options{
+			Dim: 64, Epochs: 1, Seed: 1, Subsample: -1,
+		})
+	}
+}
+
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	spec := synth.Student(synth.StudentOptions{Students: 300, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildEmbedding(spec.DB, core.Config{
+			Dim: 32, Seed: 1, Method: embed.MethodMF,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScalabilityPoint is the single-K kernel of Fig. 7a for quick
+// regression tracking.
+func BenchmarkScalabilityPoint(b *testing.B) {
+	for _, k := range []int{1, 2} {
+		b.Run(fmt.Sprintf("K=%d/mf", k), func(b *testing.B) {
+			db := synth.Scalability(synth.ScalabilityOptions{Replication: k, Seed: 1})
+			model, _ := textify.Fit(db, textify.Options{})
+			tok, _ := model.TransformAll(db)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, _ := graph.Build(tok, graph.Options{})
+				embed.MF(g, embed.MFOptions{Dim: 32, Seed: 1})
+			}
+		})
+	}
+}

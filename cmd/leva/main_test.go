@@ -1,0 +1,123 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTestCSVs lays out a small joinable database on disk.
+func writeTestCSVs(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	orders := "order_id,customer,amount,label\n"
+	customers := "customer,segment\n"
+	for i := 0; i < 80; i++ {
+		seg, label := "retail", "small"
+		if i%2 == 0 {
+			seg, label = "wholesale", "big"
+		}
+		orders += fmt.Sprintf("o%03d,c%02d,%d.5,%s\n", i, i%20, 10+i%7, label)
+		if i < 20 {
+			customers += fmt.Sprintf("c%02d,%s\n", i, seg)
+		}
+	}
+	mustWrite(t, filepath.Join(dir, "orders.csv"), orders)
+	mustWrite(t, filepath.Join(dir, "customers.csv"), customers)
+	return dir
+}
+
+func mustWrite(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEmbedWritesTSV(t *testing.T) {
+	dir := writeTestCSVs(t)
+	out := filepath.Join(t.TempDir(), "emb.tsv")
+	err := runEmbed([]string{"-data", dir, "-out", out, "-dim", "8", "-method", "mf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 50 {
+		t.Fatalf("embedding has %d lines", len(lines))
+	}
+	first := strings.SplitN(lines[0], "\t", 2)
+	if len(first) != 2 || len(strings.Fields(first[1])) != 8 {
+		t.Fatalf("malformed line %q", lines[0])
+	}
+}
+
+func TestRunEmbedMissingFlags(t *testing.T) {
+	if err := runEmbed(nil); err == nil {
+		t.Error("missing -data accepted")
+	}
+}
+
+func TestRunTrainClassification(t *testing.T) {
+	dir := writeTestCSVs(t)
+	err := runTrain([]string{"-data", dir, "-base", "orders", "-target", "label",
+		"-dim", "8", "-method", "mf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEmbedThenApplyBundle(t *testing.T) {
+	dir := writeTestCSVs(t)
+	bundle := filepath.Join(t.TempDir(), "bundle")
+	out := filepath.Join(t.TempDir(), "emb.tsv")
+	if err := runEmbed([]string{"-data", dir, "-out", out, "-bundle", bundle,
+		"-dim", "8", "-method", "mf"}); err != nil {
+		t.Fatal(err)
+	}
+	feats := filepath.Join(t.TempDir(), "features.tsv")
+	if err := runApply([]string{"-bundle", bundle, "-data", dir,
+		"-table", "orders", "-exclude", "label", "-out", feats}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(feats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 80 {
+		t.Fatalf("feature rows = %d, want 80", len(lines))
+	}
+	fields := strings.Fields(strings.SplitN(lines[0], "\t", 2)[1])
+	if len(fields) != 16 { // row+value at dim 8
+		t.Fatalf("feature width = %d, want 16", len(fields))
+	}
+}
+
+func TestRunApplyErrors(t *testing.T) {
+	if err := runApply(nil); err == nil {
+		t.Error("missing flags accepted")
+	}
+	dir := writeTestCSVs(t)
+	if err := runApply([]string{"-bundle", t.TempDir(), "-data", dir, "-table", "orders"}); err == nil {
+		t.Error("empty bundle accepted")
+	}
+}
+
+func TestRunTrainErrors(t *testing.T) {
+	dir := writeTestCSVs(t)
+	if err := runTrain([]string{"-data", dir, "-base", "nope", "-target", "x"}); err == nil {
+		t.Error("unknown base accepted")
+	}
+	if err := runTrain([]string{"-data", dir, "-base", "orders", "-target", "nope"}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := runTrain(nil); err == nil {
+		t.Error("missing flags accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// Command levabench regenerates the paper's tables and figures on the
+// synthetic workloads. Run one experiment by id, or "all":
+//
+//	levabench -exp fig4 -scale 0.15 -seed 42
+//	levabench -exp all
+//
+// Scale 1.0 approximates the published dataset sizes; the default is
+// sized for a small machine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (one of: "+strings.Join(experiments.IDs(), ", ")+", all)")
+	scale := flag.Float64("scale", 0, "dataset scale factor (default 0.15; 1.0 = paper-sized)")
+	seed := flag.Int64("seed", 42, "random seed")
+	dim := flag.Int("dim", 0, "embedding dimension (default 64)")
+	asJSON := flag.Bool("json", false, "emit results as JSON instead of text tables")
+	flag.Parse()
+
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{Scale: *scale, Seed: *seed, Dim: *dim}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "levabench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		took := time.Since(start).Round(time.Millisecond)
+		if *asJSON {
+			out, err := json.Marshal(map[string]any{
+				"experiment": id,
+				"tookMs":     took.Milliseconds(),
+				"result":     res,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "levabench: %s: marshal: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			continue
+		}
+		fmt.Printf("== %s (took %v) ==\n%s\n", id, took, res)
+	}
+}

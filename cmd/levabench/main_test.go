@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The CLI is a thin wrapper over experiments.Run; verify the registry
+// contract it relies on.
+func TestExperimentIDsNonEmpty(t *testing.T) {
+	ids := experiments.IDs()
+	if len(ids) < 14 {
+		t.Fatalf("registry has %d experiments", len(ids))
+	}
+	for _, id := range ids {
+		if id == "" || id == "all" {
+			t.Errorf("invalid id %q", id)
+		}
+	}
+}
+
+func TestCheapExperimentsRunThroughRegistry(t *testing.T) {
+	for _, id := range []string{"table4", "ext-valuenodes"} {
+		res, err := experiments.Run(id, experiments.Options{Scale: 0.03, Seed: 1, Dim: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if res.String() == "" {
+			t.Errorf("%s: empty render", id)
+		}
+	}
+}

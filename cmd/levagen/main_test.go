@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestGenerateAllDatasets(t *testing.T) {
+	for _, name := range []string{"student", "genes", "kraken", "ftp", "financial", "restbase", "bio"} {
+		spec, err := generate(name, 0.02, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := spec.DB.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := generate("bogus", 1, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestWriteCSVDirRoundTrip(t *testing.T) {
+	spec, err := generate("student", 0.02, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "out")
+	if err := writeCSVDir(spec.DB, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("files = %d", len(entries))
+	}
+	back, err := dataset.ReadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalRows() != spec.DB.TotalRows() {
+		t.Errorf("rows %d != %d", back.TotalRows(), spec.DB.TotalRows())
+	}
+}

@@ -1,0 +1,59 @@
+// Classification example: the Genes-shaped workload from the paper's
+// evaluation (predict protein localization). The predictive signal —
+// functional annotations — lives in a table the base table has no
+// declared relationship with; Leva recovers the link from shared gene
+// identifiers and featurizes the base table accordingly.
+//
+// The example compares three training datasets for the same random
+// forest: the base table alone, Leva MF features, and Leva RW features.
+//
+// Run with: go run ./examples/classification
+package main
+
+import (
+	"fmt"
+	"log"
+
+	leva "repro"
+	"repro/internal/synth"
+)
+
+func main() {
+	// Generate the Genes-shaped dataset (3 tables, classification,
+	// dirty missing markers, predominantly string columns).
+	spec := synth.Genes(synth.GenesOptions{Scale: 0.25, Seed: 11})
+	db := spec.DB
+	fmt.Printf("database: %d tables, %d rows, %d attributes\n",
+		len(db.Tables), db.TotalRows(), db.TotalAttributes())
+
+	task := leva.Task{DB: db, BaseTable: spec.BaseTable, Target: spec.Target, Seed: 11}
+
+	// Base table only: the same pipeline restricted to the base table,
+	// for a like-for-like comparison of what the aux tables add.
+	baseTask := task
+	baseTask.DB = leva.NewDatabase(db.Table(spec.BaseTable))
+	run(baseTask, "base table only ", leva.MethodMF)
+
+	run(task, "leva features MF", leva.MethodMF)
+	run(task, "leva features RW", leva.MethodRW)
+	fmt.Println("(higher is better; Leva pulls annotation signal into the base table)")
+}
+
+func run(task leva.Task, label string, method leva.Method) {
+	cfg := leva.DefaultConfig()
+	cfg.Dim = 64
+	cfg.Seed = 11
+	cfg.Method = method
+	if method == leva.MethodRW {
+		cfg.RW = leva.RWOptions{WalkLength: 40, WalksPerNode: 6, Epochs: 3}
+	}
+	data, err := leva.PrepareClassification(task, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rf := &leva.RandomForest{NumTrees: 60, Seed: 11}
+	rf.Fit(data.XTrain, data.YClassTrain)
+	acc := leva.Accuracy(rf.Predict(data.XTest), data.YClassTest)
+	fmt.Printf("%s: accuracy %.3f (%d classes, %d train / %d test rows)\n",
+		label, acc, data.NumClasses, len(data.XTrain), len(data.XTest))
+}

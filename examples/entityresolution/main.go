@@ -1,0 +1,35 @@
+// Entity-resolution example (paper Section 6.7): Leva's relational
+// embedding applied to a task it was not designed for. Two product
+// catalogs describe overlapping entities under independent noise; both
+// are embedded into one space and matches are predicted with
+// threshold-gated mutual nearest neighbors.
+//
+// Run with: go run ./examples/entityresolution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/er"
+	"repro/internal/synth"
+)
+
+func main() {
+	pair := synth.ER("demo_catalogs", synth.EROptions{
+		Entities: 300, ExtraPerSide: 80, Noise: 0.3, Seed: 17,
+	})
+	fmt.Printf("catalog A: %d records, catalog B: %d records, %d true matches\n",
+		pair.A.NumRows(), pair.B.NumRows(), len(pair.Matches))
+
+	for _, method := range []er.Method{er.MethodLeva, er.MethodDeepER} {
+		pred, err := er.MatchTables(pair.A, pair.B, method, er.Options{Dim: 64, Seed: 17})
+		if err != nil {
+			log.Fatal(err)
+		}
+		prec, rec, f1 := er.Score(pred, pair.Matches)
+		fmt.Printf("%-8s: %3d predicted pairs, precision %.2f, recall %.2f, F1 %.2f\n",
+			method, len(pred), prec, rec, f1)
+	}
+	fmt.Println("(Leva's embedding transfers to matching without any task-specific design)")
+}

@@ -1,0 +1,67 @@
+// Regression example: the Bio-shaped workload (predict molecular
+// bioactivity from atom- and bond-level structure stored in auxiliary
+// tables). Demonstrates the Row-only vs Row+Value deployment choice and
+// PCA dimension reduction from Section 4.4 of the paper.
+//
+// Run with: go run ./examples/regression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	leva "repro"
+	"repro/internal/synth"
+)
+
+func main() {
+	spec := synth.Bio(synth.BioOptions{Scale: 0.2, Seed: 23})
+	fmt.Printf("database: %d tables, %d rows (regression target: %s.%s)\n",
+		len(spec.DB.Tables), spec.DB.TotalRows(), spec.BaseTable, spec.Target)
+
+	task := leva.Task{DB: spec.DB, BaseTable: spec.BaseTable, Target: spec.Target, Seed: 23}
+
+	for _, mode := range []leva.FeaturizationMode{leva.RowOnly, leva.RowPlusValue} {
+		cfg := leva.DefaultConfig()
+		cfg.Dim = 64
+		cfg.Seed = 23
+		cfg.Method = leva.MethodMF
+		cfg.Featurization = mode
+		data, err := leva.PrepareRegression(task, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		std := leva.FitStandardizer(data.XTrain)
+		xTr, xTe := std.Transform(data.XTrain), std.Transform(data.XTest)
+		en := &leva.ElasticNetRegression{Alpha: 0.01, L1Ratio: 0.5}
+		en.FitRegression(xTr, data.YRegTrain)
+		mae := leva.MAE(en.PredictRegression(xTe), data.YRegTest)
+		fmt.Printf("featurization %-9s: ElasticNet test MAE = %.3f\n", mode, mae)
+	}
+
+	// Storage-constrained deployment: project the trained embedding to
+	// fewer dimensions with PCA instead of retraining (Section 6.5.2).
+	cfg := leva.DefaultConfig()
+	cfg.Dim = 64
+	cfg.Seed = 23
+	cfg.Method = leva.MethodMF
+	res, err := leva.Build(taskDB(task), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range []int{64, 32, 16} {
+		reduced := res.Embedding.ReduceDim(k)
+		fmt.Printf("embedding at %2d dims: %d vectors, %.1f KB\n",
+			k, reduced.Len(), float64(reduced.Len()*k*8)/1024)
+	}
+	fmt.Println("(MAE: lower is better; PCA trades a little accuracy for storage)")
+}
+
+// taskDB assembles the embedding input the way PrepareRegression does:
+// auxiliary tables plus the base table without its target column.
+func taskDB(task leva.Task) *leva.Database {
+	base := task.DB.Table(task.BaseTable)
+	db := task.DB.Without(task.BaseTable)
+	db.Add(base.DropColumns(task.Target))
+	return db
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/embed"
+	"repro/internal/ml"
+)
+
+// AutoTuneOptions bounds the configuration search.
+type AutoTuneOptions struct {
+	// BinCandidates are textification bin counts to try.
+	// Default {20, 50, 80} around the paper default of 50.
+	BinCandidates []int
+	// DimCandidates are embedding sizes to try. Default {50, 100}.
+	DimCandidates []int
+	// ValidationFraction of the task's training rows held out for
+	// scoring candidates. Default 0.25.
+	ValidationFraction float64
+}
+
+func (o AutoTuneOptions) withDefaults() AutoTuneOptions {
+	if len(o.BinCandidates) == 0 {
+		o.BinCandidates = []int{20, 50, 80}
+	}
+	if len(o.DimCandidates) == 0 {
+		o.DimCandidates = []int{50, 100}
+	}
+	if o.ValidationFraction <= 0 || o.ValidationFraction >= 1 {
+		o.ValidationFraction = 0.25
+	}
+	return o
+}
+
+// AutoTune implements the paper's configuration-selection strategy
+// (Section 4.4, Table 2): it searches bin count and embedding dimension
+// coordinate-wise, scoring each candidate with a fast MF build plus a
+// random-forest probe on a validation split carved out of the training
+// rows. The task's test rows are never touched. It returns base with
+// the winning parameters filled in.
+//
+// The search is coordinate-wise rather than a full grid because the two
+// knobs interact weakly: bins shape the token vocabulary, the dimension
+// shapes its compression.
+func AutoTune(task Task, base Config, opts AutoTuneOptions) (Config, error) {
+	opts = opts.withDefaults()
+	base = base.withDefaults()
+
+	// Restrict the task to its training rows; candidates are judged on
+	// an inner validation split.
+	probe := task
+	probe.TestFraction = opts.ValidationFraction
+	probe.Seed = task.Seed + 1
+
+	score := func(cfg Config) (float64, error) {
+		cfg.Method = embed.MethodMF // fast, deterministic probe
+		if task.DB.Table(task.BaseTable) == nil {
+			return 0, fmt.Errorf("core: no base table %q", task.BaseTable)
+		}
+		if isClassification(task) {
+			sd, err := PrepareClassification(probe, cfg)
+			if err != nil {
+				return 0, err
+			}
+			rf := &ml.RandomForest{NumTrees: 30, Seed: cfg.Seed}
+			rf.Fit(sd.XTrain, sd.YClassTrain)
+			return ml.Accuracy(rf.Predict(sd.XTest), sd.YClassTest), nil
+		}
+		sd, err := PrepareRegression(probe, cfg)
+		if err != nil {
+			return 0, err
+		}
+		rf := &ml.RandomForest{NumTrees: 30, Seed: cfg.Seed}
+		rf.FitRegression(sd.XTrain, sd.YRegTrain)
+		// Negated MAE so "higher is better" holds for both tasks.
+		return -ml.MAE(rf.PredictRegression(sd.XTest), sd.YRegTest), nil
+	}
+
+	best := base
+	bestScore, err := score(best)
+	if err != nil {
+		return base, err
+	}
+	for _, bins := range opts.BinCandidates {
+		cand := best
+		cand.Textify.BinCount = bins
+		s, err := score(cand)
+		if err != nil {
+			return base, err
+		}
+		if s > bestScore {
+			best, bestScore = cand, s
+		}
+	}
+	for _, dim := range opts.DimCandidates {
+		cand := best
+		cand.Dim = dim
+		s, err := score(cand)
+		if err != nil {
+			return base, err
+		}
+		if s > bestScore {
+			best, bestScore = cand, s
+		}
+	}
+	// Make implicit defaults explicit so callers can report the chosen
+	// configuration.
+	if best.Textify.BinCount == 0 {
+		best.Textify.BinCount = 50
+	}
+	return best, nil
+}
+
+// isClassification sniffs the target column: non-numeric or
+// low-cardinality numeric targets are treated as classes.
+func isClassification(task Task) bool {
+	base := task.DB.Table(task.BaseTable)
+	if base == nil {
+		return true
+	}
+	col := base.Column(task.Target)
+	if col == nil {
+		return true
+	}
+	numeric := 0
+	nonNull := 0
+	for _, v := range col.Values {
+		if v.IsNull() {
+			continue
+		}
+		nonNull++
+		if _, ok := v.Float(); ok {
+			numeric++
+		}
+	}
+	if nonNull == 0 || numeric != nonNull {
+		return true
+	}
+	return col.UniqueRatio() <= 0.1
+}

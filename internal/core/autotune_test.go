@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestAutoTuneReturnsValidConfig(t *testing.T) {
+	spec := synth.Genes(synth.GenesOptions{Scale: 0.05, Seed: 1})
+	task := Task{DB: spec.DB, BaseTable: spec.BaseTable, Target: spec.Target, Seed: 5}
+	cfg, err := AutoTune(task, Config{Dim: 32, Seed: 1}, AutoTuneOptions{
+		BinCandidates: []int{20, 50},
+		DimCandidates: []int{16, 32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Textify.BinCount != 20 && cfg.Textify.BinCount != 50 && cfg.Textify.BinCount != 0 {
+		t.Errorf("bin count = %d not from candidates", cfg.Textify.BinCount)
+	}
+	if cfg.Dim != 16 && cfg.Dim != 32 {
+		t.Errorf("dim = %d not from candidates", cfg.Dim)
+	}
+	// The tuned config must actually run.
+	if _, err := PrepareClassification(task, cfg); err != nil {
+		t.Fatalf("tuned config fails: %v", err)
+	}
+}
+
+func TestAutoTuneRegression(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 120, Seed: 2})
+	task := Task{DB: spec.DB, BaseTable: "expenses", Target: "total_expenses", Seed: 3}
+	if isClassification(task) {
+		t.Fatal("student misclassified as classification")
+	}
+	cfg, err := AutoTune(task, Config{Dim: 16, Seed: 2}, AutoTuneOptions{
+		BinCandidates: []int{10},
+		DimCandidates: []int{16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PrepareRegression(task, cfg); err != nil {
+		t.Fatalf("tuned config fails: %v", err)
+	}
+}
+
+func TestIsClassification(t *testing.T) {
+	genes := synth.Genes(synth.GenesOptions{Scale: 0.05, Seed: 3})
+	if !isClassification(Task{DB: genes.DB, BaseTable: genes.BaseTable, Target: genes.Target}) {
+		t.Error("genes not detected as classification")
+	}
+	bio := synth.Bio(synth.BioOptions{Scale: 0.05, Seed: 4})
+	if isClassification(Task{DB: bio.DB, BaseTable: bio.BaseTable, Target: bio.Target}) {
+		t.Error("bio not detected as regression")
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/embed"
+	"repro/internal/textify"
+)
+
+// Bundle persistence: a built Result is saved as a directory holding
+// the fitted textification model, the embedding vectors, and the
+// deployment-relevant configuration. A reloaded bundle featurizes new
+// rows exactly like the original — which is what shipping a Leva
+// deployment to an inference service needs. The graph itself is not
+// persisted; featurization only requires the embedding and tokenizer.
+
+const (
+	bundleConfigFile    = "config.json"
+	bundleTextifyFile   = "textify.json"
+	bundleEmbeddingFile = "embedding.tsv"
+)
+
+// bundleConfig is the subset of Config that affects deployment.
+type bundleConfig struct {
+	Dim                int               `json:"dim"`
+	Featurization      FeaturizationMode `json:"featurization"`
+	UnseenFallbackDims int               `json:"unseenFallbackDims"`
+	MethodUsed         embed.Method      `json:"methodUsed"`
+}
+
+// SaveBundle writes the deployment to dir (created if needed).
+func (r *Result) SaveBundle(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: save bundle: %w", err)
+	}
+	cfg := bundleConfig{
+		Dim:                r.Embedding.Dim,
+		Featurization:      r.Config.Featurization,
+		UnseenFallbackDims: r.Config.UnseenFallbackDims,
+		MethodUsed:         r.MethodUsed,
+	}
+	cfgData, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, bundleConfigFile), cfgData, 0o644); err != nil {
+		return err
+	}
+	modelData, err := json.Marshal(r.Textifier)
+	if err != nil {
+		return fmt.Errorf("core: marshal textify model: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, bundleTextifyFile), modelData, 0o644); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, bundleEmbeddingFile))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := r.Embedding.WriteTSV(f); err != nil {
+		return fmt.Errorf("core: write embedding: %w", err)
+	}
+	return nil
+}
+
+// LoadBundle restores a deployment saved by SaveBundle. The returned
+// Result has no Graph (featurization does not need one); Featurize
+// works for both previously-embedded rows (by their row keys) and new
+// rows (composed from value-node vectors with graphRow -1).
+func LoadBundle(dir string) (*Result, error) {
+	cfgData, err := os.ReadFile(filepath.Join(dir, bundleConfigFile))
+	if err != nil {
+		return nil, fmt.Errorf("core: load bundle: %w", err)
+	}
+	var cfg bundleConfig
+	if err := json.Unmarshal(cfgData, &cfg); err != nil {
+		return nil, fmt.Errorf("core: parse bundle config: %w", err)
+	}
+	modelData, err := os.ReadFile(filepath.Join(dir, bundleTextifyFile))
+	if err != nil {
+		return nil, err
+	}
+	model := &textify.Model{}
+	if err := json.Unmarshal(modelData, model); err != nil {
+		return nil, fmt.Errorf("core: parse textify model: %w", err)
+	}
+	f, err := os.Open(filepath.Join(dir, bundleEmbeddingFile))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	e, err := embed.ReadTSV(f)
+	if err != nil {
+		return nil, err
+	}
+	if e.Dim != cfg.Dim {
+		return nil, fmt.Errorf("core: bundle dim mismatch: embedding %d, config %d", e.Dim, cfg.Dim)
+	}
+	return &Result{
+		Embedding:  e,
+		Textifier:  model,
+		MethodUsed: cfg.MethodUsed,
+		Config: Config{
+			Dim:                cfg.Dim,
+			Featurization:      cfg.Featurization,
+			UnseenFallbackDims: cfg.UnseenFallbackDims,
+			Method:             cfg.MethodUsed,
+		},
+	}, nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+func TestBundleRoundTrip(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 40, Seed: 11})
+	res, err := BuildEmbedding(spec.DB, Config{
+		Dim: 8, Seed: 11, Method: embed.MethodMF, UnseenFallbackDims: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Embedding.Len() != res.Embedding.Len() || back.Embedding.Dim != 8 {
+		t.Fatalf("embedding shape changed: %d/%d", back.Embedding.Len(), back.Embedding.Dim)
+	}
+	if back.Config.UnseenFallbackDims != 3 {
+		t.Errorf("fallback dims = %d", back.Config.UnseenFallbackDims)
+	}
+
+	// Featurization must be bit-identical before and after the round
+	// trip, for train-style and test-style rows alike.
+	base := spec.DB.Table("expenses")
+	for _, graphRow := range []func(int) int{
+		func(i int) int { return i },
+		func(int) int { return -1 },
+	} {
+		want, err := res.Featurize(base, "expenses", []string{"total_expenses"}, graphRow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := back.Featurize(base, "expenses", []string{"total_expenses"}, graphRow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if math.Abs(want[i][j]-got[i][j]) > 1e-12 {
+					t.Fatalf("feature [%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestLoadBundleErrors(t *testing.T) {
+	if _, err := LoadBundle(t.TempDir()); err == nil {
+		t.Error("empty dir loaded")
+	}
+}

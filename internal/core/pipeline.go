@@ -1,0 +1,254 @@
+// Package core wires Leva's stages into the end-to-end pipeline of
+// paper Fig. 2: textification, graph construction and refinement,
+// embedding construction (with the memory-based MF/RW auto-selection),
+// and embedding deployment, with per-stage timings for the performance
+// profile experiments.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/textify"
+)
+
+// FeaturizationMode selects how base-table rows are featurized from the
+// embedding (paper Section 4.4).
+type FeaturizationMode uint8
+
+const (
+	// RowPlusValue concatenates the row-node embedding with the mean
+	// of the row's value-node embeddings; the paper's default.
+	RowPlusValue FeaturizationMode = iota
+	// RowOnly uses the row-node embedding alone.
+	RowOnly
+)
+
+func (m FeaturizationMode) String() string {
+	if m == RowOnly {
+		return "row"
+	}
+	return "row+value"
+}
+
+// Config collects the user-tunable parameters of Table 2.
+type Config struct {
+	// Textify configures binning and column typing.
+	Textify textify.Options
+	// Graph configures construction and refinement (theta_range,
+	// theta_min, weighting).
+	Graph graph.Options
+	// Method picks the embedding algorithm; MethodAuto applies the
+	// paper's memory rule.
+	Method embed.Method
+	// Dim is the embedding size. Default 100.
+	Dim int
+	// MemoryBudgetBytes bounds MF's estimated working set under
+	// MethodAuto; <= 0 means unlimited.
+	MemoryBudgetBytes int64
+	// MF and RW tune the two first-party methods. Dim and Seed fields
+	// inside them are overridden by the top-level values.
+	MF embed.MFOptions
+	RW embed.RWOptions
+	// GloVe tunes the optional GloVe plug-in method (never
+	// auto-selected).
+	GloVe embed.GloVeOptions
+	// Featurization selects Row or Row+Value deployment.
+	Featurization FeaturizationMode
+	// UnseenFallbackDims, when positive, appends that many feature
+	// slots into which tokens absent from the embedding are hashed
+	// one-hot — the paper's "replaced with one hot encoding" handling
+	// for unseen test-time data. Numeric values rarely need it (they
+	// quantize through the fitted histograms into seen bin tokens);
+	// it matters for novel categorical strings. 0 disables.
+	UnseenFallbackDims int
+	// Seed drives all randomized stages.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dim <= 0 {
+		c.Dim = 100
+	}
+	if c.Method == "" {
+		c.Method = embed.MethodAuto
+	}
+	return c
+}
+
+// Timings records wall-clock per pipeline stage (Fig. 6b/6c).
+type Timings struct {
+	Textify    time.Duration
+	GraphBuild time.Duration
+	Embed      time.Duration
+}
+
+// Total returns the summed stage time.
+func (t Timings) Total() time.Duration { return t.Textify + t.GraphBuild + t.Embed }
+
+// Result is a built relational embedding plus everything needed to
+// deploy it.
+type Result struct {
+	Embedding  *embed.Embedding
+	Graph      *graph.Graph
+	GraphStats graph.Stats
+	Textifier  *textify.Model
+	MethodUsed embed.Method
+	Timings    Timings
+	Config     Config
+}
+
+// BuildEmbedding runs textification, graph construction/refinement and
+// embedding construction over the database. The caller is responsible
+// for excluding test rows and the target column beforehand (paper
+// Section 2.4: test data is not part of Leva's input).
+func BuildEmbedding(db *dataset.Database, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := db.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid database: %w", err)
+	}
+	res := &Result{Config: cfg}
+
+	start := time.Now()
+	model, err := textify.Fit(db, cfg.Textify)
+	if err != nil {
+		return nil, fmt.Errorf("core: textify: %w", err)
+	}
+	tokenized, err := model.TransformAll(db)
+	if err != nil {
+		return nil, fmt.Errorf("core: textify transform: %w", err)
+	}
+	res.Textifier = model
+	res.Timings.Textify = time.Since(start)
+
+	start = time.Now()
+	g, stats := graph.Build(tokenized, cfg.Graph)
+	// Section 3.2: weighted graphs are the default unless the alias
+	// tables weighted random walks need would blow the memory budget;
+	// in that case Leva falls back to the unweighted graph. Only the
+	// RW path pays for alias tables, so the check is gated on it.
+	if g.Weighted && cfg.MemoryBudgetBytes > 0 &&
+		embed.Select(cfg.Method, g, cfg.Dim, cfg.MemoryBudgetBytes) == embed.MethodRW &&
+		g.EstimateRWMemoryBytes(cfg.RW.WalkLength, cfg.RW.WalksPerNode) > cfg.MemoryBudgetBytes {
+		unweighted := cfg.Graph
+		unweighted.Unweighted = true
+		g, stats = graph.Build(tokenized, unweighted)
+	}
+	res.Graph = g
+	res.GraphStats = stats
+	res.Timings.GraphBuild = time.Since(start)
+
+	start = time.Now()
+	method := embed.Select(cfg.Method, g, cfg.Dim, cfg.MemoryBudgetBytes)
+	res.MethodUsed = method
+	switch method {
+	case embed.MethodMF:
+		opts := cfg.MF
+		opts.Dim = cfg.Dim
+		opts.Seed = cfg.Seed
+		res.Embedding = embed.MF(g, opts)
+	case embed.MethodRW:
+		opts := cfg.RW
+		opts.Dim = cfg.Dim
+		opts.Seed = cfg.Seed
+		res.Embedding = embed.RW(g, opts)
+	case embed.MethodGloVe:
+		opts := cfg.GloVe
+		opts.Dim = cfg.Dim
+		opts.Seed = cfg.Seed
+		res.Embedding = embed.GloVe(g, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown embedding method %q", method)
+	}
+	res.Timings.Embed = time.Since(start)
+	return res, nil
+}
+
+// Featurize converts base-table rows into feature vectors using the
+// built embedding (paper Section 4.4).
+//
+// tableName must be the table's name at embedding time. graphRow maps a
+// row index of t to the row index used when the graph was built, or -1
+// for rows that were not embedded (test rows): those are composed from
+// the value-node embeddings of their tokens, with unseen tokens
+// quantized through the fitted histograms and tokens absent from the
+// embedding contributing nothing. exclude lists columns (such as the
+// target) that must not leak into features.
+func (r *Result) Featurize(t *dataset.Table, tableName string, exclude []string, graphRow func(i int) int) ([][]float64, error) {
+	return r.FeaturizeWithMode(t, tableName, exclude, graphRow, r.Config.Featurization)
+}
+
+// FeaturizeWithMode is Featurize with an explicit featurization mode,
+// letting deployment-strategy ablations reuse one built embedding.
+func (r *Result) FeaturizeWithMode(t *dataset.Table, tableName string, exclude []string, graphRow func(i int) int, mode FeaturizationMode) ([][]float64, error) {
+	skip := make(map[string]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	dim := r.Embedding.Dim
+	width := dim
+	if mode == RowPlusValue {
+		width = 2 * dim
+	}
+	fallback := r.Config.UnseenFallbackDims
+	out := make([][]float64, t.NumRows())
+	for i := range out {
+		out[i] = make([]float64, width+fallback)
+	}
+	for i := 0; i < t.NumRows(); i++ {
+		tokens, err := r.rowTokens(t, tableName, i, skip)
+		if err != nil {
+			return nil, err
+		}
+		valueVec, _ := r.Embedding.MeanVector(tokens)
+
+		rowVec := valueVec
+		if gr := graphRow(i); gr >= 0 {
+			if v, ok := r.Embedding.Vector(embed.RowKey(tableName, gr)); ok {
+				rowVec = v
+			}
+		}
+		copy(out[i][:dim], rowVec)
+		if mode == RowPlusValue {
+			copy(out[i][dim:width], valueVec)
+		}
+		if fallback > 0 {
+			for _, tok := range tokens {
+				if !r.Embedding.Has(tok) {
+					out[i][width+hashToken(tok)%fallback] = 1
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// hashToken maps a token to a non-negative bucket for the one-hot
+// fallback slots.
+func hashToken(tok string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(tok); i++ {
+		h = (h ^ uint32(tok[i])) * 16777619
+	}
+	return int(h & 0x7fffffff)
+}
+
+// rowTokens textifies row i of t under the fitted model, skipping the
+// excluded columns.
+func (r *Result) rowTokens(t *dataset.Table, tableName string, i int, skip map[string]bool) ([]string, error) {
+	var tokens []string
+	for _, c := range t.Columns {
+		if skip[c.Name] {
+			continue
+		}
+		toks, err := r.Textifier.TextifyValue(tableName, c.Name, c.Values[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: featurize: %w", err)
+		}
+		tokens = append(tokens, toks...)
+	}
+	return tokens, nil
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+func TestBuildEmbeddingValidation(t *testing.T) {
+	bad := dataset.NewDatabase(dataset.NewTable("a", "x", "x"))
+	if _, err := BuildEmbedding(bad, Config{}); err == nil {
+		t.Error("invalid database accepted")
+	}
+}
+
+func TestBuildEmbeddingStudent(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 60, Seed: 1})
+	res, err := BuildEmbedding(spec.DB, Config{Dim: 16, Seed: 1, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MethodUsed != embed.MethodMF {
+		t.Errorf("method = %s", res.MethodUsed)
+	}
+	if res.Embedding.Dim != 16 {
+		t.Errorf("dim = %d", res.Embedding.Dim)
+	}
+	// Every base row gets a row-node embedding.
+	for i := 0; i < 60; i++ {
+		if !res.Embedding.Has(embed.RowKey("expenses", i)) {
+			t.Fatalf("row %d not embedded", i)
+		}
+	}
+	// Stage timings are recorded.
+	if res.Timings.Total() <= 0 {
+		t.Error("no stage timings")
+	}
+	if res.GraphStats.RowNodes != spec.DB.TotalRows() {
+		t.Errorf("row nodes = %d, want %d", res.GraphStats.RowNodes, spec.DB.TotalRows())
+	}
+}
+
+func TestAutoSelectionRespectsBudget(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 40, Seed: 2})
+	res, err := BuildEmbedding(spec.DB, Config{
+		Dim: 8, Seed: 2, Method: embed.MethodAuto, MemoryBudgetBytes: 1, // absurdly small
+		RW: embed.RWOptions{WalkLength: 10, WalksPerNode: 2, Epochs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MethodUsed != embed.MethodRW {
+		t.Errorf("tiny budget used %s, want rw", res.MethodUsed)
+	}
+	res2, err := BuildEmbedding(spec.DB, Config{Dim: 8, Seed: 2, Method: embed.MethodAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.MethodUsed != embed.MethodMF {
+		t.Errorf("unlimited budget used %s, want mf", res2.MethodUsed)
+	}
+}
+
+func TestWeightedGraphFallsBackUnderBudget(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 50, Seed: 6})
+	res, err := BuildEmbedding(spec.DB, Config{
+		Dim: 8, Seed: 6, Method: embed.MethodRW, MemoryBudgetBytes: 1,
+		RW: embed.RWOptions{WalkLength: 10, WalksPerNode: 2, Epochs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.Weighted {
+		t.Error("tiny budget kept the weighted graph")
+	}
+	// With a generous budget the default stays weighted.
+	res2, err := BuildEmbedding(spec.DB, Config{
+		Dim: 8, Seed: 6, Method: embed.MethodRW, MemoryBudgetBytes: 1 << 30,
+		RW: embed.RWOptions{WalkLength: 10, WalksPerNode: 2, Epochs: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Graph.Weighted {
+		t.Error("generous budget dropped the weighted graph")
+	}
+}
+
+func TestFeaturizeShapes(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 30, Seed: 3})
+	res, err := BuildEmbedding(spec.DB, Config{Dim: 8, Seed: 3, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := spec.DB.Table("expenses")
+
+	// Row+Value doubles the width.
+	x, err := res.FeaturizeWithMode(base, "expenses", []string{"total_expenses"},
+		func(i int) int { return i }, RowPlusValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 30 || len(x[0]) != 16 {
+		t.Fatalf("row+value shape %dx%d, want 30x16", len(x), len(x[0]))
+	}
+	xr, err := res.FeaturizeWithMode(base, "expenses", []string{"total_expenses"},
+		func(i int) int { return i }, RowOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xr[0]) != 8 {
+		t.Fatalf("row-only width %d, want 8", len(xr[0]))
+	}
+
+	// Test-style rows (graphRow -1) compose from value nodes and are
+	// not all-zero.
+	xt, err := res.Featurize(base, "expenses", []string{"total_expenses"},
+		func(i int) int { return -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := false
+	for _, v := range xt[0] {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("composed test featurization is all zeros")
+	}
+}
+
+func TestUnseenFallbackOneHot(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 30, Seed: 7})
+	res, err := BuildEmbedding(spec.DB, Config{
+		Dim: 8, Seed: 7, Method: embed.MethodMF, UnseenFallbackDims: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A table with a novel categorical string: its token is not in the
+	// embedding, so it must land in a fallback slot.
+	novel := spec.DB.Table("expenses").Clone()
+	novel.Column("school_name").Values[0] = dataset.String("never_seen_school_xyz")
+	x, err := res.Featurize(novel, "expenses", []string{"total_expenses"},
+		func(i int) int { return -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := 2*8 + 4
+	if len(x[0]) != width {
+		t.Fatalf("width = %d, want %d", len(x[0]), width)
+	}
+	hot := 0.0
+	for _, v := range x[0][16:] {
+		hot += v
+	}
+	if hot == 0 {
+		t.Error("unseen token did not hit a fallback slot")
+	}
+}
+
+func TestPrepareClassificationSplitsConsistently(t *testing.T) {
+	spec := synth.Genes(synth.GenesOptions{Scale: 0.06, Seed: 4})
+	task := Task{DB: spec.DB, BaseTable: spec.BaseTable, Target: spec.Target, Seed: 9}
+	sd, err := PrepareClassification(task, Config{Dim: 16, Seed: 4, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := spec.DB.Table(spec.BaseTable).NumRows()
+	if len(sd.XTrain)+len(sd.XTest) != n {
+		t.Errorf("split sizes %d+%d != %d", len(sd.XTrain), len(sd.XTest), n)
+	}
+	if len(sd.YClassTrain) != len(sd.XTrain) || len(sd.YClassTest) != len(sd.XTest) {
+		t.Error("label lengths mismatch")
+	}
+	if sd.NumClasses != 4 {
+		t.Errorf("classes = %d", sd.NumClasses)
+	}
+	// The graph must not contain test base rows (leak check): row
+	// nodes for the base table equal the train count.
+	baseRows := 0
+	for i := 0; i < n; i++ {
+		if sd.Result.Embedding.Has(embed.RowKey(spec.BaseTable, i)) {
+			baseRows++
+		}
+	}
+	if baseRows != len(sd.XTrain) {
+		t.Errorf("embedded base rows = %d, want train count %d", baseRows, len(sd.XTrain))
+	}
+}
+
+func TestGloVeMethodPluggedIn(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 40, Seed: 12})
+	res, err := BuildEmbedding(spec.DB, Config{
+		Dim: 8, Seed: 12, Method: embed.MethodGloVe,
+		GloVe: embed.GloVeOptions{WalkLength: 15, WalksPerNode: 3, Epochs: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MethodUsed != embed.MethodGloVe {
+		t.Errorf("method = %s", res.MethodUsed)
+	}
+	if res.Embedding.Dim != 8 || res.Embedding.Len() == 0 {
+		t.Error("empty GloVe embedding")
+	}
+	if _, err := BuildEmbedding(spec.DB, Config{Method: "bogus", Dim: 4}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	spec := synth.Genes(synth.GenesOptions{Scale: 0.05, Seed: 8})
+	task := Task{DB: spec.DB, BaseTable: spec.BaseTable, Target: spec.Target, Seed: 8}
+	cfg := Config{Dim: 16, Seed: 8, Method: embed.MethodMF}
+	a, err := PrepareClassification(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrepareClassification(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.XTrain {
+		for j := range a.XTrain[i] {
+			if a.XTrain[i][j] != b.XTrain[i][j] {
+				t.Fatalf("nondeterministic feature [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+func TestNoTargetLeakage(t *testing.T) {
+	// The target column's tokens must not exist anywhere in the
+	// embedding vocabulary: PrepareClassification drops the column
+	// before the pipeline sees it.
+	spec := synth.Genes(synth.GenesOptions{Scale: 0.05, Seed: 9})
+	sd, err := PrepareClassification(Task{
+		DB: spec.DB, BaseTable: spec.BaseTable, Target: spec.Target, Seed: 9,
+	}, Config{Dim: 16, Seed: 9, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"nucleus", "cytoplasm", "membrane", "mitochondria"} {
+		if sd.Result.Embedding.Has(label) {
+			t.Errorf("target label %q leaked into the embedding", label)
+		}
+	}
+}
+
+func TestPrepareErrors(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 10, Seed: 5})
+	if _, err := PrepareRegression(Task{DB: spec.DB, BaseTable: "nope", Target: "x"}, Config{}); err == nil {
+		t.Error("unknown base accepted")
+	}
+	if _, err := PrepareRegression(Task{DB: spec.DB, BaseTable: "expenses", Target: "nope"}, Config{}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := PrepareRegression(Task{DB: spec.DB, BaseTable: "expenses", Target: "gender"}, Config{Dim: 4}); err == nil {
+		t.Error("non-numeric regression target accepted")
+	}
+}

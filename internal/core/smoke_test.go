@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/ml"
+	"repro/internal/synth"
+)
+
+// TestSmokeClassification runs the whole pipeline on a small
+// Genes-shaped dataset and checks the embedding beats the majority-class
+// rate, i.e. the cross-table signal actually reaches the features.
+func TestSmokeClassification(t *testing.T) {
+	spec := synth.Genes(synth.GenesOptions{Scale: 0.2, Seed: 1})
+	for _, method := range []embed.Method{embed.MethodMF, embed.MethodRW} {
+		sd, err := PrepareClassification(Task{
+			DB: spec.DB, BaseTable: spec.BaseTable, Target: spec.Target, Seed: 7,
+		}, Config{Method: method, Dim: 64, Seed: 3,
+			RW: embed.RWOptions{WalkLength: 40, WalksPerNode: 6, Epochs: 3}})
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		rf := &ml.RandomForest{NumTrees: 40, Seed: 5}
+		rf.Fit(sd.XTrain, sd.YClassTrain)
+		acc := ml.Accuracy(rf.Predict(sd.XTest), sd.YClassTest)
+		t.Logf("%s accuracy=%.3f (train=%d test=%d classes=%d)", method, acc, len(sd.XTrain), len(sd.XTest), sd.NumClasses)
+		if acc < 0.35 { // 4 classes, majority ~0.25
+			t.Errorf("%s: accuracy %.3f did not beat majority baseline", method, acc)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+)
+
+// Task describes a supervised problem over a database: a base table
+// holding the target column, with auxiliary tables that may or may not
+// contain predictive signal.
+type Task struct {
+	DB        *dataset.Database
+	BaseTable string
+	Target    string
+	// TestFraction of base rows held out. Default 0.2.
+	TestFraction float64
+	// Seed drives the split.
+	Seed int64
+}
+
+func (t Task) testFraction() float64 {
+	if t.TestFraction <= 0 || t.TestFraction >= 1 {
+		return 0.2
+	}
+	return t.TestFraction
+}
+
+// SupervisedData is a featurized train/test split ready for a
+// downstream model, plus the embedding build that produced it.
+type SupervisedData struct {
+	XTrain, XTest [][]float64
+	// Classification targets (nil for regression).
+	YClassTrain, YClassTest []int
+	NumClasses              int
+	// Regression targets (nil for classification).
+	YRegTrain, YRegTest []float64
+
+	Split  ml.Split
+	Result *Result
+}
+
+// PrepareClassification builds the embedding on the training portion of
+// the task (test rows and the target column are excluded from Leva's
+// input, per Section 2.4) and featurizes both splits.
+func PrepareClassification(task Task, cfg Config) (*SupervisedData, error) {
+	sd, base, err := prepare(task, cfg)
+	if err != nil {
+		return nil, err
+	}
+	col := base.Column(task.Target)
+	enc := ml.FitLabels(col)
+	all, err := enc.Encode(col.Values)
+	if err != nil {
+		return nil, fmt.Errorf("core: encode labels: %w", err)
+	}
+	sd.YClassTrain = ml.SelectLabels(all, sd.Split.Train)
+	sd.YClassTest = ml.SelectLabels(all, sd.Split.Test)
+	sd.NumClasses = enc.NumClasses()
+	return sd, nil
+}
+
+// PrepareRegression is PrepareClassification for float targets.
+func PrepareRegression(task Task, cfg Config) (*SupervisedData, error) {
+	sd, base, err := prepare(task, cfg)
+	if err != nil {
+		return nil, err
+	}
+	col := base.Column(task.Target)
+	all := make([]float64, col.Len())
+	for i, v := range col.Values {
+		f, ok := v.Float()
+		if !ok {
+			return nil, fmt.Errorf("core: non-numeric regression target at row %d: %v", i, v)
+		}
+		all[i] = f
+	}
+	sd.YRegTrain = ml.SelectFloats(all, sd.Split.Train)
+	sd.YRegTest = ml.SelectFloats(all, sd.Split.Test)
+	return sd, nil
+}
+
+// prepare does the shared work: split, embed on train-only data,
+// featurize both splits.
+func prepare(task Task, cfg Config) (*SupervisedData, *dataset.Table, error) {
+	base := task.DB.Table(task.BaseTable)
+	if base == nil {
+		return nil, nil, fmt.Errorf("core: no base table %q", task.BaseTable)
+	}
+	if base.Column(task.Target) == nil {
+		return nil, nil, fmt.Errorf("core: base table %q has no target column %q", task.BaseTable, task.Target)
+	}
+	split := ml.TrainTestSplit(base.NumRows(), task.testFraction(), task.Seed)
+
+	// Leva's input: all auxiliary tables plus the training rows of the
+	// base table, with the target column removed so labels cannot leak
+	// into the embedding.
+	trainBase := base.SelectRows(split.Train).DropColumns(task.Target)
+	embDB := task.DB.Without(task.BaseTable)
+	embDB.Add(trainBase)
+
+	res, err := BuildEmbedding(embDB, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	xTrain, err := res.Featurize(trainBase, task.BaseTable, nil, func(i int) int { return i })
+	if err != nil {
+		return nil, nil, err
+	}
+	testBase := base.SelectRows(split.Test)
+	xTest, err := res.Featurize(testBase, task.BaseTable, []string{task.Target}, func(i int) int { return -1 })
+	if err != nil {
+		return nil, nil, err
+	}
+	return &SupervisedData{XTrain: xTrain, XTest: xTest, Split: split, Result: res}, base, nil
+}

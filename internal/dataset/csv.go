@@ -1,0 +1,112 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a CSV stream into a Table. The first record is the
+// header. Cells that parse as floats become KindNumber; empty cells
+// become KindNull; everything else (including dirty missing markers such
+// as "?" or "N/A") stays KindString, because recognizing those markers is
+// the pipeline's job, not the loader's.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv header for %q: %w", name, err)
+	}
+	t := NewTable(name, header...)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv %q line %d: %w", name, line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: csv %q line %d: %d fields, want %d", name, line, len(rec), len(header))
+		}
+		row := make([]Value, len(rec))
+		for i, cell := range rec {
+			row[i] = parseCell(cell)
+		}
+		t.AppendRow(row...)
+	}
+	return t, nil
+}
+
+func parseCell(s string) Value {
+	if s == "" {
+		return Null()
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Number(f)
+	}
+	return String(s)
+}
+
+// ReadCSVDir loads every *.csv file under dir (non-recursively) into a
+// Database. Table names are the file names without extension.
+func ReadCSVDir(dir string) (*Database, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read dir: %w", err)
+	}
+	db := &Database{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		if err := addCSVFile(db, dir, e); err != nil {
+			return nil, err
+		}
+	}
+	if len(db.Tables) == 0 {
+		return nil, fmt.Errorf("dataset: no .csv files in %s", dir)
+	}
+	return db, nil
+}
+
+func addCSVFile(db *Database, dir string, e fs.DirEntry) error {
+	path := filepath.Join(dir, e.Name())
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(e.Name(), ".csv")
+	t, err := ReadCSV(name, f)
+	if err != nil {
+		return err
+	}
+	db.Add(t)
+	return nil
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func WriteCSV(t *Table, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.ColumnNames()); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	rec := make([]string, t.NumCols())
+	for i := 0; i < t.NumRows(); i++ {
+		for j, c := range t.Columns {
+			rec[j] = c.Values[i].Text()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

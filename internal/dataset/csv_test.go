@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVParsesKinds(t *testing.T) {
+	in := "id,name,score\n1,ann,3.5\n2,bob,\n3,?,2\n"
+	tab, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 3 || tab.NumCols() != 3 {
+		t.Fatalf("shape %dx%d", tab.NumRows(), tab.NumCols())
+	}
+	if v := tab.Cell(0, "id"); v.Kind != KindNumber || v.Num != 1 {
+		t.Errorf("id cell = %+v", v)
+	}
+	if v := tab.Cell(1, "score"); !v.IsNull() {
+		t.Errorf("empty cell not null: %+v", v)
+	}
+	// Dirty markers stay strings; detecting them is the pipeline's job.
+	if v := tab.Cell(2, "name"); v.Kind != KindString || v.Str != "?" {
+		t.Errorf("dirty marker = %+v", v)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader("")); err == nil {
+		t.Error("empty input did not error")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("short row did not error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := sampleTable()
+	var buf bytes.Buffer
+	if err := WriteCSV(tab, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("people", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != tab.NumRows() || back.NumCols() != tab.NumCols() {
+		t.Fatalf("round trip shape %dx%d", back.NumRows(), back.NumCols())
+	}
+	if !back.Cell(1, "name").Equal(String("bob")) {
+		t.Errorf("round trip cell = %v", back.Cell(1, "name"))
+	}
+	if !back.Cell(2, "age").IsNull() {
+		t.Errorf("null did not round trip: %v", back.Cell(2, "age"))
+	}
+}
+
+func TestReadCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.csv", "x\n1\n")
+	write("b.csv", "y\nfoo\n")
+	write("ignored.txt", "not a table")
+
+	db, err := ReadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(db.Tables))
+	}
+	if db.Table("a") == nil || db.Table("b") == nil {
+		t.Error("tables not named after files")
+	}
+
+	empty := t.TempDir()
+	if _, err := ReadCSVDir(empty); err == nil {
+		t.Error("empty dir did not error")
+	}
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ColumnStats summarizes one column for profiling and the inspect CLI.
+type ColumnStats struct {
+	Name         string
+	NonNull      int
+	Nulls        int
+	Distinct     int
+	UniqueRatio  float64
+	NullFraction float64
+	// Kind counts per value kind.
+	Strings, Numbers, Times int
+	// Min/Max/Mean are set when the column is fully numeric.
+	Min, Max, Mean float64
+	Numeric        bool
+	// TopValues holds up to 3 most frequent textual values.
+	TopValues []string
+}
+
+// DescribeColumn computes summary statistics for a column.
+func DescribeColumn(c *Column) ColumnStats {
+	s := ColumnStats{Name: c.Name}
+	distinct := map[Value]int{}
+	var sum float64
+	first := true
+	for _, v := range c.Values {
+		if v.IsNull() {
+			s.Nulls++
+			continue
+		}
+		s.NonNull++
+		distinct[v]++
+		switch v.Kind {
+		case KindString:
+			s.Strings++
+		case KindNumber:
+			s.Numbers++
+		case KindTime:
+			s.Times++
+		}
+		if f, ok := v.Float(); ok && v.Kind != KindString {
+			sum += f
+			if first || f < s.Min {
+				s.Min = f
+			}
+			if first || f > s.Max {
+				s.Max = f
+			}
+			first = false
+		}
+	}
+	s.Distinct = len(distinct)
+	if s.NonNull > 0 {
+		s.UniqueRatio = float64(s.Distinct) / float64(s.NonNull)
+	}
+	if len(c.Values) > 0 {
+		s.NullFraction = float64(s.Nulls) / float64(len(c.Values))
+	}
+	s.Numeric = s.NonNull > 0 && s.Numbers+s.Times == s.NonNull
+	if s.Numeric {
+		s.Mean = sum / float64(s.NonNull)
+	} else {
+		s.Min, s.Max = 0, 0
+	}
+
+	type vc struct {
+		text  string
+		count int
+	}
+	var top []vc
+	for v, n := range distinct {
+		top = append(top, vc{text: v.Text(), count: n})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].count != top[j].count {
+			return top[i].count > top[j].count
+		}
+		return top[i].text < top[j].text
+	})
+	for i := 0; i < len(top) && i < 3; i++ {
+		s.TopValues = append(s.TopValues, top[i].text)
+	}
+	return s
+}
+
+// Describe writes a human-readable profile of every table and column,
+// the `leva inspect` output.
+func (d *Database) Describe(w io.Writer) {
+	names := d.TableNames()
+	for _, name := range names {
+		t := d.Table(name)
+		fmt.Fprintf(w, "table %s: %d rows, %d columns\n", t.Name, t.NumRows(), t.NumCols())
+		for _, c := range t.Columns {
+			s := DescribeColumn(c)
+			fmt.Fprintf(w, "  %-24s distinct=%-6d nulls=%.0f%%", s.Name, s.Distinct, 100*s.NullFraction)
+			if s.Numeric {
+				fmt.Fprintf(w, " numeric [%.4g, %.4g] mean=%.4g", s.Min, s.Max, s.Mean)
+			} else {
+				fmt.Fprintf(w, " top=%v", s.TopValues)
+			}
+			if s.UniqueRatio >= 0.95 && s.NonNull > 0 {
+				fmt.Fprint(w, " (key-like)")
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeColumnNumeric(t *testing.T) {
+	c := &Column{Name: "x", Values: []Value{
+		Number(1), Number(2), Number(3), Null(),
+	}}
+	s := DescribeColumn(c)
+	if !s.Numeric {
+		t.Fatal("numeric column not detected")
+	}
+	if s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Errorf("min/max/mean = %v/%v/%v", s.Min, s.Max, s.Mean)
+	}
+	if s.Nulls != 1 || s.NonNull != 3 || s.Distinct != 3 {
+		t.Errorf("counts = %+v", s)
+	}
+	if s.NullFraction != 0.25 {
+		t.Errorf("null fraction = %v", s.NullFraction)
+	}
+}
+
+func TestDescribeColumnCategorical(t *testing.T) {
+	c := &Column{Name: "cat", Values: []Value{
+		String("b"), String("a"), String("a"), String("a"), String("c"),
+	}}
+	s := DescribeColumn(c)
+	if s.Numeric {
+		t.Fatal("string column marked numeric")
+	}
+	if len(s.TopValues) != 3 || s.TopValues[0] != "a" {
+		t.Errorf("top values = %v", s.TopValues)
+	}
+	if s.Strings != 5 {
+		t.Errorf("string count = %d", s.Strings)
+	}
+}
+
+func TestDatabaseDescribe(t *testing.T) {
+	db := NewDatabase(sampleTable())
+	var b strings.Builder
+	db.Describe(&b)
+	out := b.String()
+	for _, want := range []string{"table people", "3 rows", "id", "(key-like)", "numeric"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV loader never panics and that anything it
+// accepts survives a write/read round trip with identical shape.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,x\n2,y\n")
+	f.Add("h\n\n")
+	f.Add("a,b\n1\n")
+	f.Add("x,y,z\n?,N/A,3.5\n")
+	f.Add("\"q,uoted\",b\nv,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tab, err := ReadCSV("t", strings.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatalf("accepted table fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(tab, &buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadCSV("t", &buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.NumRows() != tab.NumRows() || back.NumCols() != tab.NumCols() {
+			t.Fatalf("round trip shape %dx%d != %dx%d",
+				back.NumRows(), back.NumCols(), tab.NumRows(), tab.NumCols())
+		}
+	})
+}

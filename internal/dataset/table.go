@@ -1,0 +1,324 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column is a named, column-oriented vector of values. Column-major
+// storage matches Leva's streaming textification stage, which classifies
+// one column at a time.
+type Column struct {
+	Name   string
+	Values []Value
+}
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int { return len(c.Values) }
+
+// UniqueRatio returns |distinct non-null values| / |non-null values|.
+// It is the signal Leva's key-detection heuristic uses. A column with no
+// non-null values has ratio zero.
+func (c *Column) UniqueRatio() float64 {
+	seen := make(map[Value]struct{}, len(c.Values))
+	n := 0
+	for _, v := range c.Values {
+		if v.IsNull() {
+			continue
+		}
+		n++
+		seen[v] = struct{}{}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(len(seen)) / float64(n)
+}
+
+// NullFraction returns the fraction of null-kind values in the column.
+func (c *Column) NullFraction() float64 {
+	if len(c.Values) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range c.Values {
+		if v.IsNull() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.Values))
+}
+
+// ForeignKey records that Column of the owning table references
+// RefColumn of RefTable. Only ground-truth baselines may consult it.
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// Table is a named collection of equal-length columns plus optional
+// ground-truth schema metadata.
+type Table struct {
+	Name    string
+	Columns []*Column
+
+	// Keys lists primary-key column names (ground truth; hidden from
+	// Leva's pipeline).
+	Keys []string
+	// ForeignKeys lists ground-truth foreign keys (hidden from Leva).
+	ForeignKeys []ForeignKey
+
+	index map[string]int // column name -> position, built lazily
+}
+
+// NewTable creates an empty table with the given column names.
+func NewTable(name string, cols ...string) *Table {
+	t := &Table{Name: name}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, &Column{Name: c})
+	}
+	return t
+}
+
+// NumRows returns the number of rows (length of the first column).
+func (t *Table) NumRows() int {
+	if len(t.Columns) == 0 {
+		return 0
+	}
+	return len(t.Columns[0].Values)
+}
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.Columns) }
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Column returns the named column, or nil if absent.
+func (t *Table) Column(name string) *Column {
+	i, ok := t.colIndex(name)
+	if !ok {
+		return nil
+	}
+	return t.Columns[i]
+}
+
+// ColIndex returns the position of the named column.
+func (t *Table) ColIndex(name string) (int, bool) { return t.colIndex(name) }
+
+func (t *Table) colIndex(name string) (int, bool) {
+	if t.index == nil || len(t.index) != len(t.Columns) {
+		t.index = make(map[string]int, len(t.Columns))
+		for i, c := range t.Columns {
+			t.index[c.Name] = i
+		}
+	}
+	i, ok := t.index[name]
+	return i, ok
+}
+
+// AppendRow appends one row. It panics if the arity does not match; a
+// malformed row is a programming error, not an input error.
+func (t *Table) AppendRow(vals ...Value) {
+	if len(vals) != len(t.Columns) {
+		panic(fmt.Sprintf("dataset: AppendRow arity %d != %d columns in %q", len(vals), len(t.Columns), t.Name))
+	}
+	for i, v := range vals {
+		t.Columns[i].Values = append(t.Columns[i].Values, v)
+	}
+}
+
+// Row returns row i as a value slice in column order.
+func (t *Table) Row(i int) []Value {
+	row := make([]Value, len(t.Columns))
+	for j, c := range t.Columns {
+		row[j] = c.Values[i]
+	}
+	return row
+}
+
+// Cell returns the value at row i of the named column. It panics on an
+// unknown column name.
+func (t *Table) Cell(i int, col string) Value {
+	j, ok := t.colIndex(col)
+	if !ok {
+		panic(fmt.Sprintf("dataset: table %q has no column %q", t.Name, col))
+	}
+	return t.Columns[j].Values[i]
+}
+
+// SetKeys records the ground-truth primary key columns.
+func (t *Table) SetKeys(cols ...string) { t.Keys = cols }
+
+// AddForeignKey records a ground-truth foreign key.
+func (t *Table) AddForeignKey(col, refTable, refCol string) {
+	t.ForeignKeys = append(t.ForeignKeys, ForeignKey{Column: col, RefTable: refTable, RefColumn: refCol})
+}
+
+// DropColumns returns a copy of the table without the named columns.
+// Schema metadata referencing dropped columns is removed too.
+func (t *Table) DropColumns(names ...string) *Table {
+	drop := make(map[string]bool, len(names))
+	for _, n := range names {
+		drop[n] = true
+	}
+	out := &Table{Name: t.Name}
+	for _, c := range t.Columns {
+		if drop[c.Name] {
+			continue
+		}
+		vals := make([]Value, len(c.Values))
+		copy(vals, c.Values)
+		out.Columns = append(out.Columns, &Column{Name: c.Name, Values: vals})
+	}
+	for _, k := range t.Keys {
+		if !drop[k] {
+			out.Keys = append(out.Keys, k)
+		}
+	}
+	for _, fk := range t.ForeignKeys {
+		if !drop[fk.Column] {
+			out.ForeignKeys = append(out.ForeignKeys, fk)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := &Table{Name: t.Name}
+	for _, c := range t.Columns {
+		vals := make([]Value, len(c.Values))
+		copy(vals, c.Values)
+		out.Columns = append(out.Columns, &Column{Name: c.Name, Values: vals})
+	}
+	out.Keys = append([]string(nil), t.Keys...)
+	out.ForeignKeys = append([]ForeignKey(nil), t.ForeignKeys...)
+	return out
+}
+
+// SelectRows returns a copy of the table containing only the rows whose
+// indices appear in idx, in that order.
+func (t *Table) SelectRows(idx []int) *Table {
+	out := &Table{Name: t.Name, Keys: append([]string(nil), t.Keys...),
+		ForeignKeys: append([]ForeignKey(nil), t.ForeignKeys...)}
+	for _, c := range t.Columns {
+		vals := make([]Value, 0, len(idx))
+		for _, i := range idx {
+			vals = append(vals, c.Values[i])
+		}
+		out.Columns = append(out.Columns, &Column{Name: c.Name, Values: vals})
+	}
+	return out
+}
+
+// Validate checks structural invariants: unique column names and equal
+// column lengths. It returns a descriptive error on the first violation.
+func (t *Table) Validate() error {
+	seen := make(map[string]bool, len(t.Columns))
+	for _, c := range t.Columns {
+		if seen[c.Name] {
+			return fmt.Errorf("dataset: table %q: duplicate column %q", t.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if len(t.Columns) == 0 {
+		return nil
+	}
+	n := len(t.Columns[0].Values)
+	for _, c := range t.Columns[1:] {
+		if len(c.Values) != n {
+			return fmt.Errorf("dataset: table %q: column %q has %d values, want %d", t.Name, c.Name, len(c.Values), n)
+		}
+	}
+	return nil
+}
+
+// Database is a named collection of tables.
+type Database struct {
+	Tables []*Table
+}
+
+// NewDatabase builds a database from tables.
+func NewDatabase(tables ...*Table) *Database {
+	return &Database{Tables: tables}
+}
+
+// Table returns the named table, or nil if absent.
+func (d *Database) Table(name string) *Table {
+	for _, t := range d.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Add appends a table to the database.
+func (d *Database) Add(t *Table) { d.Tables = append(d.Tables, t) }
+
+// TableNames returns table names sorted alphabetically.
+func (d *Database) TableNames() []string {
+	names := make([]string, len(d.Tables))
+	for i, t := range d.Tables {
+		names[i] = t.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TotalRows returns the number of rows across all tables.
+func (d *Database) TotalRows() int {
+	n := 0
+	for _, t := range d.Tables {
+		n += t.NumRows()
+	}
+	return n
+}
+
+// TotalAttributes returns the number of columns across all tables.
+func (d *Database) TotalAttributes() int {
+	n := 0
+	for _, t := range d.Tables {
+		n += t.NumCols()
+	}
+	return n
+}
+
+// Validate validates every table and checks for duplicate table names.
+func (d *Database) Validate() error {
+	seen := make(map[string]bool, len(d.Tables))
+	for _, t := range d.Tables {
+		if seen[t.Name] {
+			return fmt.Errorf("dataset: duplicate table %q", t.Name)
+		}
+		seen[t.Name] = true
+		if err := t.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Without returns a copy of the database excluding the named tables.
+// The remaining table structs are shared, not copied.
+func (d *Database) Without(names ...string) *Database {
+	drop := make(map[string]bool, len(names))
+	for _, n := range names {
+		drop[n] = true
+	}
+	out := &Database{}
+	for _, t := range d.Tables {
+		if !drop[t.Name] {
+			out.Tables = append(out.Tables, t)
+		}
+	}
+	return out
+}

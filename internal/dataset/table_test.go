@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := NewTable("people", "id", "name", "age")
+	t.AppendRow(Int(1), String("ann"), Number(30))
+	t.AppendRow(Int(2), String("bob"), Number(25))
+	t.AppendRow(Int(3), String("cyd"), Null())
+	return t
+}
+
+func TestTableBasics(t *testing.T) {
+	tab := sampleTable()
+	if tab.NumRows() != 3 || tab.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d, want 3x3", tab.NumRows(), tab.NumCols())
+	}
+	if got := tab.Cell(1, "name"); !got.Equal(String("bob")) {
+		t.Errorf("Cell(1, name) = %v", got)
+	}
+	row := tab.Row(0)
+	if len(row) != 3 || !row[1].Equal(String("ann")) {
+		t.Errorf("Row(0) = %v", row)
+	}
+	if names := tab.ColumnNames(); strings.Join(names, ",") != "id,name,age" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+	if tab.Column("nope") != nil {
+		t.Error("Column(nope) != nil")
+	}
+}
+
+func TestTableAppendRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendRow with wrong arity did not panic")
+		}
+	}()
+	sampleTable().AppendRow(Int(1))
+}
+
+func TestUniqueRatioAndNullFraction(t *testing.T) {
+	tab := sampleTable()
+	if r := tab.Column("id").UniqueRatio(); r != 1 {
+		t.Errorf("id UniqueRatio = %v, want 1", r)
+	}
+	c := &Column{Name: "dup", Values: []Value{String("x"), String("x"), String("y"), Null()}}
+	if r := c.UniqueRatio(); r != 2.0/3.0 {
+		t.Errorf("dup UniqueRatio = %v, want 2/3", r)
+	}
+	if f := c.NullFraction(); f != 0.25 {
+		t.Errorf("NullFraction = %v, want 0.25", f)
+	}
+	empty := &Column{Name: "e"}
+	if empty.UniqueRatio() != 0 || empty.NullFraction() != 0 {
+		t.Error("empty column ratios not zero")
+	}
+}
+
+func TestDropColumns(t *testing.T) {
+	tab := sampleTable()
+	tab.SetKeys("id")
+	tab.AddForeignKey("name", "other", "name")
+	out := tab.DropColumns("name")
+	if out.NumCols() != 2 {
+		t.Fatalf("cols after drop = %d", out.NumCols())
+	}
+	if out.Column("name") != nil {
+		t.Error("dropped column still present")
+	}
+	if len(out.ForeignKeys) != 0 {
+		t.Error("FK referencing dropped column kept")
+	}
+	if len(out.Keys) != 1 || out.Keys[0] != "id" {
+		t.Errorf("keys = %v", out.Keys)
+	}
+	// Original untouched.
+	if tab.NumCols() != 3 {
+		t.Error("DropColumns mutated the original")
+	}
+}
+
+func TestSelectRowsAndClone(t *testing.T) {
+	tab := sampleTable()
+	sub := tab.SelectRows([]int{2, 0})
+	if sub.NumRows() != 2 {
+		t.Fatalf("sub rows = %d", sub.NumRows())
+	}
+	if !sub.Cell(0, "name").Equal(String("cyd")) || !sub.Cell(1, "name").Equal(String("ann")) {
+		t.Errorf("SelectRows order wrong: %v, %v", sub.Cell(0, "name"), sub.Cell(1, "name"))
+	}
+	cl := tab.Clone()
+	cl.Columns[0].Values[0] = Int(99)
+	if tab.Cell(0, "id").Num == 99 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	tab := sampleTable()
+	if err := tab.Validate(); err != nil {
+		t.Errorf("valid table: %v", err)
+	}
+	tab.Columns[1].Values = tab.Columns[1].Values[:2]
+	if err := tab.Validate(); err == nil {
+		t.Error("ragged table validated")
+	}
+	dup := NewTable("d", "a", "a")
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate columns validated")
+	}
+}
+
+func TestDatabase(t *testing.T) {
+	db := NewDatabase(sampleTable())
+	other := NewTable("orders", "id")
+	other.AppendRow(Int(1))
+	db.Add(other)
+
+	if db.Table("people") == nil || db.Table("orders") == nil {
+		t.Fatal("lookup failed")
+	}
+	if db.Table("missing") != nil {
+		t.Error("lookup of missing table succeeded")
+	}
+	if got := db.TotalRows(); got != 4 {
+		t.Errorf("TotalRows = %d, want 4", got)
+	}
+	if got := db.TotalAttributes(); got != 4 {
+		t.Errorf("TotalAttributes = %d, want 4", got)
+	}
+	if err := db.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	names := db.TableNames()
+	if len(names) != 2 || names[0] != "orders" {
+		t.Errorf("TableNames = %v", names)
+	}
+	rest := db.Without("people")
+	if len(rest.Tables) != 1 || rest.Tables[0].Name != "orders" {
+		t.Errorf("Without = %v", rest.TableNames())
+	}
+	db.Add(sampleTable())
+	if err := db.Validate(); err == nil {
+		t.Error("duplicate table names validated")
+	}
+}

@@ -1,0 +1,125 @@
+// Package dataset defines the relational data model Leva operates on:
+// databases, tables, columns and cell values, together with CSV
+// import/export and the schema metadata (keys and foreign keys) that the
+// ground-truth baselines — and only the baselines — are allowed to see.
+//
+// Leva itself never reads key or foreign-key metadata: the whole point of
+// the system is to reconstruct join information without it. The metadata
+// lives here so that the Full, Full+FE and entity-resolution experiments
+// can materialize correct joins to compare against.
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the storage type of a cell value.
+type Kind uint8
+
+const (
+	// KindNull marks an absent value. Note that synthetic "dirty"
+	// missing markers such as "?" or "N/A" are deliberately stored as
+	// KindString: detecting them is Leva's job (Section 3.2 of the
+	// paper), not the loader's.
+	KindNull Kind = iota
+	// KindString holds free text or categorical tokens.
+	KindString
+	// KindNumber holds integer or floating-point data as float64.
+	KindNumber
+	// KindTime holds datetime data as Unix seconds in Num.
+	KindTime
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindNumber:
+		return "number"
+	case KindTime:
+		return "time"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single relational cell. It is a small tagged union: Str is
+// meaningful for KindString, Num for KindNumber (the value) and KindTime
+// (Unix seconds). The zero Value is a null.
+type Value struct {
+	Kind Kind
+	Str  string
+	Num  float64
+}
+
+// Null returns the null value.
+func Null() Value { return Value{Kind: KindNull} }
+
+// String returns a string-kind value.
+func String(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Number returns a number-kind value.
+func Number(f float64) Value { return Value{Kind: KindNumber, Num: f} }
+
+// Int returns a number-kind value from an integer.
+func Int(i int) Value { return Value{Kind: KindNumber, Num: float64(i)} }
+
+// Time returns a time-kind value.
+func Time(t time.Time) Value { return Value{Kind: KindTime, Num: float64(t.Unix())} }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.Str == o.Str
+	default:
+		return v.Num == o.Num
+	}
+}
+
+// Text renders the value as the string a textification module would see.
+// Numbers render with minimal digits; times render as RFC 3339 dates.
+func (v Value) Text() string {
+	switch v.Kind {
+	case KindNull:
+		return ""
+	case KindString:
+		return v.Str
+	case KindNumber:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case KindTime:
+		return time.Unix(int64(v.Num), 0).UTC().Format(time.RFC3339)
+	default:
+		return ""
+	}
+}
+
+// Float returns the numeric interpretation of the value and whether one
+// exists. Strings are parsed on demand; nulls report false.
+func (v Value) Float() (float64, bool) {
+	switch v.Kind {
+	case KindNumber, KindTime:
+		return v.Num, true
+	case KindString:
+		f, err := strconv.ParseFloat(v.Str, 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null(), KindNull},
+		{String("x"), KindString},
+		{Number(1.5), KindNumber},
+		{Int(7), KindNumber},
+		{Time(time.Unix(1000, 0)), KindTime},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("kind of %v = %v, want %v", c.v, c.v.Kind, c.kind)
+		}
+	}
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	if String("a").IsNull() {
+		t.Error("String(a).IsNull() = true")
+	}
+}
+
+func TestValueText(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), ""},
+		{String("hello"), "hello"},
+		{Number(2.5), "2.5"},
+		{Int(42), "42"},
+		{Time(time.Date(2020, 1, 2, 0, 0, 0, 0, time.UTC)), "2020-01-02T00:00:00Z"},
+	}
+	for _, c := range cases {
+		if got := c.v.Text(); got != c.want {
+			t.Errorf("Text(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueFloat(t *testing.T) {
+	if f, ok := Number(3.25).Float(); !ok || f != 3.25 {
+		t.Errorf("Number.Float() = %v, %v", f, ok)
+	}
+	if f, ok := String("1.5").Float(); !ok || f != 1.5 {
+		t.Errorf("parseable string Float() = %v, %v", f, ok)
+	}
+	if _, ok := String("abc").Float(); ok {
+		t.Error("non-numeric string reported a float")
+	}
+	if _, ok := Null().Float(); ok {
+		t.Error("null reported a float")
+	}
+	if f, ok := Time(time.Unix(5, 0)).Float(); !ok || f != 5 {
+		t.Errorf("time Float() = %v, %v", f, ok)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !String("a").Equal(String("a")) {
+		t.Error("equal strings not Equal")
+	}
+	if String("a").Equal(String("b")) {
+		t.Error("different strings Equal")
+	}
+	if String("1").Equal(Number(1)) {
+		t.Error("string and number Equal")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("nulls not Equal")
+	}
+	if !Number(2).Equal(Int(2)) {
+		t.Error("Number(2) != Int(2)")
+	}
+}
+
+// Property: number round-trips through Text for all finite floats.
+func TestValueTextNumberRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := Number(x)
+		got, ok := v.Float()
+		return ok && got == x && String(v.Text()).Text() == v.Text()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

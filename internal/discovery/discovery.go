@@ -1,0 +1,280 @@
+// Package discovery is a small Aurum/Lazo-style data discovery system:
+// MinHash sketches per column, coupled Jaccard/containment estimation,
+// and automatic join-path search. It powers the paper's Disc baseline —
+// the experiment showing that even with a discovery system, automatic
+// join materialization stays below the hand-curated Full table, because
+// discovered joins are single-hop and occasionally spurious.
+package discovery
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/join"
+	"repro/internal/textify"
+)
+
+// Profile is a per-column sketch: a MinHash signature over the distinct
+// normalized values plus exact cardinality and uniqueness statistics.
+type Profile struct {
+	Table       string
+	Column      string
+	Signature   []uint64
+	Cardinality int
+	UniqueRatio float64
+	NumRows     int
+}
+
+// SketchSize is the number of MinHash permutations per signature.
+const SketchSize = 128
+
+// ProfileColumn sketches one column.
+func ProfileColumn(table string, c *dataset.Column) Profile {
+	distinct := make(map[string]struct{})
+	for _, v := range c.Values {
+		if v.IsNull() {
+			continue
+		}
+		distinct[textify.NormalizeToken(v.Text())] = struct{}{}
+	}
+	sig := make([]uint64, SketchSize)
+	for i := range sig {
+		sig[i] = ^uint64(0)
+	}
+	for s := range distinct {
+		h := baseHash(s)
+		for i := 0; i < SketchSize; i++ {
+			// Cheap family of hash functions: affine transforms of
+			// one 64-bit base hash, a standard MinHash trick.
+			hv := h*salts[i%len(salts)] + uint64(i)*0x9e3779b97f4a7c15
+			if hv < sig[i] {
+				sig[i] = hv
+			}
+		}
+	}
+	return Profile{
+		Table:       table,
+		Column:      c.Name,
+		Signature:   sig,
+		Cardinality: len(distinct),
+		UniqueRatio: c.UniqueRatio(),
+		NumRows:     c.Len(),
+	}
+}
+
+var salts = [...]uint64{
+	0xff51afd7ed558ccd, 0xc4ceb9fe1a85ec53, 0x9e3779b97f4a7c15,
+	0xbf58476d1ce4e5b9, 0x94d049bb133111eb, 0x2545f4914f6cdd1d,
+	0xd6e8feb86659fd93, 0xa3aaacb9f9e3b7d1,
+}
+
+func baseHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// ProfileDatabase sketches every column of every table.
+func ProfileDatabase(db *dataset.Database) []Profile {
+	var out []Profile
+	for _, t := range db.Tables {
+		for _, c := range t.Columns {
+			out = append(out, ProfileColumn(t.Name, c))
+		}
+	}
+	return out
+}
+
+// EstimateJaccard estimates |A∩B| / |A∪B| from two signatures.
+func EstimateJaccard(a, b Profile) float64 {
+	if len(a.Signature) != len(b.Signature) || len(a.Signature) == 0 {
+		return 0
+	}
+	match := 0
+	for i, v := range a.Signature {
+		if v == b.Signature[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a.Signature))
+}
+
+// EstimateContainment estimates |A∩B| / |A| using the Lazo-style
+// cardinality-coupled conversion from the Jaccard estimate.
+func EstimateContainment(a, b Profile) float64 {
+	if a.Cardinality == 0 {
+		return 0
+	}
+	j := EstimateJaccard(a, b)
+	inter := j / (1 + j) * float64(a.Cardinality+b.Cardinality)
+	c := inter / float64(a.Cardinality)
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// CandidateJoin is a discovered join from a base-table column to
+// another table's column.
+type CandidateJoin struct {
+	BaseColumn  string
+	Table       string
+	Column      string
+	Containment float64
+}
+
+// Options tunes the join search.
+type Options struct {
+	// ContainmentThreshold is the minimum estimated containment of the
+	// base column in the candidate column. Default 0.8.
+	ContainmentThreshold float64
+	// MinCardinality filters out trivially small domains (for example
+	// boolean flags) that would match everything. Default 3.
+	MinCardinality int
+	// MaxJoins caps how many discovered joins are materialized, best
+	// first. Default 10.
+	MaxJoins int
+	// UseLSH forces the LSH-Ensemble index path. By default the index
+	// kicks in automatically once the database has more than
+	// LSHColumnThreshold columns, where the exhaustive pairwise scan
+	// stops being cheap.
+	UseLSH bool
+}
+
+// LSHColumnThreshold is the column count above which DiscoverJoins
+// switches to the LSH index automatically.
+const LSHColumnThreshold = 64
+
+func (o Options) withDefaults() Options {
+	if o.ContainmentThreshold <= 0 {
+		o.ContainmentThreshold = 0.8
+	}
+	if o.MinCardinality <= 0 {
+		o.MinCardinality = 3
+	}
+	if o.MaxJoins <= 0 {
+		o.MaxJoins = 10
+	}
+	return o
+}
+
+// DiscoverJoins searches for candidate joins from baseName's columns to
+// columns of other tables, ranked by containment. The search is purely
+// syntactic: it can and does return spurious joins when unrelated
+// columns share value domains, which is exactly the failure mode the
+// Disc baseline exhibits in the paper.
+func DiscoverJoins(db *dataset.Database, baseName string, opts Options) []CandidateJoin {
+	opts = opts.withDefaults()
+	base := db.Table(baseName)
+	if base == nil {
+		return nil
+	}
+	baseProfiles := make(map[string]Profile, base.NumCols())
+	for _, c := range base.Columns {
+		baseProfiles[c.Name] = ProfileColumn(baseName, c)
+	}
+	var cands []CandidateJoin
+	if opts.UseLSH || db.TotalAttributes() > LSHColumnThreshold {
+		ix := NewLSHIndex(opts.ContainmentThreshold)
+		for _, t := range db.Tables {
+			if t.Name == baseName {
+				continue
+			}
+			for _, c := range t.Columns {
+				p := ProfileColumn(t.Name, c)
+				if p.Cardinality >= opts.MinCardinality {
+					ix.Add(p)
+				}
+			}
+		}
+		ix.Build()
+		for _, bp := range baseProfiles {
+			if bp.Cardinality < opts.MinCardinality {
+				continue
+			}
+			for _, hit := range ix.Query(bp) {
+				cands = append(cands, CandidateJoin{
+					BaseColumn:  bp.Column,
+					Table:       hit.Table,
+					Column:      hit.Column,
+					Containment: EstimateContainment(bp, hit),
+				})
+			}
+		}
+	} else {
+		for _, t := range db.Tables {
+			if t.Name == baseName {
+				continue
+			}
+			for _, c := range t.Columns {
+				p := ProfileColumn(t.Name, c)
+				if p.Cardinality < opts.MinCardinality {
+					continue
+				}
+				for _, bp := range baseProfiles {
+					if bp.Cardinality < opts.MinCardinality {
+						continue
+					}
+					cont := EstimateContainment(bp, p)
+					if cont >= opts.ContainmentThreshold {
+						cands = append(cands, CandidateJoin{
+							BaseColumn:  bp.Column,
+							Table:       t.Name,
+							Column:      c.Name,
+							Containment: cont,
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Containment != cands[j].Containment {
+			return cands[i].Containment > cands[j].Containment
+		}
+		if cands[i].Table != cands[j].Table {
+			return cands[i].Table < cands[j].Table
+		}
+		return cands[i].Column < cands[j].Column
+	})
+	if len(cands) > opts.MaxJoins {
+		cands = cands[:opts.MaxJoins]
+	}
+	return cands
+}
+
+// Materialize left-joins every discovered candidate into the base table
+// (single hop, 1:N aggregated) and returns the augmented table together
+// with the joins used.
+func Materialize(db *dataset.Database, baseName string, opts Options) (*dataset.Table, []CandidateJoin) {
+	cands := DiscoverJoins(db, baseName, opts)
+	base := db.Table(baseName)
+	if base == nil {
+		return nil, nil
+	}
+	out := base.Clone()
+	for i, c := range cands {
+		other := db.Table(c.Table)
+		if other == nil {
+			continue
+		}
+		prefix := c.Table + "#" + itoa(i)
+		out = join.LeftJoinOn(out, c.BaseColumn, other, c.Column, prefix)
+	}
+	return out, cands
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}

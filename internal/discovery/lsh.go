@@ -1,0 +1,146 @@
+package discovery
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// LSHIndex is an LSH-Ensemble-style index over column MinHash
+// signatures (paper reference [42]): signatures are partitioned by set
+// cardinality and each partition is banded so that high-containment
+// candidates collide in at least one band. Querying is sublinear in the
+// number of indexed columns, which is what makes discovery practical on
+// databases with many tables; the exhaustive scan in DiscoverJoins stays
+// as the small-database path.
+type LSHIndex struct {
+	bands     int
+	rowsPer   int
+	threshold float64
+	// partitions group profiles by cardinality range; each has its
+	// own band tables so the Jaccard-to-containment conversion stays
+	// accurate within a partition.
+	partitions []*lshPartition
+	profiles   []Profile
+}
+
+type lshPartition struct {
+	minCard, maxCard int
+	// tables[band][bucketHash] -> profile indices
+	tables []map[uint64][]int
+}
+
+// NewLSHIndex builds an index tuned for the given containment
+// threshold. bands*rowsPer must not exceed SketchSize; 32 bands of 4
+// rows works well for thresholds around 0.8.
+func NewLSHIndex(threshold float64) *LSHIndex {
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.8
+	}
+	return &LSHIndex{bands: 32, rowsPer: 4, threshold: threshold}
+}
+
+// Add indexes a profile.
+func (ix *LSHIndex) Add(p Profile) {
+	ix.profiles = append(ix.profiles, p)
+}
+
+// Build finalizes the index: partitions by cardinality (powers of two)
+// and fills the band tables.
+func (ix *LSHIndex) Build() {
+	byPartition := map[int][]int{}
+	for i, p := range ix.profiles {
+		byPartition[cardBucket(p.Cardinality)] = append(byPartition[cardBucket(p.Cardinality)], i)
+	}
+	buckets := make([]int, 0, len(byPartition))
+	for b := range byPartition {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	ix.partitions = nil
+	for _, b := range buckets {
+		part := &lshPartition{
+			minCard: 1 << b,
+			maxCard: 1<<(b+1) - 1,
+			tables:  make([]map[uint64][]int, ix.bands),
+		}
+		for band := range part.tables {
+			part.tables[band] = map[uint64][]int{}
+		}
+		for _, pi := range byPartition[b] {
+			sig := ix.profiles[pi].Signature
+			for band := 0; band < ix.bands; band++ {
+				h := bandHash(sig, band, ix.rowsPer)
+				part.tables[band][h] = append(part.tables[band][h], pi)
+			}
+		}
+		ix.partitions = append(ix.partitions, part)
+	}
+}
+
+func cardBucket(card int) int {
+	b := 0
+	for card > 1 {
+		card >>= 1
+		b++
+	}
+	return b
+}
+
+func bandHash(sig []uint64, band, rowsPer int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for r := 0; r < rowsPer; r++ {
+		idx := (band*rowsPer + r) % len(sig)
+		binary.LittleEndian.PutUint64(buf[:], sig[idx])
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// Query returns indexed profiles whose estimated containment of q
+// reaches the index threshold, deduplicated and sorted by containment
+// descending. Only partitions whose cardinality range could possibly
+// clear the threshold are probed.
+func (ix *LSHIndex) Query(q Profile) []Profile {
+	if q.Cardinality == 0 {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []Profile
+	for _, part := range ix.partitions {
+		// Containment |Q∩C|/|Q| needs |C| >= threshold*|Q|; skip
+		// partitions that are too small to qualify.
+		if float64(part.maxCard) < ix.threshold*float64(q.Cardinality) {
+			continue
+		}
+		for band := 0; band < ix.bands; band++ {
+			h := bandHash(q.Signature, band, ix.rowsPer)
+			for _, pi := range part.tables[band][h] {
+				if seen[pi] {
+					continue
+				}
+				seen[pi] = true
+				cand := ix.profiles[pi]
+				if EstimateContainment(q, cand) >= ix.threshold {
+					out = append(out, cand)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci := EstimateContainment(q, out[i])
+		cj := EstimateContainment(q, out[j])
+		if ci != cj {
+			return ci > cj
+		}
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}
+
+// Len returns the number of indexed profiles.
+func (ix *LSHIndex) Len() int { return len(ix.profiles) }

@@ -1,0 +1,104 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLSHIndexFindsContainedColumn(t *testing.T) {
+	// Query column is fully contained in "big" and disjoint from
+	// "other"; decoy columns pad the index.
+	var qv, bigv, otherv []string
+	for i := 0; i < 200; i++ {
+		qv = append(qv, fmt.Sprintf("s%03d", i))
+		bigv = append(bigv, fmt.Sprintf("s%03d", i), fmt.Sprintf("extra%03d", i))
+		otherv = append(otherv, fmt.Sprintf("zz%03d", i))
+	}
+	q := ProfileColumn("base", stringColumn("k", qv...))
+	big := ProfileColumn("dim", stringColumn("id", bigv...))
+	other := ProfileColumn("noise", stringColumn("x", otherv...))
+
+	ix := NewLSHIndex(0.7)
+	ix.Add(big)
+	ix.Add(other)
+	for d := 0; d < 30; d++ {
+		var vals []string
+		for i := 0; i < 50; i++ {
+			vals = append(vals, fmt.Sprintf("d%d_%d", d, i))
+		}
+		ix.Add(ProfileColumn("decoy", stringColumn(fmt.Sprintf("c%d", d), vals...)))
+	}
+	ix.Build()
+	if ix.Len() != 32 {
+		t.Fatalf("indexed = %d", ix.Len())
+	}
+
+	hits := ix.Query(q)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	foundBig := false
+	for _, h := range hits {
+		if h.Table == "dim" {
+			foundBig = true
+		}
+		if h.Table == "noise" {
+			t.Error("disjoint column returned")
+		}
+	}
+	if !foundBig {
+		t.Error("contained column not found")
+	}
+}
+
+func TestLSHIndexAgreesWithExhaustiveScan(t *testing.T) {
+	// Whatever the exhaustive containment scan finds above the
+	// threshold, the index must also find (modulo LSH recall, which
+	// with 32 bands at containment ~1 is essentially certain).
+	var qv []string
+	for i := 0; i < 150; i++ {
+		qv = append(qv, fmt.Sprintf("v%03d", i))
+	}
+	q := ProfileColumn("base", stringColumn("k", qv...))
+
+	ix := NewLSHIndex(0.8)
+	var exhaustive []string
+	for c := 0; c < 20; c++ {
+		var vals []string
+		// Columns 0-4 fully contain the query; the rest are disjoint.
+		if c < 5 {
+			vals = append(vals, qv...)
+			for i := 0; i < 20*c; i++ {
+				vals = append(vals, fmt.Sprintf("pad%d_%d", c, i))
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				vals = append(vals, fmt.Sprintf("u%d_%d", c, i))
+			}
+		}
+		p := ProfileColumn(fmt.Sprintf("t%d", c), stringColumn("col", vals...))
+		ix.Add(p)
+		if EstimateContainment(q, p) >= 0.8 {
+			exhaustive = append(exhaustive, p.Table)
+		}
+	}
+	ix.Build()
+	hits := ix.Query(q)
+	got := map[string]bool{}
+	for _, h := range hits {
+		got[h.Table] = true
+	}
+	for _, want := range exhaustive {
+		if !got[want] {
+			t.Errorf("index missed %s found by exhaustive scan", want)
+		}
+	}
+}
+
+func TestLSHQueryEmpty(t *testing.T) {
+	ix := NewLSHIndex(0.8)
+	ix.Build()
+	if hits := ix.Query(Profile{}); hits != nil {
+		t.Error("empty query returned hits")
+	}
+}

@@ -1,0 +1,262 @@
+package embed
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/textify"
+	"repro/internal/walk"
+	"repro/internal/word2vec"
+)
+
+// This file reconstructs the comparator embedding methods of paper
+// Section 6.3. Each keeps the SGNS trainer fixed and varies only what
+// Leva's contribution varies: how the relational data is turned into a
+// training corpus or graph.
+
+// BaselineOptions configures a comparator method.
+type BaselineOptions struct {
+	// Dim is the embedding size. Default 100.
+	Dim int
+	// Epochs, Window, Negative tune SGNS (zero = defaults).
+	Epochs   int
+	Window   int
+	Negative int
+	// WalkLength/WalksPerNode tune graph-walk comparators.
+	WalkLength   int
+	WalksPerNode int
+	// P, Q are the Node2Vec biases. Defaults 1 and 0.5.
+	P, Q float64
+	// Seed seeds everything.
+	Seed int64
+	// Workers caps parallelism.
+	Workers int
+}
+
+func (o BaselineOptions) withDefaults() BaselineOptions {
+	if o.Dim <= 0 {
+		o.Dim = 100
+	}
+	if o.P == 0 {
+		o.P = 1
+	}
+	if o.Q == 0 {
+		o.Q = 0.5
+	}
+	return o
+}
+
+// vocab interns string tokens to dense int ids.
+type vocab struct {
+	ids    map[string]int32
+	tokens []string
+}
+
+func newVocab() *vocab { return &vocab{ids: make(map[string]int32)} }
+
+func (v *vocab) id(tok string) int32 {
+	if id, ok := v.ids[tok]; ok {
+		return id
+	}
+	id := int32(len(v.tokens))
+	v.ids[tok] = id
+	v.tokens = append(v.tokens, tok)
+	return id
+}
+
+// rowCorpus converts textified tables into one sentence per row, in row
+// order — the "directly textify relational datasets row by row" recipe
+// of the Word2Vec baseline.
+func rowCorpus(tables []*textify.TokenizedTable, v *vocab) ([][]int32, [][]int32) {
+	var corpus [][]int32
+	var rowSeqs [][]int32 // parallel to corpus: same content, kept for composition
+	for _, t := range tables {
+		for _, row := range t.Cells {
+			var seq []int32
+			for _, toks := range row {
+				for _, tok := range toks {
+					seq = append(seq, v.id(tok))
+				}
+			}
+			corpus = append(corpus, seq)
+			rowSeqs = append(rowSeqs, seq)
+		}
+	}
+	return corpus, rowSeqs
+}
+
+// Word2VecDirect trains SGNS on the row-order textified corpus with no
+// graph at all. Row entries are mean token vectors.
+func Word2VecDirect(tables []*textify.TokenizedTable, opts BaselineOptions) *Embedding {
+	opts = opts.withDefaults()
+	v := newVocab()
+	corpus, _ := rowCorpus(tables, v)
+	model := word2vec.Train(corpus, len(v.tokens), word2vec.Options{
+		Dim: opts.Dim, Epochs: opts.Epochs, Window: opts.Window,
+		Negative: opts.Negative, Seed: opts.Seed, Workers: opts.Workers,
+	})
+	return composeTokenRowEmbedding(tables, v, model, nil, opts.Dim)
+}
+
+// DeepERStyle trains word embeddings on the same corpus but composes
+// tuple vectors with inverse-document-frequency weighting, the
+// distributed tuple representation DeepER builds (reference [18]): rare,
+// discriminative tokens dominate the tuple vector instead of frequent
+// filler values.
+func DeepERStyle(tables []*textify.TokenizedTable, opts BaselineOptions) *Embedding {
+	opts = opts.withDefaults()
+	v := newVocab()
+	corpus, _ := rowCorpus(tables, v)
+	model := word2vec.Train(corpus, len(v.tokens), word2vec.Options{
+		Dim: opts.Dim, Epochs: opts.Epochs, Window: opts.Window,
+		Negative: opts.Negative, Seed: opts.Seed, Workers: opts.Workers,
+	})
+	// Document frequency over rows.
+	df := make([]int, len(v.tokens))
+	totalRows := 0
+	for _, t := range tables {
+		totalRows += len(t.Cells)
+		for _, row := range t.Cells {
+			seen := map[int32]bool{}
+			for _, toks := range row {
+				for _, tok := range toks {
+					id := v.ids[tok]
+					if !seen[id] {
+						seen[id] = true
+						df[id]++
+					}
+				}
+			}
+		}
+	}
+	idf := make([]float64, len(v.tokens))
+	for i, d := range df {
+		idf[i] = math.Log(float64(totalRows+1) / float64(d+1))
+	}
+	return composeTokenRowEmbedding(tables, v, model, idf, opts.Dim)
+}
+
+// composeTokenRowEmbedding builds an Embedding holding every token
+// vector plus one composed vector per row ((idf-)weighted mean).
+func composeTokenRowEmbedding(tables []*textify.TokenizedTable, v *vocab, model *word2vec.Model, idf []float64, dim int) *Embedding {
+	var names []string
+	var rows [][]float64
+	for id, tok := range v.tokens {
+		names = append(names, tok)
+		vec := make([]float64, dim)
+		copy(vec, model.Vector(int32(id)))
+		rows = append(rows, vec)
+	}
+	for _, t := range tables {
+		for i, row := range t.Cells {
+			vec := make([]float64, dim)
+			totalW := 0.0
+			for _, toks := range row {
+				for _, tok := range toks {
+					id := v.ids[tok]
+					w := 1.0
+					if idf != nil {
+						w = idf[id]
+					}
+					mv := model.Vector(id)
+					for k := range vec {
+						vec[k] += w * mv[k]
+					}
+					totalW += w
+				}
+			}
+			if totalW > 0 {
+				for k := range vec {
+					vec[k] /= totalW
+				}
+			}
+			names = append(names, RowKey(t.Table, i))
+			rows = append(rows, vec)
+		}
+	}
+	return NewEmbedding(names, matrix.FromRows(rows))
+}
+
+// Node2Vec builds the value-node graph without refinement or weighting
+// and runs second-order biased walks — "a graph directly based on
+// syntactic relationships without additional refinement and weighting"
+// (Section 6.3).
+func Node2Vec(tables []*textify.TokenizedTable, opts BaselineOptions) *Embedding {
+	opts = opts.withDefaults()
+	g, _ := graph.Build(tables, graph.Options{DisableRefinement: true, Unweighted: true})
+	corpus := walk.Generate(g, walk.Options{
+		WalkLength:   opts.WalkLength,
+		WalksPerNode: opts.WalksPerNode,
+		P:            opts.P,
+		Q:            opts.Q,
+		Seed:         opts.Seed,
+		Workers:      opts.Workers,
+	})
+	return trainOnWalks(g, corpus, opts)
+}
+
+// EmbDIStyle builds the tripartite EmbDI graph — each cell (value) node
+// linked to both its row node and its column node (reference [11]) — and
+// runs uniform first-order walks over it.
+func EmbDIStyle(tables []*textify.TokenizedTable, opts BaselineOptions) *Embedding {
+	opts = opts.withDefaults()
+	g := BuildEmbDIGraph(tables)
+	corpus := walk.Generate(g, walk.Options{
+		WalkLength:   opts.WalkLength,
+		WalksPerNode: opts.WalksPerNode,
+		Seed:         opts.Seed,
+		Workers:      opts.Workers,
+	})
+	return trainOnWalks(g, corpus, opts)
+}
+
+// BuildEmbDIGraph constructs the EmbDI-style tripartite graph: value
+// nodes connect to the rows containing them and to the columns they
+// appear under, with no refinement, voting, or weighting.
+func BuildEmbDIGraph(tables []*textify.TokenizedTable) *graph.Graph {
+	g := graph.New(false)
+	type edge struct{ a, b int32 }
+	seen := map[edge]bool{}
+	addOnce := func(a, b int32) {
+		if a > b {
+			a, b = b, a
+		}
+		e := edge{a, b}
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		g.AddEdge(a, b, 1)
+	}
+	for _, t := range tables {
+		colNodes := make([]int32, len(t.Attrs))
+		for j, attr := range t.Attrs {
+			colNodes[j] = g.AddColumnNode(t.Table + "." + attr)
+		}
+		for i, row := range t.Cells {
+			rowNode := g.AddRowNode(t.Table, i)
+			for j, toks := range row {
+				for _, tok := range toks {
+					valNode := g.AddValueNode(tok)
+					addOnce(valNode, rowNode)
+					addOnce(valNode, colNodes[j])
+				}
+			}
+		}
+	}
+	return g
+}
+
+func trainOnWalks(g *graph.Graph, corpus *walk.Corpus, opts BaselineOptions) *Embedding {
+	model := word2vec.Train(corpus.Walks, g.NumNodes(), word2vec.Options{
+		Dim: opts.Dim, Epochs: opts.Epochs, Window: opts.Window,
+		Negative: opts.Negative, Seed: opts.Seed, Workers: opts.Workers,
+		Subsample: -1, // walk corpora carry structure in frequency
+	})
+	vecs := matrix.NewDense(g.NumNodes(), opts.Dim)
+	for i := 0; i < g.NumNodes(); i++ {
+		copy(vecs.Row(i), model.Vector(int32(i)))
+	}
+	return NewEmbedding(nodeNames(g), vecs)
+}

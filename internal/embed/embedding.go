@@ -1,0 +1,123 @@
+// Package embed turns Leva's relational graph into vector embeddings.
+// It provides the two first-party methods the paper ships — randomized
+// SVD matrix factorization (MF) and random-walk + SGNS (RW) — behind a
+// plug-and-play interface, the memory-based auto-selection rule between
+// them, and faithful reconstructions of the comparator methods from
+// Section 6.3 (Word2Vec-direct, Node2Vec, EmbDI, DeepER).
+package embed
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Embedding maps node names to dense vectors. Row nodes are keyed
+// "table:rowIdx"; value nodes are keyed by their token.
+type Embedding struct {
+	Dim     int
+	names   []string
+	index   map[string]int
+	vectors *matrix.Dense // len(names) x Dim
+}
+
+// NewEmbedding wraps a dense matrix whose i-th row is the vector for
+// names[i].
+func NewEmbedding(names []string, vectors *matrix.Dense) *Embedding {
+	if len(names) != vectors.Rows {
+		panic(fmt.Sprintf("embed: %d names for %d vectors", len(names), vectors.Rows))
+	}
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	return &Embedding{Dim: vectors.Cols, names: names, index: idx, vectors: vectors}
+}
+
+// Len returns the number of embedded entities.
+func (e *Embedding) Len() int { return len(e.names) }
+
+// Names returns the embedded entity names in index order (shared).
+func (e *Embedding) Names() []string { return e.names }
+
+// Vector returns the vector for name and whether it exists. The slice
+// is shared with the embedding; callers must not mutate it.
+func (e *Embedding) Vector(name string) ([]float64, bool) {
+	i, ok := e.index[name]
+	if !ok {
+		return nil, false
+	}
+	return e.vectors.Row(i), true
+}
+
+// Has reports whether name is embedded.
+func (e *Embedding) Has(name string) bool {
+	_, ok := e.index[name]
+	return ok
+}
+
+// Matrix returns the underlying vectors (shared).
+func (e *Embedding) Matrix() *matrix.Dense { return e.vectors }
+
+// RowKey renders the canonical embedding key for a table row.
+func RowKey(table string, row int) string {
+	return fmt.Sprintf("%s:%d", table, row)
+}
+
+// ReduceDim projects the embedding to k dimensions with PCA fitted on
+// its own vectors, the storage-saving path of paper Section 6.5.2.
+func (e *Embedding) ReduceDim(k int) *Embedding {
+	if k >= e.Dim {
+		return e
+	}
+	pca := matrix.FitPCA(e.vectors, k)
+	return NewEmbedding(e.names, pca.Transform(e.vectors))
+}
+
+// Subset returns a new embedding restricted to the given names; names
+// missing from the embedding are skipped.
+func (e *Embedding) Subset(names []string) *Embedding {
+	kept := make([]string, 0, len(names))
+	rows := make([][]float64, 0, len(names))
+	for _, n := range names {
+		if v, ok := e.Vector(n); ok {
+			kept = append(kept, n)
+			rows = append(rows, v)
+		}
+	}
+	return NewEmbedding(kept, matrix.FromRows(rows))
+}
+
+// SortedNames returns the embedded names in lexical order (for
+// deterministic iteration in tests and experiments).
+func (e *Embedding) SortedNames() []string {
+	out := append([]string(nil), e.names...)
+	sort.Strings(out)
+	return out
+}
+
+// MeanVector averages the vectors of the given names, skipping missing
+// ones. It reports how many names were found; a zero count yields a
+// zero vector.
+func (e *Embedding) MeanVector(names []string) ([]float64, int) {
+	out := make([]float64, e.Dim)
+	found := 0
+	for _, n := range names {
+		v, ok := e.Vector(n)
+		if !ok {
+			continue
+		}
+		found++
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	if found > 0 {
+		inv := 1 / float64(found)
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out, found
+}

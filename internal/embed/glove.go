@@ -1,0 +1,51 @@
+package embed
+
+import (
+	"repro/internal/glove"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/walk"
+)
+
+// GloVeOptions configures the GloVe plug-in method: walk generation
+// feeding co-occurrence counting, then weighted least squares.
+type GloVeOptions struct {
+	// Dim is the embedding size. Default 100.
+	Dim int
+	// WalkLength/WalksPerNode drive the co-occurrence corpus.
+	WalkLength   int
+	WalksPerNode int
+	// Window is the co-occurrence window. Default 5.
+	Window int
+	// Epochs of AdaGrad. Default 15.
+	Epochs int
+	Seed   int64
+	// Workers caps walk parallelism.
+	Workers int
+}
+
+// GloVe embeds the graph with the GloVe objective over walk
+// co-occurrence statistics. It is the third plug-in of Leva's
+// embedding-construction stage, exercising the same plug-and-play
+// interface as MF and RW (paper Section 4.2: "accepts different
+// embedding methods ... so it can readily adopt newer approaches").
+func GloVe(g *graph.Graph, opts GloVeOptions) *Embedding {
+	if opts.Dim <= 0 {
+		opts.Dim = 100
+	}
+	corpus := walk.Generate(g, walk.Options{
+		WalkLength:   opts.WalkLength,
+		WalksPerNode: opts.WalksPerNode,
+		Seed:         opts.Seed,
+		Workers:      opts.Workers,
+	})
+	pairs := glove.CountCooccurrence(corpus.Walks, opts.Window)
+	model := glove.Train(pairs, g.NumNodes(), glove.Options{
+		Dim: opts.Dim, Epochs: opts.Epochs, Seed: opts.Seed,
+	})
+	vecs := matrix.NewDense(g.NumNodes(), opts.Dim)
+	for i := 0; i < g.NumNodes(); i++ {
+		copy(vecs.Row(i), model.Vector(int32(i)))
+	}
+	return NewEmbedding(nodeNames(g), vecs)
+}

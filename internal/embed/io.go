@@ -1,0 +1,78 @@
+package embed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// WriteTSV serializes the embedding as one line per entity: the entity
+// name, a tab, then the space-separated vector. The format round-trips
+// through ReadTSV and is trivially consumable from any language.
+func (e *Embedding) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range e.names {
+		if strings.ContainsAny(name, "\t\n") {
+			return fmt.Errorf("embed: name %q contains a separator", name)
+		}
+		bw.WriteString(name)
+		bw.WriteByte('\t')
+		vec, _ := e.Vector(name)
+		for i, v := range vec {
+			if i > 0 {
+				bw.WriteByte(' ')
+			}
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses an embedding written by WriteTSV. All rows must share
+// one dimension.
+func ReadTSV(r io.Reader) (*Embedding, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var names []string
+	var rows [][]float64
+	dim := -1
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		tab := strings.IndexByte(text, '\t')
+		if tab < 0 {
+			return nil, fmt.Errorf("embed: line %d: no tab separator", line)
+		}
+		name := text[:tab]
+		fields := strings.Fields(text[tab+1:])
+		if dim == -1 {
+			dim = len(fields)
+		} else if len(fields) != dim {
+			return nil, fmt.Errorf("embed: line %d: %d dims, want %d", line, len(fields), dim)
+		}
+		vec := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("embed: line %d: %w", line, err)
+			}
+			vec[i] = v
+		}
+		names = append(names, name)
+		rows = append(rows, vec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("embed: read: %w", err)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("embed: empty embedding file")
+	}
+	return NewEmbedding(names, matrix.FromRows(rows)), nil
+}

@@ -1,0 +1,59 @@
+package embed
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	e := NewEmbedding([]string{"tok", "t:0", "a b"}, matrix.FromRows([][]float64{
+		{1.5, -2}, {0, 3.25}, {1e-9, 42},
+	}))
+	var buf bytes.Buffer
+	if err := e.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 3 || back.Dim != 2 {
+		t.Fatalf("round trip shape %d/%d", back.Len(), back.Dim)
+	}
+	for _, name := range e.Names() {
+		want, _ := e.Vector(name)
+		got, ok := back.Vector(name)
+		if !ok {
+			t.Fatalf("name %q lost", name)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s[%d] = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWriteTSVRejectsSeparatorNames(t *testing.T) {
+	e := NewEmbedding([]string{"bad\tname"}, matrix.FromRows([][]float64{{1}}))
+	if err := e.WriteTSV(&bytes.Buffer{}); err == nil {
+		t.Error("tab in name accepted")
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []string{
+		"",                // empty
+		"noseparator\n",   // no tab
+		"a\t1 2\nb\t1\n",  // ragged dims
+		"a\tnotanumber\n", // parse failure
+	}
+	for _, c := range cases {
+		if _, err := ReadTSV(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/matrix"
+)
+
+// MFOptions configures the matrix-factorization embedding method
+// (paper Section 4.2.1).
+type MFOptions struct {
+	// Dim is the embedding size. Default 100.
+	Dim int
+	// Tau is the negative-sampling ratio in the proximity matrix
+	// M_ij = log(P_ij) - log(tau * P_D,j). Default 1.
+	Tau float64
+	// Window is the random-walk window the proximity matrix matches:
+	// M factorizes the PMI of (P + P^2 + ... + P^Window)/Window, the
+	// NetMF/NetSMF construction (paper reference [35]). Window 1 is
+	// plain 1-hop PMI. Default 2: one value-node hop each way, which
+	// links rows sharing a token directly while keeping the matrix
+	// sharp; together with the spectral propagation step this covers
+	// the multi-hop paths join information travels over. Larger
+	// windows trade regression accuracy for classification accuracy
+	// and are exposed for ablation.
+	Window int
+	// TopK prunes each row of the sparse matrix powers to its largest
+	// entries so hub value nodes cannot densify the proximity matrix.
+	// Default 128.
+	TopK int
+	// PMICap clips proximity entries from above. Rare pairs (for
+	// example a row and its unique key token) carry the highest PMI
+	// and can dominate the truncated factorization with
+	// class-irrelevant micro-cliques; a cap redirects the dimension
+	// budget toward shared structure. 0 disables capping (the
+	// default; capping is exposed for ablation).
+	PMICap float64
+	// Oversample and PowerIters tune the randomized SVD. Defaults 8
+	// and 2.
+	Oversample int
+	PowerIters int
+	// NoSpectralPropagation disables the ProNE-style Chebyshev
+	// enhancement after factorization. The enhancement is on by
+	// default because the paper's evaluation uses "randomized SVD
+	// methods with spectral propagation techniques enhancement from
+	// [41]".
+	NoSpectralPropagation bool
+	// ChebOrder, ChebMu, ChebS tune the propagation filter. Defaults
+	// 10, 0.2, 0.5.
+	ChebOrder int
+	ChebMu    float64
+	ChebS     float64
+	// Seed seeds the Gaussian test matrix.
+	Seed int64
+}
+
+func (o MFOptions) withDefaults() MFOptions {
+	if o.Dim <= 0 {
+		o.Dim = 100
+	}
+	if o.Tau <= 0 {
+		o.Tau = 1
+	}
+	if o.Window <= 0 {
+		o.Window = 2
+	}
+	if o.PMICap < 0 {
+		o.PMICap = 0
+	}
+	if o.TopK <= 0 {
+		o.TopK = 128
+	}
+	if o.Oversample <= 0 {
+		o.Oversample = 8
+	}
+	if o.PowerIters < 0 {
+		o.PowerIters = 0
+	} else if o.PowerIters == 0 {
+		o.PowerIters = 2
+	}
+	if o.ChebOrder <= 0 {
+		o.ChebOrder = 10
+	}
+	if o.ChebMu == 0 {
+		o.ChebMu = 0.2
+	}
+	if o.ChebS == 0 {
+		o.ChebS = 0.5
+	}
+	return o
+}
+
+// MF embeds the graph by factorizing a shifted-PMI proximity matrix
+// with the Halko randomized SVD; node embeddings are U·Σ^½ (paper
+// Section 4.2.1).
+//
+// The proximity follows the paper's definition M_ij = log(P_ij) −
+// log(τ·P_D,j) generalized to a length-Window walk context (the NetMF
+// equivalence of SGNS): P is the weighted transition matrix, the first
+// Window powers are averaged with per-row pruning to stay sparse, and
+// entries are clipped at zero. Non-edges of the windowed graph remain
+// structural zeros, which is what keeps randomized sparse factorization
+// applicable — the payoff of the value-node construction.
+func MF(g *graph.Graph, opts MFOptions) *Embedding {
+	opts = opts.withDefaults()
+	n := g.NumNodes()
+	names := nodeNames(g)
+	if n == 0 {
+		return NewEmbedding(names, matrix.NewDense(0, opts.Dim))
+	}
+
+	// Weighted degrees and transition matrix P = D^{-1} A.
+	nodeSum := make([]float64, n)
+	vol := 0.0
+	for i := 0; i < n; i++ {
+		for k := range g.Neighbors(int32(i)) {
+			w := g.EdgeWeight(int32(i), k)
+			nodeSum[i] += w
+			vol += w
+		}
+	}
+	if vol == 0 {
+		return NewEmbedding(names, matrix.NewDense(n, opts.Dim))
+	}
+	entries := make([]matrix.COO, 0, n*4)
+	for i := 0; i < n; i++ {
+		if nodeSum[i] == 0 {
+			continue
+		}
+		inv := 1 / nodeSum[i]
+		for k, j := range g.Neighbors(int32(i)) {
+			w := g.EdgeWeight(int32(i), k)
+			if w > 0 {
+				entries = append(entries, matrix.COO{Row: i, Col: int(j), Val: w * inv})
+			}
+		}
+	}
+	p := matrix.NewCSR(n, n, entries)
+
+	var adj *matrix.CSR
+	if !opts.NoSpectralPropagation {
+		adj = g.AdjacencyCSR()
+	}
+	e := factorizeWindow(p, adj, nodeSum, vol, opts.Window, opts.Dim, opts)
+	return NewEmbedding(names, e)
+}
+
+// factorizeWindow builds the windowed shifted-PMI proximity from the
+// transition matrix p, factorizes it to dim dimensions, and applies
+// spectral propagation when adj is non-nil.
+func factorizeWindow(p, adj *matrix.CSR, nodeSum []float64, vol float64, window, dim int, opts MFOptions) *matrix.Dense {
+	// S = (P + P^2 + ... + P^window) / window with per-row pruning.
+	s := p
+	acc := p
+	for t := 2; t <= window; t++ {
+		acc = matrix.MulCSRPrune(acc, p, opts.TopK, 1e-6)
+		s = matrix.AddCSR(s, acc)
+	}
+	if window > 1 {
+		s = matrix.ScaleCSR(s, 1/float64(window))
+	}
+
+	// Shifted positive PMI: M_ij = max(log(vol·S_ij / (τ·d_j)), 0).
+	m := prunePMI(s, nodeSum, vol, opts.Tau, opts.PMICap)
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := matrix.RandomizedSVD(m, dim, opts.Oversample, opts.PowerIters, rng)
+	e := matrix.EmbeddingFromSVD(res)
+	e = padColumns(e, dim)
+	if adj != nil {
+		e = matrix.ChebyshevPropagate(adj, e, opts.ChebOrder, opts.ChebMu, opts.ChebS)
+	}
+	return e
+}
+
+// prunePMI maps windowed-transition probabilities to clipped shifted
+// PMI in place of a fresh CSR.
+func prunePMI(s *matrix.CSR, degree []float64, vol, tau, cap float64) *matrix.CSR {
+	out := &matrix.CSR{NumRows: s.NumRows, NumCols: s.NumCols, RowPtr: make([]int32, s.NumRows+1)}
+	for i := 0; i < s.NumRows; i++ {
+		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+			j := s.ColIdx[p]
+			if int(j) == i {
+				// Drop self-proximity: bipartite walks return to
+				// their origin at every even step, and the
+				// resulting huge diagonal PMI would make the
+				// truncated SVD spend its dimension budget
+				// encoding node identity instead of structure.
+				continue
+			}
+			dj := degree[j]
+			if dj <= 0 || s.Vals[p] <= 0 {
+				continue
+			}
+			v := math.Log(vol * s.Vals[p] / (tau * dj))
+			if cap > 0 && v > cap {
+				v = cap
+			}
+			if v > 0 {
+				out.ColIdx = append(out.ColIdx, j)
+				out.Vals = append(out.Vals, v)
+			}
+		}
+		out.RowPtr[i+1] = int32(len(out.Vals))
+	}
+	return out
+}
+
+// padColumns widens e with zero columns up to dim (the randomized SVD
+// may return fewer columns than requested on tiny graphs).
+func padColumns(e *matrix.Dense, dim int) *matrix.Dense {
+	if e.Cols >= dim {
+		return e
+	}
+	out := matrix.NewDense(e.Rows, dim)
+	for i := 0; i < e.Rows; i++ {
+		copy(out.Row(i), e.Row(i))
+	}
+	return out
+}
+
+func nodeNames(g *graph.Graph) []string {
+	names := make([]string, g.NumNodes())
+	for i := range names {
+		names[i] = g.NodeName(int32(i))
+	}
+	return names
+}

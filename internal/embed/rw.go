@@ -1,0 +1,77 @@
+package embed
+
+import (
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/walk"
+	"repro/internal/word2vec"
+)
+
+// RWOptions configures the random-walk embedding method (paper
+// Section 4.2.2): walk generation parameters plus the SGNS trainer.
+type RWOptions struct {
+	// Dim is the embedding size. Default 100.
+	Dim int
+	// Walk parameters; zero values take the walk package defaults
+	// (length 80, 10 walks per node).
+	WalkLength   int
+	WalksPerNode int
+	// RestartIterations enables balanced walks: that many of the
+	// WalksPerNode iterations restart from the worst-represented
+	// nodes (the paper's 6+4 split). 0 disables balancing.
+	RestartIterations int
+	// VisitLimit caps how often a value node is emitted. 0 disables.
+	VisitLimit int
+	// Window, Negative, Epochs tune SGNS; zero values take the
+	// word2vec defaults.
+	Window   int
+	Negative int
+	Epochs   int
+	// Seed seeds walks and SGD.
+	Seed int64
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o RWOptions) withDefaults() RWOptions {
+	if o.Dim <= 0 {
+		o.Dim = 100
+	}
+	return o
+}
+
+// RW embeds the graph by generating (optionally balanced, weighted)
+// random walks and training skip-gram negative sampling over the walk
+// corpus. Weighted graphs sample transitions through per-node alias
+// tables; unweighted graphs sample uniformly, trading quality for the
+// smaller memory footprint the paper discusses in Section 4.3.
+func RW(g *graph.Graph, opts RWOptions) *Embedding {
+	opts = opts.withDefaults()
+	names := nodeNames(g)
+	corpus := walk.Generate(g, walk.Options{
+		WalkLength:        opts.WalkLength,
+		WalksPerNode:      opts.WalksPerNode,
+		RestartIterations: opts.RestartIterations,
+		VisitLimit:        opts.VisitLimit,
+		Seed:              opts.Seed,
+		Workers:           opts.Workers,
+	})
+	model := word2vec.Train(corpus.Walks, g.NumNodes(), word2vec.Options{
+		Dim:      opts.Dim,
+		Window:   opts.Window,
+		Negative: opts.Negative,
+		Epochs:   opts.Epochs,
+		// Frequent-token subsampling is a text-corpus heuristic; on
+		// walk corpora every node is "frequent" and subsampling
+		// destroys the structure the walks encode, so it is disabled
+		// (as DeepWalk/node2vec do).
+		Subsample: -1,
+		Seed:      opts.Seed,
+		Workers:   opts.Workers,
+	})
+	vecs := matrix.NewDense(g.NumNodes(), opts.Dim)
+	for i := 0; i < g.NumNodes(); i++ {
+		copy(vecs.Row(i), model.Vector(int32(i)))
+	}
+	return NewEmbedding(names, vecs)
+}

@@ -1,0 +1,40 @@
+package embed
+
+import "repro/internal/graph"
+
+// Method names an embedding construction algorithm.
+type Method string
+
+const (
+	// MethodMF is randomized-SVD matrix factorization: faster, but the
+	// matrix representation costs more memory.
+	MethodMF Method = "mf"
+	// MethodRW is random walks + SGNS: slower, adjacency-list
+	// representation, lower memory footprint.
+	MethodRW Method = "rw"
+	// MethodGloVe is the GloVe plug-in: walk co-occurrence counts
+	// factorized by weighted least squares. Never auto-selected; it
+	// exists to exercise the plug-and-play method interface.
+	MethodGloVe Method = "glove"
+	// MethodAuto lets Leva pick per the paper's rule: MF when the
+	// estimated memory fits the budget, RW otherwise.
+	MethodAuto Method = "auto"
+)
+
+// Select resolves MethodAuto against a memory budget in bytes by
+// estimating the MF working set from the graph size (paper Section 4.2:
+// "Leva analyzes the graph and uses the number of nodes to estimate the
+// memory consumption"). A non-positive budget means unlimited, which
+// selects MF.
+func Select(m Method, g *graph.Graph, dim int, memBudgetBytes int64) Method {
+	if m != MethodAuto {
+		return m
+	}
+	if memBudgetBytes <= 0 {
+		return MethodMF
+	}
+	if g.EstimateMFMemoryBytes(dim) <= memBudgetBytes {
+		return MethodMF
+	}
+	return MethodRW
+}

@@ -1,0 +1,135 @@
+package er
+
+import (
+	"math/rand"
+
+	"repro/internal/matrix"
+)
+
+// Blocking for entity resolution: random-hyperplane (SimHash) LSH over
+// embedding vectors. Cosine-similar vectors agree on most hyperplane
+// signs, so banding the sign bits buckets likely matches together and
+// the matcher only scores within-bucket candidate pairs — sub-quadratic
+// in catalog size instead of the exhaustive all-pairs scan.
+
+// hyperplaneLSH holds the random projection directions.
+type hyperplaneLSH struct {
+	planes [][]float64 // bits x dim
+	bands  int
+	rows   int
+}
+
+// newHyperplaneLSH samples bands*rows hyperplanes for dim-dimensional
+// vectors.
+func newHyperplaneLSH(dim, bands, rows int, seed int64) *hyperplaneLSH {
+	rng := rand.New(rand.NewSource(seed))
+	bits := bands * rows
+	planes := make([][]float64, bits)
+	for i := range planes {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		planes[i] = p
+	}
+	return &hyperplaneLSH{planes: planes, bands: bands, rows: rows}
+}
+
+// signature returns the sign-bit pattern of v against every plane.
+func (h *hyperplaneLSH) signature(v []float64) []bool {
+	sig := make([]bool, len(h.planes))
+	for i, p := range h.planes {
+		dot := 0.0
+		for j := 0; j < len(v) && j < len(p); j++ {
+			dot += v[j] * p[j]
+		}
+		sig[i] = dot >= 0
+	}
+	return sig
+}
+
+// bandKeys renders one hashable key per band.
+func (h *hyperplaneLSH) bandKeys(sig []bool) []uint64 {
+	keys := make([]uint64, h.bands)
+	for b := 0; b < h.bands; b++ {
+		var k uint64 = 1469598103934665603
+		for r := 0; r < h.rows; r++ {
+			k *= 1099511628211
+			if sig[b*h.rows+r] {
+				k ^= 1
+			} else {
+				k ^= 2
+			}
+		}
+		keys[b] = k
+	}
+	return keys
+}
+
+// blockedCandidates returns, per row of a, the candidate rows of b that
+// share at least one LSH band — the only pairs the matcher scores.
+func blockedCandidates(a, b [][]float64, bands, rows int, seed int64) [][]int32 {
+	if len(a) == 0 || len(b) == 0 {
+		return make([][]int32, len(a))
+	}
+	lsh := newHyperplaneLSH(len(a[0]), bands, rows, seed)
+	// Index b by band keys.
+	buckets := make([]map[uint64][]int32, bands)
+	for i := range buckets {
+		buckets[i] = map[uint64][]int32{}
+	}
+	for j, vb := range b {
+		keys := lsh.bandKeys(lsh.signature(vb))
+		for band, k := range keys {
+			buckets[band][k] = append(buckets[band][k], int32(j))
+		}
+	}
+	out := make([][]int32, len(a))
+	for i, va := range a {
+		keys := lsh.bandKeys(lsh.signature(va))
+		seen := map[int32]bool{}
+		for band, k := range keys {
+			for _, j := range buckets[band][k] {
+				if !seen[j] {
+					seen[j] = true
+					out[i] = append(out[i], j)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mutualNearestBlocked is mutualNearest restricted to LSH-blocked
+// candidate pairs.
+func mutualNearestBlocked(a, b [][]float64, threshold float64, bands, rows int, seed int64) [][2]int {
+	cands := blockedCandidates(a, b, bands, rows, seed)
+	bestForA := make([]int, len(a))
+	simForA := make([]float64, len(a))
+	bestForB := make([]int, len(b))
+	simForB := make([]float64, len(b))
+	for i := range bestForA {
+		bestForA[i] = -1
+	}
+	for j := range bestForB {
+		bestForB[j] = -1
+	}
+	for i, js := range cands {
+		for _, j := range js {
+			s := matrix.CosineSimilarity(a[i], b[j])
+			if bestForA[i] < 0 || s > simForA[i] {
+				bestForA[i], simForA[i] = int(j), s
+			}
+			if bestForB[j] < 0 || s > simForB[j] {
+				bestForB[j], simForB[j] = i, s
+			}
+		}
+	}
+	var out [][2]int
+	for i, j := range bestForA {
+		if j >= 0 && bestForB[j] == i && simForA[i] >= threshold {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package er
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestBlockedCandidatesFindSimilarVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const dim = 32
+	// b[j] is a tiny perturbation of a[j]: the blocked candidate set
+	// for a[i] must almost always contain its twin.
+	var a, b [][]float64
+	for i := 0; i < 200; i++ {
+		v := make([]float64, dim)
+		w := make([]float64, dim)
+		for k := range v {
+			v[k] = rng.NormFloat64()
+			w[k] = v[k] + 0.01*rng.NormFloat64()
+		}
+		a = append(a, v)
+		b = append(b, w)
+	}
+	cands := blockedCandidates(a, b, 24, 6, 2)
+	hit := 0
+	totalCands := 0
+	for i, js := range cands {
+		totalCands += len(js)
+		for _, j := range js {
+			if int(j) == i {
+				hit++
+			}
+		}
+	}
+	if hit < 190 {
+		t.Errorf("twin recall %d/200", hit)
+	}
+	// Blocking must actually prune: far fewer than n^2 pairs.
+	if totalCands >= 200*200/2 {
+		t.Errorf("blocking scored %d pairs, not sub-quadratic", totalCands)
+	}
+}
+
+func TestMutualNearestBlockedMatchesUnblocked(t *testing.T) {
+	pair := synth.ER("blk", synth.EROptions{Entities: 150, ExtraPerSide: 30, Noise: 0.2, Seed: 3})
+	plain, err := MatchTables(pair.A, pair.B, MethodLeva, Options{Dim: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := MatchTables(pair.A, pair.B, MethodLeva, Options{Dim: 48, Seed: 3, Blocking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, f1Plain := Score(plain, pair.Matches)
+	_, _, f1Blocked := Score(blocked, pair.Matches)
+	t.Logf("plain F1 %.3f, blocked F1 %.3f", f1Plain, f1Blocked)
+	if f1Blocked < f1Plain-0.1 {
+		t.Errorf("blocking cost too much recall: %.3f vs %.3f", f1Blocked, f1Plain)
+	}
+}

@@ -1,0 +1,220 @@
+// Package er applies relational embeddings to entity resolution, the
+// out-of-design-scope task of paper Section 6.7 (Table 8): embed two
+// catalog tables into one space, then predict matches with
+// threshold-gated mutual nearest neighbors on cosine similarity.
+package er
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/matrix"
+	"repro/internal/textify"
+)
+
+// Method selects how the shared embedding space is built.
+type Method string
+
+const (
+	// MethodLeva uses Leva's full pipeline (refined weighted graph,
+	// MF embedding) with no input preprocessing.
+	MethodLeva Method = "leva"
+	// MethodEmbDIS is EmbDI-style without input transformation: the
+	// tripartite graph over the raw tables.
+	MethodEmbDIS Method = "embdi-s"
+	// MethodEmbDIF is EmbDI-style with input transformation: token
+	// canonicalization is applied to both tables before embedding
+	// (the data-preparation step that gives EmbDI-F its edge in the
+	// paper).
+	MethodEmbDIF Method = "embdi-f"
+	// MethodDeepER composes tuple vectors from IDF-weighted word
+	// embeddings.
+	MethodDeepER Method = "deeper"
+)
+
+// Options tunes matching.
+type Options struct {
+	// Dim is the embedding size. Default 100.
+	Dim int
+	// Threshold is the minimum cosine similarity for a predicted
+	// match. Default 0.5.
+	Threshold float64
+	// Blocking enables hyperplane-LSH candidate blocking so matching
+	// scores sub-quadratically many pairs; recall dips slightly in
+	// exchange. Recommended once catalogs exceed a few thousand rows.
+	Blocking bool
+	// BlockBands and BlockRows tune the LSH bands. Defaults 24 and 6.
+	BlockBands int
+	BlockRows  int
+	Seed       int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dim <= 0 {
+		o.Dim = 100
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 0.5
+	}
+	if o.BlockBands <= 0 {
+		o.BlockBands = 24
+	}
+	if o.BlockRows <= 0 {
+		o.BlockRows = 6
+	}
+	return o
+}
+
+// MatchTables embeds both tables with the chosen method and returns
+// predicted match pairs (rowA, rowB): mutual nearest neighbors whose
+// cosine similarity clears the threshold.
+func MatchTables(a, b *dataset.Table, method Method, opts Options) ([][2]int, error) {
+	opts = opts.withDefaults()
+	if method == MethodEmbDIF {
+		a, b = CanonicalizeTokens(a), CanonicalizeTokens(b)
+	}
+	db := dataset.NewDatabase(a, b)
+
+	var vecsA, vecsB [][]float64
+	switch method {
+	case MethodLeva:
+		// ER wants row-row proximity at longer token range than the
+		// supervised-featurization default, so the proximity window
+		// matches the full SGNS window here.
+		res, err := core.BuildEmbedding(db, core.Config{
+			Dim:    opts.Dim,
+			Method: embed.MethodMF,
+			MF:     embed.MFOptions{Window: 5},
+			Seed:   opts.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		vecsA, err = res.Featurize(a, a.Name, nil, func(i int) int { return i })
+		if err != nil {
+			return nil, err
+		}
+		vecsB, err = res.Featurize(b, b.Name, nil, func(i int) int { return i })
+		if err != nil {
+			return nil, err
+		}
+	case MethodEmbDIS, MethodEmbDIF, MethodDeepER:
+		model, err := textify.Fit(db, textify.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tokenized, err := model.TransformAll(db)
+		if err != nil {
+			return nil, err
+		}
+		bopts := embed.BaselineOptions{Dim: opts.Dim, Seed: opts.Seed,
+			WalkLength: 40, WalksPerNode: 6, Epochs: 3}
+		var e *embed.Embedding
+		if method == MethodDeepER {
+			e = embed.DeepERStyle(tokenized, bopts)
+		} else {
+			e = embed.EmbDIStyle(tokenized, bopts)
+		}
+		vecsA = rowVectors(e, a)
+		vecsB = rowVectors(e, b)
+	default:
+		return nil, fmt.Errorf("er: unknown method %q", method)
+	}
+	if opts.Blocking {
+		return mutualNearestBlocked(vecsA, vecsB, opts.Threshold,
+			opts.BlockBands, opts.BlockRows, opts.Seed), nil
+	}
+	return mutualNearest(vecsA, vecsB, opts.Threshold), nil
+}
+
+func rowVectors(e *embed.Embedding, t *dataset.Table) [][]float64 {
+	out := make([][]float64, t.NumRows())
+	for i := range out {
+		if v, ok := e.Vector(embed.RowKey(t.Name, i)); ok {
+			out[i] = v
+		} else {
+			out[i] = make([]float64, e.Dim)
+		}
+	}
+	return out
+}
+
+// mutualNearest predicts (i, j) when j is i's nearest neighbor in B, i
+// is j's nearest in A, and the similarity clears the threshold.
+func mutualNearest(a, b [][]float64, threshold float64) [][2]int {
+	bestForA := make([]int, len(a))
+	simForA := make([]float64, len(a))
+	for i, va := range a {
+		bestForA[i] = -1
+		for j, vb := range b {
+			s := matrix.CosineSimilarity(va, vb)
+			if bestForA[i] < 0 || s > simForA[i] {
+				bestForA[i], simForA[i] = j, s
+			}
+		}
+	}
+	bestForB := make([]int, len(b))
+	simForB := make([]float64, len(b))
+	for j, vb := range b {
+		bestForB[j] = -1
+		for i, va := range a {
+			s := matrix.CosineSimilarity(va, vb)
+			if bestForB[j] < 0 || s > simForB[j] {
+				bestForB[j], simForB[j] = i, s
+			}
+		}
+	}
+	var out [][2]int
+	for i, j := range bestForA {
+		if j >= 0 && bestForB[j] == i && simForA[i] >= threshold {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// Score compares predicted pairs to ground truth and returns precision,
+// recall and F1.
+func Score(pred, truth [][2]int) (prec, rec, f1 float64) {
+	truthSet := make(map[[2]int]bool, len(truth))
+	for _, p := range truth {
+		truthSet[p] = true
+	}
+	tp := 0
+	for _, p := range pred {
+		if truthSet[p] {
+			tp++
+		}
+	}
+	fp := len(pred) - tp
+	fn := len(truth) - tp
+	if tp == 0 {
+		return 0, 0, 0
+	}
+	prec = float64(tp) / float64(tp+fp)
+	rec = float64(tp) / float64(tp+fn)
+	f1 = 2 * prec * rec / (prec + rec)
+	return prec, rec, f1
+}
+
+// CanonicalizeTokens is the EmbDI-F input transformation: a cleaning
+// pass that strips view-local corruption suffixes ("value~a12" ->
+// "value"), the synthetic analog of the format normalization EmbDI-F
+// performs on real catalogs. It returns a cleaned copy.
+func CanonicalizeTokens(t *dataset.Table) *dataset.Table {
+	out := t.Clone()
+	for _, c := range out.Columns {
+		for i, v := range c.Values {
+			if v.Kind != dataset.KindString {
+				continue
+			}
+			if k := strings.IndexByte(v.Str, '~'); k >= 0 {
+				c.Values[i] = dataset.String(v.Str[:k])
+			}
+		}
+	}
+	return out
+}

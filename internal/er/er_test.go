@@ -1,0 +1,91 @@
+package er
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func TestScore(t *testing.T) {
+	truth := [][2]int{{0, 0}, {1, 1}, {2, 2}}
+	pred := [][2]int{{0, 0}, {1, 1}, {3, 3}}
+	p, r, f1 := Score(pred, truth)
+	if p != 2.0/3.0 || r != 2.0/3.0 || f1 != 2.0/3.0 {
+		t.Errorf("PRF = %v %v %v", p, r, f1)
+	}
+	if _, _, f := Score(nil, truth); f != 0 {
+		t.Errorf("empty predictions F1 = %v", f)
+	}
+}
+
+func TestCanonicalizeTokens(t *testing.T) {
+	tab := dataset.NewTable("t", "a", "b")
+	tab.AppendRow(dataset.String("brand_1~a12"), dataset.Number(3))
+	out := CanonicalizeTokens(tab)
+	if got := out.Cell(0, "a").Str; got != "brand_1" {
+		t.Errorf("canonicalized = %q", got)
+	}
+	// Numbers untouched; original untouched.
+	if out.Cell(0, "b").Num != 3 {
+		t.Error("number modified")
+	}
+	if tab.Cell(0, "a").Str != "brand_1~a12" {
+		t.Error("original mutated")
+	}
+}
+
+func TestMutualNearest(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	b := [][]float64{{0.9, 0.1}, {0.1, 0.9}, {0.5, 0.5}}
+	pred := mutualNearest(a, b, 0.5)
+	if len(pred) != 2 {
+		t.Fatalf("pairs = %v", pred)
+	}
+	for _, p := range pred {
+		if p[0] != p[1] {
+			t.Errorf("wrong pairing %v", p)
+		}
+	}
+	// High threshold suppresses everything.
+	if got := mutualNearest(a, b, 0.9999); len(got) > 1 {
+		t.Errorf("threshold did not gate: %v", got)
+	}
+}
+
+func TestMatchTablesLevaEasyPair(t *testing.T) {
+	pair := synth.ER("easy", synth.EROptions{Entities: 120, ExtraPerSide: 30, Noise: 0.15, Seed: 1})
+	pred, err := MatchTables(pair.A, pair.B, MethodLeva, Options{Dim: 48, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, f1 := Score(pred, pair.Matches)
+	if f1 < 0.5 {
+		t.Errorf("Leva F1 on easy pair = %v, want >= 0.5", f1)
+	}
+}
+
+func TestMatchTablesEmbDIFBeatsEmbDIS(t *testing.T) {
+	pair := synth.ER("mid", synth.EROptions{Entities: 100, ExtraPerSide: 25, Noise: 0.4, Seed: 2})
+	opts := Options{Dim: 48, Seed: 2}
+	predS, err := MatchTables(pair.A, pair.B, MethodEmbDIS, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predF, err := MatchTables(pair.A, pair.B, MethodEmbDIF, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, f1S := Score(predS, pair.Matches)
+	_, _, f1F := Score(predF, pair.Matches)
+	if f1F <= f1S {
+		t.Errorf("input transformation did not help: EmbDI-F %v <= EmbDI-S %v", f1F, f1S)
+	}
+}
+
+func TestMatchTablesUnknownMethod(t *testing.T) {
+	pair := synth.ER("x", synth.EROptions{Entities: 10, ExtraPerSide: 2, Noise: 0.1, Seed: 3})
+	if _, err := MatchTables(pair.A, pair.B, Method("nope"), Options{}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package er
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+// TestTuneER compares Leva ER variants; enable with LEVA_TUNE=1.
+func TestTuneER(t *testing.T) {
+	if os.Getenv("LEVA_TUNE") == "" {
+		t.Skip("set LEVA_TUNE=1 to run the tuning harness")
+	}
+	for _, noise := range []float64{0.22, 0.38} {
+		pair := synth.ER("beer", synth.EROptions{Noise: noise, Entities: 300, Seed: 5})
+		for _, c := range []struct {
+			name string
+			mf   embed.MFOptions
+			feat core.FeaturizationMode
+			thr  float64
+		}{
+			{"mf-default-rv", embed.MFOptions{}, core.RowPlusValue, 0.5},
+			{"mf-w1-rv", embed.MFOptions{Window: 1}, core.RowPlusValue, 0.5},
+			{"mf-default-row", embed.MFOptions{}, core.RowOnly, 0.5},
+			{"mf-w5-rv", embed.MFOptions{Window: 5}, core.RowPlusValue, 0.5},
+			{"mf-default-rv-thr.3", embed.MFOptions{}, core.RowPlusValue, 0.3},
+			{"mf-default-rv-thr.7", embed.MFOptions{}, core.RowPlusValue, 0.7},
+		} {
+			f1 := levaVariant(t, pair, c.mf, c.feat, c.thr)
+			t.Logf("noise=%.2f %-20s f1=%.3f", noise, c.name, f1)
+		}
+	}
+}
+
+func levaVariant(t *testing.T, pair *synth.ERPair, mf embed.MFOptions, feat core.FeaturizationMode, thr float64) float64 {
+	db := dataset.NewDatabase(pair.A, pair.B)
+	res, err := core.BuildEmbedding(db, core.Config{
+		Dim: 64, Method: embed.MethodMF, MF: mf, Seed: 3, Featurization: feat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := res.Featurize(pair.A, pair.A.Name, nil, func(i int) int { return i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := res.Featurize(pair.B, pair.B.Name, nil, func(i int) int { return i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := mutualNearest(va, vb, thr)
+	_, _, f1 := Score(pred, pair.Matches)
+	return f1
+}

@@ -1,0 +1,329 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation section. Each runner regenerates the corresponding
+// rows/series on the synthetic datasets, returns a structured result,
+// and renders a paper-style text table. Default workload scales are
+// sized for a small machine; raise Options.Scale to approach the
+// published dataset sizes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/discovery"
+	"repro/internal/embed"
+	"repro/internal/join"
+	"repro/internal/ml"
+	"repro/internal/synth"
+)
+
+// Options are shared experiment knobs.
+type Options struct {
+	// Scale multiplies dataset sizes. Default 0.15 (laptop-sized);
+	// 1.0 reproduces the paper's published row counts.
+	Scale float64
+	// Seed drives every randomized stage.
+	Seed int64
+	// Dim is the embedding size. Default 64 (the paper uses 100;
+	// smaller is faster and the orderings are insensitive to it).
+	Dim int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 0.15
+	}
+	if o.Dim <= 0 {
+		o.Dim = 64
+	}
+	return o
+}
+
+// Model names a downstream model family.
+type Model string
+
+const (
+	// ModelRF is a random forest (classification or regression).
+	ModelRF Model = "rf"
+	// ModelLR is logistic regression with ElasticNet (classification)
+	// or plain linear regression (regression).
+	ModelLR Model = "lr"
+	// ModelEN is ElasticNet linear regression (regression only).
+	ModelEN Model = "en"
+	// ModelNN is the 2-layer fully connected network.
+	ModelNN Model = "nn"
+)
+
+// Baseline names a training-data assembly strategy from Section 6.1.
+type Baseline string
+
+const (
+	// BaselineBase trains on the base table only.
+	BaselineBase Baseline = "base"
+	// BaselineFull trains on the ground-truth joined Full table.
+	BaselineFull Baseline = "full"
+	// BaselineFullFE is Full plus ARDA-style feature selection.
+	BaselineFullFE Baseline = "full+fe"
+	// BaselineDisc joins whatever the discovery system finds.
+	BaselineDisc Baseline = "disc"
+	// BaselineEmbMF and BaselineEmbRW are Leva's embeddings.
+	BaselineEmbMF Baseline = "emb-mf"
+	BaselineEmbRW Baseline = "emb-rw"
+)
+
+// AllBaselines lists the Fig. 4/5 comparison set in display order.
+var AllBaselines = []Baseline{
+	BaselineBase, BaselineDisc, BaselineFull, BaselineFullFE,
+	BaselineEmbMF, BaselineEmbRW,
+}
+
+const testFraction = 0.2
+
+// newClassifier builds a fresh model with budget-friendly settings.
+func newClassifier(m Model, seed int64) ml.Classifier {
+	switch m {
+	case ModelRF:
+		return &ml.RandomForest{NumTrees: 40, MinLeaf: 2, Seed: seed}
+	case ModelLR:
+		return &ml.LogisticRegression{Alpha: 1e-4, L1Ratio: 0.5, Epochs: 40, Seed: seed}
+	case ModelNN:
+		return &ml.MLP{Hidden: 64, Epochs: 40, Seed: seed}
+	default:
+		panic(fmt.Sprintf("experiments: unknown classifier %q", m))
+	}
+}
+
+// newRegressor builds a fresh regression model.
+func newRegressor(m Model, seed int64) ml.Regressor {
+	switch m {
+	case ModelRF:
+		return &ml.RandomForest{NumTrees: 40, MinLeaf: 2, Seed: seed}
+	case ModelLR:
+		return &ml.LinearRegression{L2: 1e-6}
+	case ModelEN:
+		return &ml.ElasticNetRegression{Alpha: 0.01, L1Ratio: 0.5}
+	case ModelNN:
+		return &ml.MLP{Hidden: 64, Epochs: 60, Seed: seed}
+	default:
+		panic(fmt.Sprintf("experiments: unknown regressor %q", m))
+	}
+}
+
+// standardized reports whether the model family needs feature scaling.
+func standardized(m Model) bool { return m != ModelRF }
+
+// rwOptions returns budget-friendly RW settings for experiment runs.
+func rwOptions() embed.RWOptions {
+	return embed.RWOptions{WalkLength: 40, WalksPerNode: 6, Epochs: 3}
+}
+
+// FeatureSet is a prepared train/test featurization for one baseline;
+// it can be scored against any downstream model.
+type FeatureSet struct {
+	XTrain, XTest           [][]float64
+	YClassTrain, YClassTest []int
+	YRegTrain, YRegTest     []float64
+	Classification          bool
+}
+
+// Score fits the model and returns accuracy (classification) or MAE
+// (regression) on the test rows.
+func (fs *FeatureSet) Score(model Model, seed int64) float64 {
+	if fs.Classification {
+		return fitScoreClass(model, seed, fs.XTrain, fs.YClassTrain, fs.XTest, fs.YClassTest)
+	}
+	return fitScoreReg(model, seed, fs.XTrain, fs.YRegTrain, fs.XTest, fs.YRegTest)
+}
+
+// EvalTask evaluates one (baseline, model) pair on a task and returns
+// accuracy for classification or MAE for regression, measured on the
+// held-out test rows. Every baseline shares the same split.
+func EvalTask(spec *synth.Spec, baseline Baseline, model Model, opts Options) (float64, error) {
+	fs, err := PrepareBaseline(spec, baseline, opts)
+	if err != nil {
+		return 0, err
+	}
+	return fs.Score(model, opts.withDefaults().Seed), nil
+}
+
+// PrepareBaseline assembles and featurizes the training data for one
+// baseline. The expensive work (joins, discovery, embedding training)
+// happens here, once; callers score multiple models against the result.
+func PrepareBaseline(spec *synth.Spec, baseline Baseline, opts Options) (*FeatureSet, error) {
+	opts = opts.withDefaults()
+	switch baseline {
+	case BaselineEmbMF, BaselineEmbRW:
+		return prepareEmbedding(spec, baseline, opts, core.RowPlusValue)
+	default:
+		return prepareTabular(spec, baseline, opts)
+	}
+}
+
+func prepareEmbedding(spec *synth.Spec, baseline Baseline, opts Options, feat core.FeaturizationMode) (*FeatureSet, error) {
+	cfg := core.Config{
+		Dim:           opts.Dim,
+		Seed:          opts.Seed,
+		RW:            rwOptions(),
+		Featurization: feat,
+	}
+	if baseline == BaselineEmbMF {
+		cfg.Method = embed.MethodMF
+	} else {
+		cfg.Method = embed.MethodRW
+	}
+	return prepareWithConfig(spec, cfg, opts)
+}
+
+// prepareWithConfig runs Leva end-to-end under an explicit pipeline
+// config; ablation experiments use it to vary single knobs.
+func prepareWithConfig(spec *synth.Spec, cfg core.Config, opts Options) (*FeatureSet, error) {
+	opts = opts.withDefaults()
+	task := core.Task{
+		DB: spec.DB, BaseTable: spec.BaseTable, Target: spec.Target,
+		TestFraction: testFraction, Seed: opts.Seed,
+	}
+	if spec.Classification {
+		sd, err := core.PrepareClassification(task, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &FeatureSet{
+			XTrain: sd.XTrain, XTest: sd.XTest,
+			YClassTrain: sd.YClassTrain, YClassTest: sd.YClassTest,
+			Classification: true,
+		}, nil
+	}
+	sd, err := core.PrepareRegression(task, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FeatureSet{
+		XTrain: sd.XTrain, XTest: sd.XTest,
+		YRegTrain: sd.YRegTrain, YRegTest: sd.YRegTest,
+	}, nil
+}
+
+func prepareTabular(spec *synth.Spec, baseline Baseline, opts Options) (*FeatureSet, error) {
+	table, err := assembleTable(spec, baseline)
+	if err != nil {
+		return nil, err
+	}
+	split := ml.TrainTestSplit(table.NumRows(), testFraction, opts.Seed)
+	trainT := table.SelectRows(split.Train)
+	testT := table.SelectRows(split.Test)
+
+	enc := ml.FitOneHot(trainT, spec.Target, 64)
+	xTrain := enc.Transform(trainT)
+	xTest := enc.Transform(testT)
+
+	fs := &FeatureSet{XTrain: xTrain, XTest: xTest, Classification: spec.Classification}
+	if spec.Classification {
+		labels := ml.FitLabels(table.Column(spec.Target))
+		all, err := labels.Encode(table.Column(spec.Target).Values)
+		if err != nil {
+			return nil, err
+		}
+		fs.YClassTrain = ml.SelectLabels(all, split.Train)
+		fs.YClassTest = ml.SelectLabels(all, split.Test)
+		if baseline == BaselineFullFE {
+			cols := ml.SelectFeatures(fs.XTrain, fs.YClassTrain, nil, 0, opts.Seed)
+			fs.XTrain = ml.ProjectColumns(fs.XTrain, cols)
+			fs.XTest = ml.ProjectColumns(fs.XTest, cols)
+		}
+		return fs, nil
+	}
+
+	yAll := make([]float64, table.NumRows())
+	for i, v := range table.Column(spec.Target).Values {
+		f, ok := v.Float()
+		if !ok {
+			return nil, fmt.Errorf("experiments: non-numeric target row %d", i)
+		}
+		yAll[i] = f
+	}
+	fs.YRegTrain = ml.SelectFloats(yAll, split.Train)
+	fs.YRegTest = ml.SelectFloats(yAll, split.Test)
+	if baseline == BaselineFullFE {
+		cols := ml.SelectFeatures(fs.XTrain, nil, fs.YRegTrain, 0, opts.Seed)
+		fs.XTrain = ml.ProjectColumns(fs.XTrain, cols)
+		fs.XTest = ml.ProjectColumns(fs.XTest, cols)
+	}
+	return fs, nil
+}
+
+func assembleTable(spec *synth.Spec, baseline Baseline) (*dataset.Table, error) {
+	switch baseline {
+	case BaselineBase:
+		return spec.DB.Table(spec.BaseTable), nil
+	case BaselineFull, BaselineFullFE:
+		return join.FullTable(spec.DB, spec.BaseTable, join.Options{})
+	case BaselineDisc:
+		t, _ := discovery.Materialize(spec.DB, spec.BaseTable, discovery.Options{})
+		if t == nil {
+			return nil, fmt.Errorf("experiments: discovery found no base table")
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("experiments: %q is not a tabular baseline", baseline)
+	}
+}
+
+func fitScoreClass(model Model, seed int64, xTrain [][]float64, yTrain []int, xTest [][]float64, yTest []int) float64 {
+	if standardized(model) {
+		s := ml.FitStandardizer(xTrain)
+		xTrain, xTest = s.Transform(xTrain), s.Transform(xTest)
+	}
+	c := newClassifier(model, seed)
+	c.Fit(xTrain, yTrain)
+	return ml.Accuracy(c.Predict(xTest), yTest)
+}
+
+func fitScoreReg(model Model, seed int64, xTrain [][]float64, yTrain []float64, xTest [][]float64, yTest []float64) float64 {
+	if standardized(model) {
+		s := ml.FitStandardizer(xTrain)
+		xTrain, xTest = s.Transform(xTrain), s.Transform(xTest)
+	}
+	r := newRegressor(model, seed)
+	r.FitRegression(xTrain, yTrain)
+	return ml.MAE(r.PredictRegression(xTest), yTest)
+}
+
+// renderTable renders an aligned text table.
+func renderTable(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }

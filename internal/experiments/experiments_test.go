@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestRegistryIDsComplete(t *testing.T) {
+	want := []string{
+		"ext-glove", "ext-valuenodes", "ext-variance",
+		"fig3", "fig4", "fig5", "fig6a", "fig6bc",
+		"fig7a", "fig7b", "fig7c",
+		"table3", "table4", "table5", "table6", "table7", "table8",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ids[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := renderTable([]string{"a", "bbbb"}, [][]string{{"xx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "a ") || !strings.Contains(lines[0], "bbbb") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "--") {
+		t.Errorf("separator = %q", lines[1])
+	}
+}
+
+func TestEvalTaskOrderingTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive at any scale")
+	}
+	// The core claim at minimum viable scale: embedding features beat
+	// the base table on a dataset whose signal lives elsewhere.
+	opts := Options{Scale: 0.06, Seed: 42, Dim: 32}
+	spec := synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed})
+	base, err := EvalTask(spec, BaselineBase, ModelRF, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := EvalTask(spec, BaselineEmbMF, ModelRF, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := EvalTask(spec, BaselineFull, ModelRF, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("base=%.3f emb-mf=%.3f full=%.3f", base, emb, full)
+	if emb <= base {
+		t.Errorf("embedding (%.3f) did not beat base (%.3f)", emb, base)
+	}
+	if full <= base {
+		t.Errorf("full (%.3f) did not beat base (%.3f)", full, base)
+	}
+}
+
+func TestModelConstructors(t *testing.T) {
+	for _, m := range []Model{ModelRF, ModelLR, ModelNN} {
+		if newClassifier(m, 1) == nil {
+			t.Errorf("no classifier for %s", m)
+		}
+	}
+	for _, m := range []Model{ModelRF, ModelLR, ModelEN, ModelNN} {
+		if newRegressor(m, 1) == nil {
+			t.Errorf("no regressor for %s", m)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown model did not panic")
+		}
+	}()
+	newClassifier(Model("bogus"), 1)
+}
+
+func TestFeatureSetScoreBothTasks(t *testing.T) {
+	fs := &FeatureSet{
+		XTrain:         [][]float64{{0}, {1}, {0}, {1}, {0}, {1}},
+		XTest:          [][]float64{{0}, {1}},
+		YClassTrain:    []int{0, 1, 0, 1, 0, 1},
+		YClassTest:     []int{0, 1},
+		Classification: true,
+	}
+	if acc := fs.Score(ModelRF, 1); acc != 1 {
+		t.Errorf("trivial classification accuracy = %v", acc)
+	}
+	fr := &FeatureSet{
+		XTrain:    [][]float64{{0}, {1}, {2}, {3}, {4}, {5}},
+		XTest:     [][]float64{{1}, {3}},
+		YRegTrain: []float64{0, 2, 4, 6, 8, 10},
+		YRegTest:  []float64{2, 6},
+	}
+	if mae := fr.Score(ModelLR, 1); mae > 0.1 {
+		t.Errorf("trivial regression MAE = %v", mae)
+	}
+}
+
+func TestPrepareBaselineDiscRuns(t *testing.T) {
+	opts := Options{Scale: 0.06, Seed: 1, Dim: 16}
+	spec := synth.Student(synth.StudentOptions{Students: 60, Seed: 1})
+	spec.Classification = false
+	fs, err := PrepareBaseline(spec, BaselineDisc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.XTrain) == 0 || len(fs.XTest) == 0 {
+		t.Error("empty feature sets")
+	}
+	if fs.Classification {
+		t.Error("student is regression")
+	}
+}
+
+func TestFig6bcProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds embeddings")
+	}
+	res, err := Fig6bc(Options{Scale: 0.05, Seed: 1, Dim: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MF) != 3 || len(res.RW) != 4 {
+		t.Fatalf("stage counts %d/%d", len(res.MF), len(res.RW))
+	}
+	sum := 0.0
+	for _, s := range res.RW {
+		sum += s.Share
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("RW shares sum to %v", sum)
+	}
+	// The paper's observation: embedding training dominates, the
+	// earlier stages are negligible.
+	if res.RW[3].Share < res.RW[0].Share {
+		t.Error("SGNS training cheaper than textification?")
+	}
+	if !strings.Contains(res.String(), "walk generation") {
+		t.Error("render missing stages")
+	}
+}

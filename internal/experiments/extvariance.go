@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/synth"
+)
+
+// ExtVarianceResult reports seed-to-seed variability of the headline
+// comparison (Base vs Emb-MF vs Full on Genes), an extension beyond the
+// paper: single-seed deltas smaller than the seed noise should not be
+// over-read, and this experiment quantifies that noise.
+type ExtVarianceResult struct {
+	Seeds     int
+	Baselines []Baseline
+	Mean      map[Baseline]float64
+	Std       map[Baseline]float64
+	Runs      map[Baseline][]float64
+}
+
+// ExtVariance evaluates each baseline across several seeds (data
+// generation, split, and embedding all reseeded together).
+func ExtVariance(opts Options) (*ExtVarianceResult, error) {
+	opts = opts.withDefaults()
+	const seeds = 5
+	baselines := []Baseline{BaselineBase, BaselineEmbMF, BaselineFull}
+	res := &ExtVarianceResult{
+		Seeds:     seeds,
+		Baselines: baselines,
+		Mean:      map[Baseline]float64{},
+		Std:       map[Baseline]float64{},
+		Runs:      map[Baseline][]float64{},
+	}
+	for s := 0; s < seeds; s++ {
+		runOpts := opts
+		runOpts.Seed = opts.Seed + int64(s)*101
+		spec := synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: runOpts.Seed})
+		for _, b := range baselines {
+			acc, err := EvalTask(spec, b, ModelRF, runOpts)
+			if err != nil {
+				return nil, fmt.Errorf("ext-variance seed %d %s: %w", s, b, err)
+			}
+			res.Runs[b] = append(res.Runs[b], acc)
+		}
+	}
+	for _, b := range baselines {
+		mean := 0.0
+		for _, v := range res.Runs[b] {
+			mean += v
+		}
+		mean /= float64(seeds)
+		varr := 0.0
+		for _, v := range res.Runs[b] {
+			d := v - mean
+			varr += d * d
+		}
+		res.Mean[b] = mean
+		res.Std[b] = math.Sqrt(varr / float64(seeds))
+	}
+	return res, nil
+}
+
+// String renders mean ± std per baseline.
+func (r *ExtVarianceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension — seed variance over %d seeds (Genes, random forest accuracy)\n", r.Seeds)
+	var rows [][]string
+	for _, bl := range r.Baselines {
+		runs := make([]string, len(r.Runs[bl]))
+		for i, v := range r.Runs[bl] {
+			runs[i] = f3(v)
+		}
+		rows = append(rows, []string{
+			string(bl),
+			fmt.Sprintf("%.3f ± %.3f", r.Mean[bl], r.Std[bl]),
+			strings.Join(runs, " "),
+		})
+	}
+	b.WriteString(renderTable([]string{"baseline", "mean ± std", "runs"}, rows))
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/synth"
+)
+
+// Fig4Result holds the classification accuracies of paper Fig. 4:
+// Scores[model][dataset][baseline].
+type Fig4Result struct {
+	Models    []Model
+	Datasets  []string
+	Baselines []Baseline
+	Scores    map[Model]map[string]map[Baseline]float64
+}
+
+// classificationSpecs builds the four classification datasets of
+// Table 4 at the experiment scale.
+func classificationSpecs(opts Options) []*synth.Spec {
+	return []*synth.Spec{
+		synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed}),
+		synth.Kraken(synth.KrakenOptions{Scale: opts.Scale, Seed: opts.Seed + 1}),
+		synth.FTP(synth.FTPOptions{Scale: opts.Scale, Seed: opts.Seed + 2}),
+		synth.Financial(synth.FinancialOptions{Scale: opts.Scale, Seed: opts.Seed + 3}),
+	}
+}
+
+// Fig4 reproduces the classification comparison: every baseline on
+// every classification dataset, under random forest, logistic
+// regression with ElasticNet, and the 2-layer network.
+func Fig4(opts Options) (*Fig4Result, error) {
+	opts = opts.withDefaults()
+	models := []Model{ModelRF, ModelLR, ModelNN}
+	specs := classificationSpecs(opts)
+
+	res := &Fig4Result{
+		Models:    models,
+		Baselines: AllBaselines,
+		Scores:    make(map[Model]map[string]map[Baseline]float64),
+	}
+	for _, m := range models {
+		res.Scores[m] = make(map[string]map[Baseline]float64)
+	}
+	for _, spec := range specs {
+		res.Datasets = append(res.Datasets, spec.Name)
+		for _, m := range models {
+			res.Scores[m][spec.Name] = make(map[Baseline]float64)
+		}
+		for _, b := range AllBaselines {
+			fs, err := PrepareBaseline(spec, b, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig4 %s/%s: %w", spec.Name, b, err)
+			}
+			for _, m := range models {
+				res.Scores[m][spec.Name][b] = fs.Score(m, opts.Seed)
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders one accuracy block per model, mirroring Fig. 4a-c.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	for _, m := range r.Models {
+		fmt.Fprintf(&b, "Fig 4 — classification accuracy, model=%s (higher is better)\n", m)
+		headers := append([]string{"dataset"}, baselineNames(r.Baselines)...)
+		var rows [][]string
+		for _, d := range r.Datasets {
+			row := []string{d}
+			for _, bl := range r.Baselines {
+				row = append(row, f3(r.Scores[m][d][bl]))
+			}
+			rows = append(rows, row)
+		}
+		b.WriteString(renderTable(headers, rows))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func baselineNames(bs []Baseline) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = string(b)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/synth"
+)
+
+// Fig5Result holds the regression MAEs of paper Fig. 5:
+// Scores[dataset][model][baseline].
+type Fig5Result struct {
+	Datasets  []string
+	Models    []Model
+	Baselines []Baseline
+	Scores    map[string]map[Model]map[Baseline]float64
+}
+
+// regressionSpecs builds the two regression datasets of Table 4.
+func regressionSpecs(opts Options) []*synth.Spec {
+	return []*synth.Spec{
+		synth.Restbase(synth.RestbaseOptions{Scale: opts.Scale, Seed: opts.Seed + 10}),
+		synth.Bio(synth.BioOptions{Scale: opts.Scale, Seed: opts.Seed + 11}),
+	}
+}
+
+// Fig5 reproduces the regression comparison: every baseline on Restbase
+// and Bio under linear regression, ElasticNet, and the 2-layer network
+// (one plot per dataset in the paper, models on the x axis).
+func Fig5(opts Options) (*Fig5Result, error) {
+	opts = opts.withDefaults()
+	models := []Model{ModelLR, ModelEN, ModelNN}
+	specs := regressionSpecs(opts)
+
+	res := &Fig5Result{
+		Models:    models,
+		Baselines: AllBaselines,
+		Scores:    make(map[string]map[Model]map[Baseline]float64),
+	}
+	for _, spec := range specs {
+		res.Datasets = append(res.Datasets, spec.Name)
+		res.Scores[spec.Name] = make(map[Model]map[Baseline]float64)
+		for _, m := range models {
+			res.Scores[spec.Name][m] = make(map[Baseline]float64)
+		}
+		for _, b := range AllBaselines {
+			fs, err := PrepareBaseline(spec, b, opts)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s/%s: %w", spec.Name, b, err)
+			}
+			for _, m := range models {
+				res.Scores[spec.Name][m][b] = fs.Score(m, opts.Seed)
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders one MAE block per dataset, mirroring Fig. 5.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	for _, d := range r.Datasets {
+		fmt.Fprintf(&b, "Fig 5 — regression MAE, dataset=%s (lower is better)\n", d)
+		headers := append([]string{"model"}, baselineNames(r.Baselines)...)
+		var rows [][]string
+		for _, m := range r.Models {
+			row := []string{string(m)}
+			for _, bl := range r.Baselines {
+				row = append(row, f3(r.Scores[d][m][bl]))
+			}
+			rows = append(rows, row)
+		}
+		b.WriteString(renderTable(headers, rows))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/synth"
+	"repro/internal/textify"
+)
+
+// Fig7aResult holds the scalability sweep of paper Fig. 7a: runtime and
+// memory versus the replication factor K, for EmbDI, Leva RW and
+// Leva MF.
+type Fig7aResult struct {
+	Factors []int
+	// Runtime[method][i] is the embedding-build wall clock at
+	// Factors[i]; AllocBytes the total allocation volume during it.
+	Runtime    map[string][]time.Duration
+	AllocBytes map[string][]uint64
+	Methods    []string
+}
+
+// Fig7a runs the replication-factor sweep on the synthetic 3-table,
+// 2000-row, 4000-token dataset. Both rows and distinct tokens grow
+// linearly with K. Default factors are sized for a small machine; the
+// paper sweeps to K=100.
+func Fig7a(opts Options) (*Fig7aResult, error) {
+	opts = opts.withDefaults()
+	factors := []int{1, 2, 4}
+	if opts.Scale >= 0.5 {
+		factors = append(factors, 8, 16)
+	}
+	if opts.Scale >= 1 {
+		factors = append(factors, 32, 64, 100)
+	}
+	methods := []string{"embdi", "leva rw", "leva mf"}
+	res := &Fig7aResult{
+		Factors:    factors,
+		Methods:    methods,
+		Runtime:    make(map[string][]time.Duration),
+		AllocBytes: make(map[string][]uint64),
+	}
+	for _, k := range factors {
+		db := synth.Scalability(synth.ScalabilityOptions{Replication: k, Seed: opts.Seed})
+		model, err := textify.Fit(db, textify.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tokenized, err := model.TransformAll(db)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
+			dur, alloc := timeEmbedding(m, tokenized, opts)
+			res.Runtime[m] = append(res.Runtime[m], dur)
+			res.AllocBytes[m] = append(res.AllocBytes[m], alloc)
+		}
+	}
+	return res, nil
+}
+
+// timeEmbedding measures wall clock and allocation volume of one
+// embedding build. Allocation volume (TotalAlloc delta) tracks the
+// working-set pressure each method generates; it is the portable proxy
+// for the paper's resident-memory measurements.
+func timeEmbedding(method string, tokenized []*textify.TokenizedTable, opts Options) (time.Duration, uint64) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	switch method {
+	case "embdi":
+		embed.EmbDIStyle(tokenized, embed.BaselineOptions{
+			Dim: opts.Dim, Seed: opts.Seed, WalkLength: 40, WalksPerNode: 6, Epochs: 3,
+		})
+	case "leva rw":
+		g, _ := graph.Build(tokenized, graph.Options{})
+		ropts := rwOptions()
+		ropts.Dim = opts.Dim
+		ropts.Seed = opts.Seed
+		embed.RW(g, ropts)
+	case "leva mf":
+		g, _ := graph.Build(tokenized, graph.Options{})
+		embed.MF(g, embed.MFOptions{Dim: opts.Dim, Seed: opts.Seed})
+	}
+	dur := time.Since(start)
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return dur, after.TotalAlloc - before.TotalAlloc
+}
+
+// String renders runtime and memory series.
+func (r *Fig7aResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 7a — scalability vs replication factor K\n")
+	headers := []string{"K"}
+	for _, m := range r.Methods {
+		headers = append(headers, m+" time", m+" alloc")
+	}
+	var rows [][]string
+	for i, k := range r.Factors {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, m := range r.Methods {
+			row = append(row,
+				r.Runtime[m][i].Round(time.Millisecond).String(),
+				fmt.Sprintf("%.1fMB", float64(r.AllocBytes[m][i])/(1<<20)))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(renderTable(headers, rows))
+	return b.String()
+}

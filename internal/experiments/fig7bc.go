@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/synth"
+	"repro/internal/textify"
+)
+
+// Fig7bResult holds the bin-count ablation of paper Fig. 7b: Genes
+// accuracy and Bio MAE across histogram bin counts.
+type Fig7bResult struct {
+	Bins     []int
+	GenesAcc []float64
+	BioMAE   []float64
+}
+
+// Fig7b sweeps the numeric binning granularity. Too few bins collapse
+// numeric information; too many create single-occupant bins whose value
+// nodes are dropped (no shared rows), losing the information entirely.
+func Fig7b(opts Options) (*Fig7bResult, error) {
+	opts = opts.withDefaults()
+	genes := synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed})
+	bio := synth.Bio(synth.BioOptions{Scale: opts.Scale, Seed: opts.Seed + 11})
+	res := &Fig7bResult{}
+	for _, bins := range []int{10, 20, 40, 80, 160} {
+		cfg := core.Config{
+			Dim: opts.Dim, Seed: opts.Seed, Method: embed.MethodMF,
+			Textify: textify.Options{BinCount: bins},
+		}
+		gfs, err := prepareWithConfig(genes, cfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig7b genes bins=%d: %w", bins, err)
+		}
+		bfs, err := prepareWithConfig(bio, cfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("fig7b bio bins=%d: %w", bins, err)
+		}
+		res.Bins = append(res.Bins, bins)
+		res.GenesAcc = append(res.GenesAcc, gfs.Score(ModelRF, opts.Seed))
+		res.BioMAE = append(res.BioMAE, bfs.Score(ModelEN, opts.Seed))
+	}
+	return res, nil
+}
+
+// String renders both series.
+func (r *Fig7bResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 7b — bin-count ablation (Genes accuracy up, Bio MAE down)\n")
+	var rows [][]string
+	for i, bins := range r.Bins {
+		rows = append(rows, []string{fmt.Sprintf("%d", bins), f3(r.GenesAcc[i]), f3(r.BioMAE[i])})
+	}
+	b.WriteString(renderTable([]string{"bins", "genes acc", "bio mae"}, rows))
+	return b.String()
+}
+
+// Fig7cResult holds the remaining ablations of paper Fig. 7c: weighted
+// vs unweighted graphs (MF) and restart walks on vs off (RW).
+type Fig7cResult struct {
+	Datasets   []string
+	Weighted   []float64
+	Unweighted []float64
+	RWRestart  []float64
+	RWPlain    []float64
+}
+
+// Fig7c measures, per dataset, the effect of inverse-degree edge
+// weighting on the MF embedding and of balanced restart walks on the RW
+// embedding (6 normal + 4 restart iterations, per Section 6.6.3).
+//
+// Both mechanisms exist to defuse hub value nodes, so alongside the
+// clean datasets the experiment includes a "genes+flags" variant with
+// the low-cardinality junk columns real databases carry — the condition
+// the paper's datasets exhibit and the clean generators do not.
+func Fig7c(opts Options) (*Fig7cResult, error) {
+	opts = opts.withDefaults()
+	dirty := synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed})
+	synth.AddFlagColumns(dirty.DB, 3, 3, opts.Seed)
+	dirty.Name = "genes+flags"
+	specs := []*synth.Spec{
+		synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed}),
+		synth.Financial(synth.FinancialOptions{Scale: opts.Scale, Seed: opts.Seed + 3}),
+		synth.FTP(synth.FTPOptions{Scale: opts.Scale, Seed: opts.Seed + 2}),
+		dirty,
+	}
+	res := &Fig7cResult{}
+	for _, spec := range specs {
+		res.Datasets = append(res.Datasets, spec.Name)
+
+		weighted, err := configScore(spec, opts, core.Config{
+			Dim: opts.Dim, Seed: opts.Seed, Method: embed.MethodMF,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig7c %s weighted: %w", spec.Name, err)
+		}
+		unweighted, err := configScore(spec, opts, core.Config{
+			Dim: opts.Dim, Seed: opts.Seed, Method: embed.MethodMF,
+			Graph: graph.Options{Unweighted: true},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig7c %s unweighted: %w", spec.Name, err)
+		}
+		res.Weighted = append(res.Weighted, weighted)
+		res.Unweighted = append(res.Unweighted, unweighted)
+
+		rw := rwOptions()
+		rw.WalksPerNode = 10
+		plain, err := configScore(spec, opts, core.Config{
+			Dim: opts.Dim, Seed: opts.Seed, Method: embed.MethodRW, RW: rw,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig7c %s rw plain: %w", spec.Name, err)
+		}
+		rw.RestartIterations = 4
+		restart, err := configScore(spec, opts, core.Config{
+			Dim: opts.Dim, Seed: opts.Seed, Method: embed.MethodRW, RW: rw,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig7c %s rw restart: %w", spec.Name, err)
+		}
+		res.RWPlain = append(res.RWPlain, plain)
+		res.RWRestart = append(res.RWRestart, restart)
+	}
+	return res, nil
+}
+
+func configScore(spec *synth.Spec, opts Options, cfg core.Config) (float64, error) {
+	fs, err := prepareWithConfig(spec, cfg, opts)
+	if err != nil {
+		return 0, err
+	}
+	return fs.Score(ModelRF, opts.Seed), nil
+}
+
+// String renders both ablation groups.
+func (r *Fig7cResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 7c — graph weighting (MF) and restart walks (RW), accuracy\n")
+	var rows [][]string
+	for i, d := range r.Datasets {
+		rows = append(rows, []string{
+			d,
+			f3(r.Weighted[i]), f3(r.Unweighted[i]),
+			f3(r.RWRestart[i]), f3(r.RWPlain[i]),
+		})
+	}
+	b.WriteString(renderTable(
+		[]string{"dataset", "weighted", "unweighted", "rw restart", "rw plain"}, rows))
+	return b.String()
+}

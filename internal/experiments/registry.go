@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment and returns its rendered result.
+type Runner func(Options) (fmt.Stringer, error)
+
+var registry = map[string]Runner{}
+
+// register adds a runner under an experiment id (e.g. "fig4").
+func register(id string, r Runner) { registry[id] = r }
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) (fmt.Stringer, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(opts)
+}
+
+// IDs lists registered experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	register("table3", func(o Options) (fmt.Stringer, error) { return Table3(o) })
+	register("fig3", func(o Options) (fmt.Stringer, error) { return Fig3(o) })
+	register("table4", func(o Options) (fmt.Stringer, error) { return Table4(o) })
+	register("fig4", func(o Options) (fmt.Stringer, error) { return Fig4(o) })
+	register("fig5", func(o Options) (fmt.Stringer, error) { return Fig5(o) })
+	register("fig6a", func(o Options) (fmt.Stringer, error) { return Fig6a(o) })
+	register("fig6bc", func(o Options) (fmt.Stringer, error) { return Fig6bc(o) })
+	register("table5", func(o Options) (fmt.Stringer, error) { return Table5(o) })
+	register("fig7a", func(o Options) (fmt.Stringer, error) { return Fig7a(o) })
+	register("table6", func(o Options) (fmt.Stringer, error) { return Table6(o) })
+	register("table7", func(o Options) (fmt.Stringer, error) { return Table7(o) })
+	register("fig7b", func(o Options) (fmt.Stringer, error) { return Fig7b(o) })
+	register("fig7c", func(o Options) (fmt.Stringer, error) { return Fig7c(o) })
+	register("table8", func(o Options) (fmt.Stringer, error) { return Table8(o) })
+	register("ext-glove", func(o Options) (fmt.Stringer, error) { return ExtGloVe(o) })
+	register("ext-valuenodes", func(o Options) (fmt.Stringer, error) { return ExtValueNodes(o) })
+	register("ext-variance", func(o Options) (fmt.Stringer, error) { return ExtVariance(o) })
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/er"
+)
+
+// These tests exercise every result renderer on hand-constructed data,
+// so the formatting paths stay covered without running the expensive
+// experiments.
+
+func TestTable3String(t *testing.T) {
+	r := &Table3Result{
+		Datasets: []string{"genes"},
+		Methods:  []embed.Method{embed.MethodRW, embed.MethodMF},
+		Within:   map[string]map[embed.Method][2]float64{"genes": {embed.MethodRW: {2.6, 3.4}, embed.MethodMF: {1.0, 1.4}}},
+		Random:   map[string]map[embed.Method][2]float64{"genes": {embed.MethodRW: {3.7, 5.0}, embed.MethodMF: {1.3, 2.2}}},
+		Ratio:    map[string]map[embed.Method]float64{"genes": {embed.MethodRW: 0.69, embed.MethodMF: 0.77}},
+	}
+	s := r.String()
+	for _, want := range []string{"within entities", "randomly", "ratio", "genes/RW", "0.69"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFig3String(t *testing.T) {
+	r := &Fig3Result{NoisePercent: []float64{0, 50}, R2Linear: []float64{1, 0.7}, R2NN: []float64{1, 0.8}}
+	s := r.String()
+	if !strings.Contains(s, "R2 linear") || !strings.Contains(s, "50%") {
+		t.Errorf("fig3 render:\n%s", s)
+	}
+}
+
+func TestFig4String(t *testing.T) {
+	r := &Fig4Result{
+		Models:    []Model{ModelRF},
+		Datasets:  []string{"genes"},
+		Baselines: []Baseline{BaselineBase, BaselineEmbMF},
+		Scores: map[Model]map[string]map[Baseline]float64{
+			ModelRF: {"genes": {BaselineBase: 0.4, BaselineEmbMF: 0.7}},
+		},
+	}
+	s := r.String()
+	if !strings.Contains(s, "model=rf") || !strings.Contains(s, "0.700") {
+		t.Errorf("fig4 render:\n%s", s)
+	}
+}
+
+func TestFig5String(t *testing.T) {
+	r := &Fig5Result{
+		Datasets:  []string{"bio"},
+		Models:    []Model{ModelEN},
+		Baselines: []Baseline{BaselineBase},
+		Scores: map[string]map[Model]map[Baseline]float64{
+			"bio": {ModelEN: {BaselineBase: 2.8}},
+		},
+	}
+	if s := r.String(); !strings.Contains(s, "dataset=bio") || !strings.Contains(s, "2.800") {
+		t.Errorf("fig5 render:\n%s", s)
+	}
+}
+
+func TestFig6aString(t *testing.T) {
+	r := &Fig6aResult{
+		Datasets: []string{"ftp"},
+		Series:   []string{"max reported", "emb mf"},
+		Scores:   map[string]map[string]float64{"ftp": {"max reported": 0.87, "emb mf": 0.84}},
+	}
+	if s := r.String(); !strings.Contains(s, "max reported") || !strings.Contains(s, "0.840") {
+		t.Errorf("fig6a render:\n%s", s)
+	}
+}
+
+func TestFig6bcString(t *testing.T) {
+	r := &Fig6bcResult{
+		MF: shares([]StageTime{{Stage: "textification", Duration: time.Millisecond},
+			{Stage: "matrix factorization", Duration: 9 * time.Millisecond}}),
+		RW: shares([]StageTime{{Stage: "walk generation", Duration: time.Second}}),
+	}
+	s := r.String()
+	if !strings.Contains(s, "90.0%") || !strings.Contains(s, "walk generation") {
+		t.Errorf("fig6bc render:\n%s", s)
+	}
+}
+
+func TestTable5String(t *testing.T) {
+	r := &Table5Result{
+		Datasets: []string{"genes"},
+		Methods:  []EmbMethod{EmbWord2Vec, EmbLevaMF},
+		Scores: map[EmbMethod]map[string]float64{
+			EmbWord2Vec: {"genes": 0.55}, EmbLevaMF: {"genes": 0.72},
+		},
+	}
+	if s := r.String(); !strings.Contains(s, "word2vec") || !strings.Contains(s, "0.720") {
+		t.Errorf("table5 render:\n%s", s)
+	}
+}
+
+func TestFig7aString(t *testing.T) {
+	r := &Fig7aResult{
+		Factors: []int{1},
+		Methods: []string{"leva mf"},
+		Runtime: map[string][]time.Duration{"leva mf": {time.Second}},
+		AllocBytes: map[string][]uint64{
+			"leva mf": {10 << 20},
+		},
+	}
+	if s := r.String(); !strings.Contains(s, "10.0MB") || !strings.Contains(s, "1s") {
+		t.Errorf("fig7a render:\n%s", s)
+	}
+}
+
+func TestTable6String(t *testing.T) {
+	r := &Table6Result{Entries: []Table6Entry{
+		{Dataset: "genes", Model: ModelLR, RowOnly: 0.6, DeltaNoReg: 0.0046, DeltaRegularization: 0.0297},
+	}}
+	s := r.String()
+	if !strings.Contains(s, "genes, LR") || !strings.Contains(s, "+2.97") {
+		t.Errorf("table6 render:\n%s", s)
+	}
+}
+
+func TestTable7String(t *testing.T) {
+	r := &Table7Result{
+		Original: []int{5, 25},
+		Reduced:  []int{5, 25},
+		Accuracy: [][]float64{{0.57, -1}, {0.55, 0.63}},
+	}
+	s := r.String()
+	if !strings.Contains(s, "0.630") {
+		t.Errorf("table7 render:\n%s", s)
+	}
+	// Upper triangle stays blank.
+	if strings.Contains(s, "-1") {
+		t.Errorf("table7 renders absent cells:\n%s", s)
+	}
+}
+
+func TestFig7bcStrings(t *testing.T) {
+	b := &Fig7bResult{Bins: []int{10}, GenesAcc: []float64{0.6}, BioMAE: []float64{1.2}}
+	if s := b.String(); !strings.Contains(s, "bins") || !strings.Contains(s, "1.200") {
+		t.Errorf("fig7b render:\n%s", s)
+	}
+	c := &Fig7cResult{Datasets: []string{"ftp"}, Weighted: []float64{0.8}, Unweighted: []float64{0.78},
+		RWRestart: []float64{0.81}, RWPlain: []float64{0.79}}
+	if s := c.String(); !strings.Contains(s, "weighted") || !strings.Contains(s, "0.810") {
+		t.Errorf("fig7c render:\n%s", s)
+	}
+}
+
+func TestTable8String(t *testing.T) {
+	r := &Table8Result{
+		Datasets: []string{"walmart_amazon"},
+		Methods:  []er.Method{er.MethodLeva},
+		F1:       map[string]map[er.Method]float64{"walmart_amazon": {er.MethodLeva: 0.67}},
+	}
+	if s := r.String(); !strings.Contains(s, "walmart_amazon") || !strings.Contains(s, "0.67") {
+		t.Errorf("table8 render:\n%s", s)
+	}
+}
+
+func TestTable4RunsAndRenders(t *testing.T) {
+	r, err := Table4(Options{Scale: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("datasets = %d", len(r.Rows))
+	}
+	s := r.String()
+	for _, want := range []string{"genes", "kraken", "% string cols"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table4 render missing %q", want)
+		}
+	}
+}
+
+func TestExtGloVeString(t *testing.T) {
+	r := &ExtGloVeResult{
+		Datasets: []string{"genes"},
+		Methods:  []embed.Method{embed.MethodGloVe},
+		Scores:   map[string]map[embed.Method]float64{"genes": {embed.MethodGloVe: 0.6}},
+	}
+	if s := r.String(); !strings.Contains(s, "glove") {
+		t.Errorf("ext-glove render:\n%s", s)
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/matrix"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// Table3Result holds the clustering microbenchmark of paper Table 3:
+// percentile L1 distances between node embeddings, within ground-truth
+// entities vs randomly paired, for RW and MF on three datasets.
+type Table3Result struct {
+	Datasets []string
+	Methods  []embed.Method
+	// Within[dataset][method] and Random[...] hold the {50th, 90th}
+	// percentiles of per-group median L1 distances.
+	Within map[string]map[embed.Method][2]float64
+	Random map[string]map[embed.Method][2]float64
+	// Ratio is Within-median / Random-median (paper's "50% Distance,
+	// Ratio" row; < 1 means related rows embed closer).
+	Ratio map[string]map[embed.Method]float64
+}
+
+// Table3 runs the microbenchmark: per entity, the median pairwise L1
+// distance among up to 5 of its rows, versus the same statistic over
+// randomly drawn rows, aggregated over up to 5000 entities.
+func Table3(opts Options) (*Table3Result, error) {
+	opts = opts.withDefaults()
+	specs := []*synth.Spec{
+		synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed}),
+		synth.Bio(synth.BioOptions{Scale: opts.Scale, Seed: opts.Seed + 11}),
+		synth.Financial(synth.FinancialOptions{Scale: opts.Scale, Seed: opts.Seed + 3}),
+	}
+	methods := []embed.Method{embed.MethodRW, embed.MethodMF}
+	res := &Table3Result{
+		Methods: methods,
+		Within:  make(map[string]map[embed.Method][2]float64),
+		Random:  make(map[string]map[embed.Method][2]float64),
+		Ratio:   make(map[string]map[embed.Method]float64),
+	}
+	for _, spec := range specs {
+		res.Datasets = append(res.Datasets, spec.Name)
+		res.Within[spec.Name] = make(map[embed.Method][2]float64)
+		res.Random[spec.Name] = make(map[embed.Method][2]float64)
+		res.Ratio[spec.Name] = make(map[embed.Method]float64)
+		for _, m := range methods {
+			built, err := core.BuildEmbedding(spec.DB, core.Config{
+				Method: m, Dim: opts.Dim, Seed: opts.Seed, RW: rwOptions(),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table3 %s/%s: %w", spec.Name, m, err)
+			}
+			within, random := entityDistances(spec, built.Embedding, opts.Seed)
+			res.Within[spec.Name][m] = [2]float64{stats.Quantile(within, 0.5), stats.Quantile(within, 0.9)}
+			res.Random[spec.Name][m] = [2]float64{stats.Quantile(random, 0.5), stats.Quantile(random, 0.9)}
+			if r := stats.Quantile(random, 0.5); r > 0 {
+				res.Ratio[spec.Name][m] = stats.Quantile(within, 0.5) / r
+			}
+		}
+	}
+	return res, nil
+}
+
+// entityDistances samples up to 5000 entities and returns the median
+// pairwise L1 distance within each entity's rows and within randomly
+// drawn control groups of the same size.
+func entityDistances(spec *synth.Spec, e *embed.Embedding, seed int64) (within, random []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	const maxEntities, groupSize = 5000, 5
+
+	// Gather all row-node vectors for the random control group.
+	var allRows [][]float64
+	for _, group := range spec.Entities {
+		for _, ref := range group {
+			if v, ok := e.Vector(embed.RowKey(ref.Table, int(ref.Row))); ok {
+				allRows = append(allRows, v)
+			}
+		}
+	}
+	if len(allRows) < groupSize {
+		return nil, nil
+	}
+
+	entities := spec.Entities
+	if len(entities) > maxEntities {
+		entities = entities[:maxEntities]
+	}
+	for _, group := range entities {
+		vecs := groupVectors(group, e, groupSize)
+		if len(vecs) < 2 {
+			continue
+		}
+		within = append(within, medianPairwiseL1(vecs))
+		ctrl := make([][]float64, groupSize)
+		for i := range ctrl {
+			ctrl[i] = allRows[rng.Intn(len(allRows))]
+		}
+		random = append(random, medianPairwiseL1(ctrl))
+	}
+	return within, random
+}
+
+func groupVectors(group []graph.RowRef, e *embed.Embedding, limit int) [][]float64 {
+	var vecs [][]float64
+	for _, ref := range group {
+		if len(vecs) >= limit {
+			break
+		}
+		if v, ok := e.Vector(embed.RowKey(ref.Table, int(ref.Row))); ok {
+			vecs = append(vecs, v)
+		}
+	}
+	return vecs
+}
+
+func medianPairwiseL1(vecs [][]float64) float64 {
+	var ds []float64
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			ds = append(ds, matrix.L1Distance(vecs[i], vecs[j]))
+		}
+	}
+	sort.Float64s(ds)
+	return ds[len(ds)/2]
+}
+
+// String renders the paper's Table 3 layout.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3 — percentile L1 distances between node embeddings\n")
+	headers := []string{"group", "pct"}
+	for _, d := range r.Datasets {
+		for _, m := range r.Methods {
+			headers = append(headers, fmt.Sprintf("%s/%s", d, strings.ToUpper(string(m))))
+		}
+	}
+	var rows [][]string
+	for pi, pct := range []string{"50%", "90%"} {
+		row := []string{"within entities", pct}
+		for _, d := range r.Datasets {
+			for _, m := range r.Methods {
+				row = append(row, f2(r.Within[d][m][pi]))
+			}
+		}
+		rows = append(rows, row)
+	}
+	for pi, pct := range []string{"50%", "90%"} {
+		row := []string{"randomly", pct}
+		for _, d := range r.Datasets {
+			for _, m := range r.Methods {
+				row = append(row, f2(r.Random[d][m][pi]))
+			}
+		}
+		rows = append(rows, row)
+	}
+	ratio := []string{"50% distance", "ratio"}
+	for _, d := range r.Datasets {
+		for _, m := range r.Methods {
+			ratio = append(ratio, f2(r.Ratio[d][m]))
+		}
+	}
+	rows = append(rows, ratio)
+	b.WriteString(renderTable(headers, rows))
+	return b.String()
+}

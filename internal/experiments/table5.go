@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/ml"
+	"repro/internal/synth"
+	"repro/internal/textify"
+)
+
+// EmbMethod names an embedding construction strategy compared in paper
+// Table 5.
+type EmbMethod string
+
+const (
+	EmbWord2Vec EmbMethod = "word2vec"
+	EmbNode2Vec EmbMethod = "node2vec"
+	EmbEmbDI    EmbMethod = "embdi"
+	EmbDeepER   EmbMethod = "deeper"
+	EmbLevaMF   EmbMethod = "emb. mf"
+	EmbLevaRW   EmbMethod = "emb. rw"
+)
+
+// Table5Methods lists the comparison set in the paper's row order.
+var Table5Methods = []EmbMethod{
+	EmbWord2Vec, EmbNode2Vec, EmbEmbDI, EmbDeepER, EmbLevaMF, EmbLevaRW,
+}
+
+// Table5Result holds classification accuracy per embedding method and
+// dataset.
+type Table5Result struct {
+	Datasets []string
+	Methods  []EmbMethod
+	Scores   map[EmbMethod]map[string]float64
+}
+
+// Table5 compares embedding construction strategies under an identical
+// protocol: same split, same textification, same SGNS trainer where one
+// is used, same downstream random forest. Only the corpus/graph
+// construction varies — the paper's point that Leva's specific graph
+// construction, refinement and weighting is what buys the accuracy.
+func Table5(opts Options) (*Table5Result, error) {
+	opts = opts.withDefaults()
+	specs := []*synth.Spec{
+		synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed}),
+		synth.Financial(synth.FinancialOptions{Scale: opts.Scale, Seed: opts.Seed + 3}),
+		synth.FTP(synth.FTPOptions{Scale: opts.Scale, Seed: opts.Seed + 2}),
+	}
+	res := &Table5Result{Methods: Table5Methods, Scores: make(map[EmbMethod]map[string]float64)}
+	for _, m := range Table5Methods {
+		res.Scores[m] = make(map[string]float64)
+	}
+	for _, spec := range specs {
+		res.Datasets = append(res.Datasets, spec.Name)
+		for _, m := range Table5Methods {
+			acc, err := evalEmbMethod(spec, m, opts)
+			if err != nil {
+				return nil, fmt.Errorf("table5 %s/%s: %w", spec.Name, m, err)
+			}
+			res.Scores[m][spec.Name] = acc
+		}
+	}
+	return res, nil
+}
+
+// evalEmbMethod runs the shared protocol for one method on one dataset.
+func evalEmbMethod(spec *synth.Spec, method EmbMethod, opts Options) (float64, error) {
+	switch method {
+	case EmbLevaMF:
+		fs, err := PrepareBaseline(spec, BaselineEmbMF, opts)
+		if err != nil {
+			return 0, err
+		}
+		return fs.Score(ModelRF, opts.Seed), nil
+	case EmbLevaRW:
+		fs, err := PrepareBaseline(spec, BaselineEmbRW, opts)
+		if err != nil {
+			return 0, err
+		}
+		return fs.Score(ModelRF, opts.Seed), nil
+	}
+
+	base := spec.DB.Table(spec.BaseTable)
+	split := ml.TrainTestSplit(base.NumRows(), testFraction, opts.Seed)
+	trainBase := base.SelectRows(split.Train).DropColumns(spec.Target)
+	embDB := spec.DB.Without(spec.BaseTable)
+	embDB.Add(trainBase)
+
+	model, err := textify.Fit(embDB, textify.Options{})
+	if err != nil {
+		return 0, err
+	}
+	tokenized, err := model.TransformAll(embDB)
+	if err != nil {
+		return 0, err
+	}
+	bopts := embed.BaselineOptions{Dim: opts.Dim, Seed: opts.Seed,
+		WalkLength: 40, WalksPerNode: 6, Epochs: 3}
+	var e *embed.Embedding
+	switch method {
+	case EmbWord2Vec:
+		e = embed.Word2VecDirect(tokenized, bopts)
+	case EmbNode2Vec:
+		e = embed.Node2Vec(tokenized, bopts)
+	case EmbEmbDI:
+		e = embed.EmbDIStyle(tokenized, bopts)
+	case EmbDeepER:
+		e = embed.DeepERStyle(tokenized, bopts)
+	default:
+		return 0, fmt.Errorf("unknown method %q", method)
+	}
+
+	// Deploy through the same featurizer Leva uses: a synthetic
+	// Result carrying this embedding and the shared textifier.
+	r := &core.Result{Embedding: e, Textifier: model,
+		Config: core.Config{Featurization: core.RowPlusValue}}
+	xTrain, err := r.Featurize(trainBase, spec.BaseTable, nil, func(i int) int { return i })
+	if err != nil {
+		return 0, err
+	}
+	testBase := base.SelectRows(split.Test)
+	xTest, err := r.Featurize(testBase, spec.BaseTable, []string{spec.Target}, func(i int) int { return -1 })
+	if err != nil {
+		return 0, err
+	}
+	yAll, err := encodeLabels(base, spec.Target)
+	if err != nil {
+		return 0, err
+	}
+	return fitScoreClass(ModelRF, opts.Seed, xTrain,
+		ml.SelectLabels(yAll, split.Train), xTest, ml.SelectLabels(yAll, split.Test)), nil
+}
+
+func encodeLabels(t *dataset.Table, target string) ([]int, error) {
+	col := t.Column(target)
+	enc := ml.FitLabels(col)
+	return enc.Encode(col.Values)
+}
+
+// String renders the paper's Table 5 layout.
+func (r *Table5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 5 — classification accuracy by embedding method (random forest)\n")
+	headers := append([]string{"emb. method"}, r.Datasets...)
+	var rows [][]string
+	for _, m := range r.Methods {
+		row := []string{string(m)}
+		for _, d := range r.Datasets {
+			row = append(row, f3(r.Scores[m][d]))
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(renderTable(headers, rows))
+	return b.String()
+}

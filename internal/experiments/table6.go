@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/ml"
+	"repro/internal/synth"
+)
+
+// Table6Result holds the deployment-strategy ablation of paper Table 6:
+// accuracy deltas (percentage points) of Row+Value featurization
+// relative to Row-only, with and without model regularization.
+type Table6Result struct {
+	// Rows follow the paper's "dataset, model" layout.
+	Entries []Table6Entry
+}
+
+// Table6Entry is one (dataset, model) ablation row.
+type Table6Entry struct {
+	Dataset             string
+	Model               Model
+	RowOnly             float64 // baseline accuracy
+	DeltaNoReg          float64 // Row+Value, unregularized, minus RowOnly
+	DeltaRegularization float64 // Row+Value, regularized, minus RowOnly
+}
+
+// Table6 builds one MF embedding per dataset and deploys it three ways:
+// Row-only (the reference), Row+Value without regularization, and
+// Row+Value with per-model regularization (min-leaf for the forest, a
+// stronger L1 for logistic regression, dropout for the network).
+func Table6(opts Options) (*Table6Result, error) {
+	opts = opts.withDefaults()
+	specs := []*synth.Spec{
+		synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed}),
+		synth.FTP(synth.FTPOptions{Scale: opts.Scale, Seed: opts.Seed + 2}),
+	}
+	res := &Table6Result{}
+	for _, spec := range specs {
+		rowFS, rvFS, err := prepareBothModes(spec, opts)
+		if err != nil {
+			return nil, fmt.Errorf("table6 %s: %w", spec.Name, err)
+		}
+		for _, m := range []Model{ModelRF, ModelLR, ModelNN} {
+			entry := Table6Entry{Dataset: spec.Name, Model: m}
+			entry.RowOnly = rowFS.Score(m, opts.Seed)
+			entry.DeltaNoReg = rvFS.Score(m, opts.Seed) - entry.RowOnly
+			entry.DeltaRegularization = scoreRegularized(rvFS, m, opts.Seed) - entry.RowOnly
+			res.Entries = append(res.Entries, entry)
+		}
+	}
+	return res, nil
+}
+
+// prepareBothModes builds the embedding once and featurizes the same
+// split with both deployment modes.
+func prepareBothModes(spec *synth.Spec, opts Options) (rowOnly, rowValue *FeatureSet, err error) {
+	base := spec.DB.Table(spec.BaseTable)
+	split := ml.TrainTestSplit(base.NumRows(), testFraction, opts.Seed)
+	trainBase := base.SelectRows(split.Train).DropColumns(spec.Target)
+	embDB := spec.DB.Without(spec.BaseTable)
+	embDB.Add(trainBase)
+
+	built, err := core.BuildEmbedding(embDB, core.Config{
+		Dim: opts.Dim, Seed: opts.Seed, Method: embed.MethodMF,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	yAll, err := encodeLabels(base, spec.Target)
+	if err != nil {
+		return nil, nil, err
+	}
+	testBase := base.SelectRows(split.Test)
+
+	build := func(mode core.FeaturizationMode) (*FeatureSet, error) {
+		xTrain, err := built.FeaturizeWithMode(trainBase, spec.BaseTable, nil, func(i int) int { return i }, mode)
+		if err != nil {
+			return nil, err
+		}
+		xTest, err := built.FeaturizeWithMode(testBase, spec.BaseTable, []string{spec.Target}, func(i int) int { return -1 }, mode)
+		if err != nil {
+			return nil, err
+		}
+		return &FeatureSet{
+			XTrain: xTrain, XTest: xTest,
+			YClassTrain:    ml.SelectLabels(yAll, split.Train),
+			YClassTest:     ml.SelectLabels(yAll, split.Test),
+			Classification: true,
+		}, nil
+	}
+	rowOnly, err = build(core.RowOnly)
+	if err != nil {
+		return nil, nil, err
+	}
+	rowValue, err = build(core.RowPlusValue)
+	return rowOnly, rowValue, err
+}
+
+// scoreRegularized evaluates the regularized variant of each model
+// family (paper Table 6: min nodes per leaf, l1 penalty, dropout).
+func scoreRegularized(fs *FeatureSet, m Model, seed int64) float64 {
+	xTrain, xTest := fs.XTrain, fs.XTest
+	var c ml.Classifier
+	switch m {
+	case ModelRF:
+		c = &ml.RandomForest{NumTrees: 40, MinLeaf: 8, Seed: seed}
+	case ModelLR:
+		s := ml.FitStandardizer(xTrain)
+		xTrain, xTest = s.Transform(xTrain), s.Transform(xTest)
+		c = &ml.LogisticRegression{Alpha: 1e-3, L1Ratio: 0.9, Epochs: 40, Seed: seed}
+	case ModelNN:
+		s := ml.FitStandardizer(xTrain)
+		xTrain, xTest = s.Transform(xTrain), s.Transform(xTest)
+		c = &ml.MLP{Hidden: 64, Epochs: 40, Dropout: 0.3, Seed: seed}
+	}
+	c.Fit(xTrain, fs.YClassTrain)
+	return ml.Accuracy(c.Predict(xTest), fs.YClassTest)
+}
+
+// String renders the paper's Table 6 delta layout.
+func (r *Table6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 6 — deployment ablation: Row+Value vs Row (accuracy deltas, points)\n")
+	var rows [][]string
+	for _, e := range r.Entries {
+		rows = append(rows, []string{
+			fmt.Sprintf("%s, %s", e.Dataset, strings.ToUpper(string(e.Model))),
+			f3(e.RowOnly),
+			fmt.Sprintf("%+.2f", 100*e.DeltaNoReg),
+			fmt.Sprintf("%+.2f", 100*e.DeltaRegularization),
+		})
+	}
+	b.WriteString(renderTable([]string{"name", "row acc", "row+value no reg", "row+value reg"}, rows))
+	return b.String()
+}

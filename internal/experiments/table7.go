@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/ml"
+	"repro/internal/synth"
+)
+
+// Table7Result holds the PCA dimension-reduction matrix of paper
+// Table 7 on the Genes dataset: Accuracy[i][j] is the accuracy with an
+// embedding trained at Original[i] dimensions and projected down to
+// Reduced[j] (entries with Reduced > Original are absent, -1).
+type Table7Result struct {
+	Original []int
+	Reduced  []int
+	Accuracy [][]float64
+}
+
+// Table7 trains MF embeddings at each original dimension, projects each
+// with PCA to every smaller dimension, and scores a random forest on
+// the featurized task — the "shrink storage without retraining"
+// experiment of Section 6.5.2.
+func Table7(opts Options) (*Table7Result, error) {
+	opts = opts.withDefaults()
+	dims := []int{5, 25, 50, 100, 200}
+	spec := synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed})
+
+	base := spec.DB.Table(spec.BaseTable)
+	split := ml.TrainTestSplit(base.NumRows(), testFraction, opts.Seed)
+	trainBase := base.SelectRows(split.Train).DropColumns(spec.Target)
+	embDB := spec.DB.Without(spec.BaseTable)
+	embDB.Add(trainBase)
+	testBase := base.SelectRows(split.Test)
+	yAll, err := encodeLabels(base, spec.Target)
+	if err != nil {
+		return nil, err
+	}
+	yTrain := ml.SelectLabels(yAll, split.Train)
+	yTest := ml.SelectLabels(yAll, split.Test)
+
+	res := &Table7Result{Original: dims, Reduced: dims}
+	for _, orig := range dims {
+		built, err := core.BuildEmbedding(embDB, core.Config{
+			Dim: orig, Seed: opts.Seed, Method: embed.MethodMF,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table7 dim=%d: %w", orig, err)
+		}
+		var row []float64
+		for _, red := range dims {
+			if red > orig {
+				row = append(row, -1)
+				continue
+			}
+			r := built
+			if red < orig {
+				reduced := *built
+				reduced.Embedding = built.Embedding.ReduceDim(red)
+				r = &reduced
+			}
+			xTrain, err := r.Featurize(trainBase, spec.BaseTable, nil, func(i int) int { return i })
+			if err != nil {
+				return nil, err
+			}
+			xTest, err := r.Featurize(testBase, spec.BaseTable, []string{spec.Target}, func(i int) int { return -1 })
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fitScoreClass(ModelRF, opts.Seed, xTrain, yTrain, xTest, yTest))
+		}
+		res.Accuracy = append(res.Accuracy, row)
+	}
+	return res, nil
+}
+
+// String renders the lower-triangular accuracy matrix.
+func (r *Table7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 7 — accuracy (Genes) before/after PCA projection\n")
+	headers := []string{"original \\ reduced"}
+	for _, d := range r.Reduced {
+		headers = append(headers, fmt.Sprintf("%d", d))
+	}
+	var rows [][]string
+	for i, orig := range r.Original {
+		row := []string{fmt.Sprintf("%d", orig)}
+		for j := range r.Reduced {
+			if r.Accuracy[i][j] < 0 {
+				row = append(row, "")
+			} else {
+				row = append(row, f3(r.Accuracy[i][j]))
+			}
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(renderTable(headers, rows))
+	return b.String()
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// TestTuneGenes compares baselines on the Genes dataset across scales;
+// enable with LEVA_TUNE=1.
+func TestTuneGenes(t *testing.T) {
+	if os.Getenv("LEVA_TUNE") == "" {
+		t.Skip("set LEVA_TUNE=1 to run the tuning harness")
+	}
+	for _, scale := range []float64{0.15, 0.45} {
+		opts := Options{Scale: scale, Seed: 42, Dim: 64}.withDefaults()
+		spec := synth.Genes(synth.GenesOptions{Scale: scale, Seed: 42})
+		for _, b := range []Baseline{BaselineBase, BaselineFull, BaselineFullFE, BaselineEmbMF, BaselineEmbRW} {
+			fs, err := PrepareBaseline(spec, b, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("scale=%.2f %-8s rf=%.3f lr=%.3f", scale, b, fs.Score(ModelRF, 42), fs.Score(ModelLR, 42))
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+// TestTuneGenesMF sweeps MF variants on Genes; enable with LEVA_TUNE=1.
+func TestTuneGenesMF(t *testing.T) {
+	if os.Getenv("LEVA_TUNE") == "" {
+		t.Skip("set LEVA_TUNE=1 to run the tuning harness")
+	}
+	opts := Options{Scale: 0.3, Seed: 42, Dim: 64}.withDefaults()
+	spec := synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: 42})
+	configs := []struct {
+		name string
+		mf   embed.MFOptions
+		feat core.FeaturizationMode
+	}{
+		{"w2-nocap", embed.MFOptions{Window: 2, PMICap: -1}, core.RowPlusValue},
+		{"w2-cap3", embed.MFOptions{Window: 2}, core.RowPlusValue},
+		{"w3-nocap", embed.MFOptions{Window: 3, PMICap: -1}, core.RowPlusValue},
+		{"w2-cap6", embed.MFOptions{Window: 2, PMICap: 6}, core.RowPlusValue},
+	}
+	for _, c := range configs {
+		cfg := core.Config{Dim: opts.Dim, Seed: opts.Seed, Method: embed.MethodMF, MF: c.mf, Featurization: c.feat}
+		fs, err := prepareWithConfig(spec, cfg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-14s rf=%.3f lr=%.3f nn=%.3f", c.name, fs.Score(ModelRF, 42), fs.Score(ModelLR, 42), fs.Score(ModelNN, 42))
+	}
+}

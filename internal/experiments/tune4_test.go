@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/graph"
+	"repro/internal/synth"
+)
+
+// TestTuneWeighting probes the weighting ablation with and without hub
+// noise; enable with LEVA_TUNE=1.
+func TestTuneWeighting(t *testing.T) {
+	if os.Getenv("LEVA_TUNE") == "" {
+		t.Skip("set LEVA_TUNE=1 to run the tuning harness")
+	}
+	opts := Options{Scale: 0.15, Seed: 42, Dim: 64}.withDefaults()
+	clean := synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed})
+	dirty := synth.Genes(synth.GenesOptions{Scale: opts.Scale, Seed: opts.Seed})
+	synth.AddFlagColumns(dirty.DB, 3, 3, opts.Seed)
+	dirty.Name = "genes+flags"
+	for _, spec := range []*synth.Spec{clean, dirty} {
+		for _, unweighted := range []bool{false, true} {
+			cfg := core.Config{Dim: opts.Dim, Seed: opts.Seed, Method: embed.MethodMF,
+				Graph: graph.Options{Unweighted: unweighted}}
+			fs, err := prepareWithConfig(spec, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-12s unweighted=%-5v rf=%.3f", spec.Name, unweighted, fs.Score(ModelRF, opts.Seed))
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+// TestTuneMF is a development harness for comparing MF configurations;
+// enable with LEVA_TUNE=1.
+func TestTuneMF(t *testing.T) {
+	if os.Getenv("LEVA_TUNE") == "" {
+		t.Skip("set LEVA_TUNE=1 to run the tuning harness")
+	}
+	opts := Options{Scale: 0.15, Seed: 42, Dim: 64}.withDefaults()
+	specs := []*synth.Spec{
+		synth.Restbase(synth.RestbaseOptions{Scale: opts.Scale, Seed: opts.Seed + 10}),
+		synth.Bio(synth.BioOptions{Scale: opts.Scale, Seed: opts.Seed + 11}),
+	}
+	configs := []struct {
+		name string
+		mf   embed.MFOptions
+		dim  int
+	}{
+		{"w2-nocap", embed.MFOptions{Window: 2, PMICap: -1}, 64},
+		{"w2-cap3", embed.MFOptions{Window: 2}, 64},
+		{"w3-nocap", embed.MFOptions{Window: 3, PMICap: -1}, 64},
+		{"w2-cap6", embed.MFOptions{Window: 2, PMICap: 6}, 64},
+	}
+	for _, spec := range specs {
+		for _, c := range configs {
+			cfg := core.Config{Dim: c.dim, Seed: opts.Seed, Method: embed.MethodMF, MF: c.mf}
+			fs, err := prepareWithConfig(spec, cfg, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%-10s %-16s en=%.3f lr=%.3f", spec.Name, c.name, fs.Score(ModelEN, opts.Seed), fs.Score(ModelLR, opts.Seed))
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package glove
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestCountCooccurrence(t *testing.T) {
+	corpus := [][]int32{{0, 1, 2}}
+	pairs := CountCooccurrence(corpus, 2)
+	get := func(i, j int32) float64 {
+		for _, p := range pairs {
+			if p.I == i && p.J == j {
+				return p.X
+			}
+		}
+		return 0
+	}
+	// (0,1) at distance 1 -> 1; (0,2) at distance 2 -> 0.5; (1,2) -> 1.
+	if get(0, 1) != 1 || get(1, 2) != 1 || get(0, 2) != 0.5 {
+		t.Errorf("pairs = %+v", pairs)
+	}
+}
+
+func TestTrainSeparatesClusters(t *testing.T) {
+	// Two token cliques that co-occur internally only.
+	rng := rand.New(rand.NewSource(1))
+	var corpus [][]int32
+	for s := 0; s < 300; s++ {
+		base := int32(0)
+		if s%2 == 1 {
+			base = 4
+		}
+		seq := make([]int32, 12)
+		for i := range seq {
+			seq[i] = base + int32(rng.Intn(4))
+		}
+		corpus = append(corpus, seq)
+	}
+	pairs := CountCooccurrence(corpus, 4)
+	m := Train(pairs, 8, Options{Dim: 12, Epochs: 20, Seed: 2})
+
+	intra, inter := 0.0, 0.0
+	nIntra, nInter := 0, 0
+	for a := int32(0); a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			s := matrix.CosineSimilarity(m.Vector(a), m.Vector(b))
+			if (a < 4) == (b < 4) {
+				intra += s
+				nIntra++
+			} else {
+				inter += s
+				nInter++
+			}
+		}
+	}
+	if intra/float64(nIntra) <= inter/float64(nInter)+0.2 {
+		t.Errorf("GloVe separation weak: intra %v vs inter %v",
+			intra/float64(nIntra), inter/float64(nInter))
+	}
+}
+
+func TestTrainDegenerate(t *testing.T) {
+	m := Train(nil, 0, Options{})
+	if m.Dim != 100 {
+		t.Errorf("default dim = %d", m.Dim)
+	}
+	m = Train([]Cooc{{I: 0, J: 0, X: 2}}, 1, Options{Dim: 4, Epochs: 2})
+	if len(m.Vector(0)) != 4 {
+		t.Error("vector length wrong")
+	}
+}

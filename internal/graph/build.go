@@ -1,0 +1,250 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/textify"
+)
+
+// Options configures graph construction and refinement (Algorithm 1).
+// The zero value means the paper defaults: theta_range 50%, theta_min
+// 5%, weighted edges, refinement on.
+type Options struct {
+	// ThetaRange is the fraction of all database attributes above
+	// which a token is declared missing data and removed. Default 0.5.
+	ThetaRange float64
+	// ThetaMin is the minimum fraction of a value node's votes an
+	// attribute must hold for its edges to survive. Default 0.05.
+	ThetaMin float64
+	// Unweighted disables inverse-degree edge weighting.
+	Unweighted bool
+	// DisableRefinement skips the voting-based token and attribute
+	// filtering (used by the Node2Vec comparator and ablations).
+	DisableRefinement bool
+	// MinShare is the minimum number of rows a token must appear in
+	// for a value node to be created; the paper creates value nodes
+	// "only when values are shared between multiple rows". Default 2.
+	MinShare int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ThetaRange <= 0 {
+		o.ThetaRange = 0.5
+	}
+	if o.ThetaMin <= 0 {
+		o.ThetaMin = 0.05
+	}
+	if o.MinShare <= 0 {
+		o.MinShare = 2
+	}
+	return o
+}
+
+// attrVote tallies how many cells voted a token into an attribute.
+type attrVote struct {
+	attr  string
+	votes int
+}
+
+// Stats summarizes what construction and refinement did, for logging and
+// ablation experiments.
+type Stats struct {
+	RowNodes        int
+	ValueNodes      int
+	Edges           int
+	TokensSeen      int
+	TokensMissing   int // removed by the theta_range missing-data rule
+	TokensRare      int // dropped because shared by fewer than MinShare rows
+	AttrsPruned     int // (token, attribute) groups cut by theta_min
+	TotalAttributes int
+}
+
+// Build runs Algorithm 1 over textified tables: construct row and value
+// nodes, vote tokens into attributes, refine with theta_range and
+// theta_min, and attach inverse-degree edge weights.
+func Build(tables []*textify.TokenizedTable, opts Options) (*Graph, Stats) {
+	opts = opts.withDefaults()
+	var stats Stats
+
+	// Pass 1: voting. For every token, count votes per qualified
+	// attribute and remember which distinct rows mention it.
+	type tokenInfo struct {
+		votes    []attrVote
+		rowCount int
+	}
+	votes := make(map[string]*tokenInfo)
+	totalAttrs := 0
+	for _, t := range tables {
+		totalAttrs += len(t.Attrs)
+	}
+	stats.TotalAttributes = totalAttrs
+
+	vote := func(info *tokenInfo, attr string) {
+		for i := range info.votes {
+			if info.votes[i].attr == attr {
+				info.votes[i].votes++
+				return
+			}
+		}
+		info.votes = append(info.votes, attrVote{attr: attr, votes: 1})
+	}
+
+	for _, t := range tables {
+		for _, row := range t.Cells {
+			seenInRow := map[string]bool{}
+			for col, toks := range row {
+				attr := t.Table + "." + t.Attrs[col]
+				for _, tok := range toks {
+					info := votes[tok]
+					if info == nil {
+						info = &tokenInfo{}
+						votes[tok] = info
+					}
+					vote(info, attr)
+					if !seenInRow[tok] {
+						seenInRow[tok] = true
+						info.rowCount++
+					}
+				}
+			}
+		}
+	}
+	stats.TokensSeen = len(votes)
+
+	// Pass 2: refinement decisions.
+	allowed := make(map[string]map[string]bool, len(votes)) // token -> allowed attrs (nil value = all)
+	for tok, info := range votes {
+		if info.rowCount < opts.MinShare {
+			stats.TokensRare++
+			continue
+		}
+		if opts.DisableRefinement {
+			allowed[tok] = nil
+			continue
+		}
+		// Missing-data rule: token spread over too many attributes.
+		// A token seen under a single attribute can never be a
+		// missing marker, whatever the attribute count — without this
+		// guard a narrow schema (few attributes overall) would flag
+		// every token.
+		if len(info.votes) > 1 && float64(len(info.votes)) > opts.ThetaRange*float64(totalAttrs) {
+			stats.TokensMissing++
+			continue
+		}
+		total := 0
+		for _, v := range info.votes {
+			total += v.votes
+		}
+		keep := make(map[string]bool, len(info.votes))
+		for _, v := range info.votes {
+			if float64(v.votes) >= opts.ThetaMin*float64(total) {
+				keep[v.attr] = true
+			} else {
+				stats.AttrsPruned++
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		allowed[tok] = keep
+	}
+
+	// Pass 3: build nodes and edges. Value nodes are interned lazily so
+	// tokens whose every attribute was pruned never materialize.
+	g := New(!opts.Unweighted)
+	type edge struct{ row, val int32 }
+	var edges []edge
+	for _, t := range tables {
+		for rowIdx, row := range t.Cells {
+			rowNode := g.AddRowNode(t.Table, rowIdx)
+			dedup := map[int32]bool{}
+			for col, toks := range row {
+				attr := t.Table + "." + t.Attrs[col]
+				for _, tok := range toks {
+					keep, ok := allowed[tok]
+					if !ok {
+						continue
+					}
+					if keep != nil && !keep[attr] {
+						continue
+					}
+					valNode := g.AddValueNode(tok)
+					if dedup[valNode] {
+						continue
+					}
+					dedup[valNode] = true
+					edges = append(edges, edge{row: rowNode, val: valNode})
+				}
+			}
+		}
+	}
+
+	// Edge weighting: weight inversely proportional to the value
+	// node's degree, so high-fanout tokens (unlikely KFK evidence)
+	// contribute less (paper Section 3.2).
+	valDegree := make(map[int32]int)
+	for _, e := range edges {
+		valDegree[e.val]++
+	}
+	for _, e := range edges {
+		w := 1.0
+		if !opts.Unweighted {
+			w = 1.0 / float64(valDegree[e.val])
+		}
+		g.AddEdge(e.row, e.val, w)
+	}
+
+	stats.RowNodes = g.CountKind(RowNode)
+	stats.ValueNodes = g.CountKind(ValueNode)
+	stats.Edges = g.NumEdges()
+	return g, stats
+}
+
+// BuildPairwise constructs the naive O(M N^2) row-row graph from the
+// similarity metric of Section 3.1, without value nodes. It exists for
+// the ablation that quantifies the edge-count reduction value nodes buy;
+// it is far too expensive for real datasets.
+func BuildPairwise(tables []*textify.TokenizedTable) *Graph {
+	g := New(false)
+	byToken := make(map[string][]int32)
+	for _, t := range tables {
+		for rowIdx, row := range t.Cells {
+			rowNode := g.AddRowNode(t.Table, rowIdx)
+			seen := map[string]bool{}
+			for _, toks := range row {
+				for _, tok := range toks {
+					if seen[tok] {
+						continue
+					}
+					seen[tok] = true
+					byToken[tok] = append(byToken[tok], rowNode)
+				}
+			}
+		}
+	}
+	type pair struct{ a, b int32 }
+	added := map[pair]bool{}
+	// Deterministic iteration keeps tests stable.
+	toks := make([]string, 0, len(byToken))
+	for tok := range byToken {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	for _, tok := range toks {
+		rows := byToken[tok]
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				a, b := rows[i], rows[j]
+				if a > b {
+					a, b = b, a
+				}
+				if a == b || added[pair{a, b}] {
+					continue
+				}
+				added[pair{a, b}] = true
+				g.AddEdge(a, b, 1)
+			}
+		}
+	}
+	return g
+}

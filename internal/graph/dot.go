@@ -1,0 +1,49 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for debugging and
+// documentation: row nodes as boxes, value nodes as ellipses, column
+// nodes as diamonds, with edge weights as labels on weighted graphs.
+// maxNodes caps the output (0 means everything); graphs beyond a few
+// hundred nodes stop being readable.
+func (g *Graph) WriteDOT(w io.Writer, maxNodes int) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph leva {")
+	fmt.Fprintln(bw, "  layout=neato; overlap=false;")
+	n := g.NumNodes()
+	if maxNodes > 0 && n > maxNodes {
+		n = maxNodes
+	}
+	include := func(id int32) bool { return int(id) < n }
+	for i := 0; i < n; i++ {
+		id := int32(i)
+		shape := "ellipse"
+		switch g.Kind(id) {
+		case RowNode:
+			shape = "box"
+		case ColumnNode:
+			shape = "diamond"
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q shape=%s];\n", i, g.NodeName(id), shape)
+	}
+	for i := 0; i < n; i++ {
+		id := int32(i)
+		for k, nb := range g.Neighbors(id) {
+			if nb < id || !include(nb) {
+				continue // each undirected edge once
+			}
+			if g.Weighted {
+				fmt.Fprintf(bw, "  n%d -- n%d [label=\"%.2f\"];\n", i, nb, g.EdgeWeight(id, k))
+			} else {
+				fmt.Fprintf(bw, "  n%d -- n%d;\n", i, nb)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

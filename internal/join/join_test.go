@@ -1,0 +1,144 @@
+package join
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+)
+
+func TestFullTableStudent(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 50, Seed: 1})
+	full, err := FullTable(spec.DB, "expenses", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumRows() != 50 {
+		t.Fatalf("full table rows = %d, want base row count 50", full.NumRows())
+	}
+	// The 1:N join to order_info must contribute a count column and,
+	// through order_info's N:1 join to price_info, a mean price.
+	countCol := full.Column("order_info.count")
+	if countCol == nil {
+		t.Fatal("no order_info.count column; have " + joinNames(full))
+	}
+	meanPrice := full.Column("order_info.price_info.prices.mean")
+	if meanPrice == nil {
+		t.Fatal("no multi-hop mean price column; have " + joinNames(full))
+	}
+	// Ground truth: total = count * mean price (exactly, since the
+	// target is the sum of ordered item prices).
+	for i := 0; i < full.NumRows(); i++ {
+		total := full.Cell(i, "total_expenses").Num
+		n := countCol.Values[i].Num
+		mp := meanPrice.Values[i].Num
+		if math.Abs(total-n*mp) > 1e-6 {
+			t.Fatalf("row %d: total %v != count %v * mean %v", i, total, n, mp)
+		}
+	}
+}
+
+func joinNames(t *dataset.Table) string {
+	s := ""
+	for _, c := range t.Columns {
+		s += c.Name + " "
+	}
+	return s
+}
+
+func TestFullTableUnknownBase(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 5, Seed: 1})
+	if _, err := FullTable(spec.DB, "nope", Options{}); err == nil {
+		t.Error("unknown base table accepted")
+	}
+}
+
+func TestAttachLookupNulls(t *testing.T) {
+	base := dataset.NewTable("base", "ref")
+	base.AppendRow(dataset.String("k1"))
+	base.AppendRow(dataset.String("missing"))
+	base.AddForeignKey("ref", "dim", "id")
+	dim := dataset.NewTable("dim", "id", "attr")
+	dim.SetKeys("id")
+	dim.AppendRow(dataset.String("k1"), dataset.String("v1"))
+
+	db := dataset.NewDatabase(base, dim)
+	full, err := FullTable(db, "base", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := full.Column("dim.attr")
+	if col == nil {
+		t.Fatal("lookup column missing")
+	}
+	if !col.Values[0].Equal(dataset.String("v1")) {
+		t.Errorf("matched lookup = %v", col.Values[0])
+	}
+	if !col.Values[1].IsNull() {
+		t.Errorf("unmatched lookup = %v, want null", col.Values[1])
+	}
+}
+
+func TestAggregateModeAndMean(t *testing.T) {
+	base := dataset.NewTable("base", "id")
+	base.SetKeys("id")
+	base.AppendRow(dataset.String("a"))
+	logs := dataset.NewTable("logs", "ref", "num", "cat")
+	logs.AddForeignKey("ref", "base", "id")
+	logs.AppendRow(dataset.String("a"), dataset.Number(1), dataset.String("x"))
+	logs.AppendRow(dataset.String("a"), dataset.Number(3), dataset.String("x"))
+	logs.AppendRow(dataset.String("a"), dataset.Number(5), dataset.String("y"))
+
+	full, err := FullTable(dataset.NewDatabase(base, logs), "base", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := full.Cell(0, "logs.count").Num; got != 3 {
+		t.Errorf("count = %v", got)
+	}
+	if got := full.Cell(0, "logs.num.mean").Num; got != 3 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := full.Cell(0, "logs.cat.mode").Str; got != "x" {
+		t.Errorf("mode = %v", got)
+	}
+}
+
+func TestCycleTermination(t *testing.T) {
+	// a -> b -> a foreign-key cycle must not loop forever.
+	a := dataset.NewTable("a", "id", "bref")
+	a.SetKeys("id")
+	a.AddForeignKey("bref", "b", "id")
+	a.AppendRow(dataset.String("a1"), dataset.String("b1"))
+	b := dataset.NewTable("b", "id", "aref")
+	b.SetKeys("id")
+	b.AddForeignKey("aref", "a", "id")
+	b.AppendRow(dataset.String("b1"), dataset.String("a1"))
+
+	full, err := FullTable(dataset.NewDatabase(a, b), "a", Options{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumRows() != 1 {
+		t.Errorf("rows = %d", full.NumRows())
+	}
+	if full.Column("b.aref") == nil {
+		t.Error("N:1 expansion missing")
+	}
+}
+
+func TestLeftJoinOn(t *testing.T) {
+	base := dataset.NewTable("base", "k")
+	base.AppendRow(dataset.String("x"))
+	other := dataset.NewTable("other", "k2", "v")
+	other.AppendRow(dataset.String("x"), dataset.Number(10))
+	other.AppendRow(dataset.String("x"), dataset.Number(20))
+	out := LeftJoinOn(base, "k", other, "k2", "oth")
+	if got := out.Cell(0, "oth.v.mean").Num; got != 15 {
+		t.Errorf("LeftJoinOn mean = %v", got)
+	}
+	if got := out.Cell(0, "oth.count").Num; got != 2 {
+		t.Errorf("LeftJoinOn count = %v", got)
+	}
+}

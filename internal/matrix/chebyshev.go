@@ -1,0 +1,100 @@
+package matrix
+
+// BesselI returns the modified Bessel function of the first kind I_n(x)
+// by direct series summation. It is accurate for the small orders and
+// arguments the spectral propagation filter uses (n <= ~30, |x| <= ~10).
+func BesselI(n int, x float64) float64 {
+	if n < 0 {
+		n = -n
+	}
+	half := x / 2
+	// term_k = (x/2)^(2k+n) / (k! (k+n)!)
+	term := 1.0
+	for i := 1; i <= n; i++ {
+		term *= half / float64(i)
+	}
+	sum := term
+	for k := 1; k < 64; k++ {
+		term *= half * half / (float64(k) * float64(k+n))
+		sum += term
+		if term < 1e-18*sum {
+			break
+		}
+	}
+	return sum
+}
+
+// ChebyshevPropagate applies the ProNE-style spectral propagation
+// enhancement (paper reference [41]) to an embedding: a truncated
+// Chebyshev expansion of a Gaussian band-pass graph filter, evaluated
+// with nothing but sparse matrix-vector products.
+//
+// adj is the symmetric n-by-n adjacency matrix, emb the n-by-d initial
+// embedding. order is the expansion order (ProNE default 10), mu the
+// band-pass center (default 0.2) and s the kernel width (default 0.5).
+// The result rows are L2-normalized.
+func ChebyshevPropagate(adj *CSR, emb *Dense, order int, mu, s float64) *Dense {
+	if adj.NumRows != adj.NumCols || adj.NumRows != emb.Rows {
+		panic("matrix: ChebyshevPropagate shape mismatch")
+	}
+	if order < 2 {
+		order = 2
+	}
+	n := emb.Rows
+
+	// DA = l1-row-normalized (I + A); M·x = (1-mu)·x − DA·x.
+	selfLoops := make([]COO, 0, n+adj.NNZ())
+	for i := 0; i < n; i++ {
+		selfLoops = append(selfLoops, COO{Row: i, Col: i, Val: 1})
+	}
+	for i := 0; i < n; i++ {
+		for p := adj.RowPtr[i]; p < adj.RowPtr[i+1]; p++ {
+			selfLoops = append(selfLoops, COO{Row: i, Col: int(adj.ColIdx[p]), Val: adj.Vals[p]})
+		}
+	}
+	aPlus := NewCSR(n, n, selfLoops)
+	da := NewCSR(n, n, selfLoops) // second copy to normalize
+	sums := da.RowSums()
+	inv := make([]float64, n)
+	for i, v := range sums {
+		if v != 0 {
+			inv[i] = 1 / v
+		}
+	}
+	da.ScaleRows(inv)
+
+	mdot := func(x *Dense) *Dense {
+		out := da.MulDense(x)
+		out.Scale(-1)
+		scaled := x.Clone().Scale(1 - mu)
+		return out.Add(scaled)
+	}
+
+	lx0 := emb.Clone()
+	lx1 := mdot(mdot(emb)).Scale(0.5).Sub(emb)
+	conv := lx0.Clone().Scale(BesselI(0, s))
+	conv.Sub(lx1.Clone().Scale(2 * BesselI(1, s)))
+	for i := 2; i < order; i++ {
+		lx2 := mdot(mdot(lx1))
+		lx2.Sub(lx1.Clone().Scale(2)).Sub(lx0)
+		coeff := 2 * BesselI(i, s)
+		if i%2 == 0 {
+			conv.Add(lx2.Clone().Scale(coeff))
+		} else {
+			conv.Sub(lx2.Clone().Scale(coeff))
+		}
+		lx0, lx1 = lx1, lx2
+	}
+	mm := aPlus.MulDense(emb.Clone().Sub(conv))
+
+	for i := 0; i < n; i++ {
+		row := mm.Row(i)
+		norm := L2Norm(row)
+		if norm > 1e-12 {
+			for j := range row {
+				row[j] /= norm
+			}
+		}
+	}
+	return mm
+}

@@ -1,0 +1,96 @@
+package matrix
+
+// PCA projects row vectors onto their top-k principal components. It is
+// used by the embedding-deployment stage (paper Section 6.5.2) to shrink
+// stored embeddings without retraining.
+type PCA struct {
+	mean []float64
+	// components is dim x k: column j is the j-th principal axis.
+	components *Dense
+	k          int
+}
+
+// FitPCA fits a PCA with k components on the rows of x. Because Leva's
+// embedding dimensions are small (<= a few hundred), the covariance
+// matrix is formed exactly and eigendecomposed with Jacobi; no iterative
+// solver is needed. k is clamped to the input dimension.
+func FitPCA(x *Dense, k int) *PCA {
+	n, dim := x.Rows, x.Cols
+	if k > dim {
+		k = dim
+	}
+	if k < 1 {
+		k = 1
+	}
+	mean := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	if n > 0 {
+		for j := range mean {
+			mean[j] /= float64(n)
+		}
+	}
+	// Covariance = Xcᵀ Xc / n.
+	cov := NewDense(dim, dim)
+	for i := 0; i < n; i++ {
+		ri := x.Row(i)
+		for a := 0; a < dim; a++ {
+			da := ri[a] - mean[a]
+			if da == 0 {
+				continue
+			}
+			ca := cov.Row(a)
+			for b := 0; b < dim; b++ {
+				ca[b] += da * (ri[b] - mean[b])
+			}
+		}
+	}
+	if n > 1 {
+		cov.Scale(1 / float64(n))
+	}
+	_, v := SymEigen(cov)
+	comp := NewDense(dim, k)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < k; j++ {
+			comp.Set(i, j, v.At(i, j))
+		}
+	}
+	return &PCA{mean: mean, components: comp, k: k}
+}
+
+// K returns the number of components.
+func (p *PCA) K() int { return p.k }
+
+// Transform projects the rows of x into the k-dimensional PCA space.
+func (p *PCA) Transform(x *Dense) *Dense {
+	out := NewDense(x.Rows, p.k)
+	dim := len(p.mean)
+	if x.Cols != dim {
+		panic("matrix: PCA Transform dimension mismatch")
+	}
+	centered := make([]float64, dim)
+	for i := 0; i < x.Rows; i++ {
+		ri := x.Row(i)
+		for j := range centered {
+			centered[j] = ri[j] - p.mean[j]
+		}
+		oi := out.Row(i)
+		for j := 0; j < p.k; j++ {
+			s := 0.0
+			for a := 0; a < dim; a++ {
+				s += centered[a] * p.components.At(a, j)
+			}
+			oi[j] = s
+		}
+	}
+	return out
+}
+
+// TransformVec projects a single vector.
+func (p *PCA) TransformVec(v []float64) []float64 {
+	x := FromRows([][]float64{v})
+	return p.Transform(x).Row(0)
+}

@@ -1,0 +1,161 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format triple used to assemble sparse matrices.
+type COO struct {
+	Row, Col int
+	Val      float64
+}
+
+// CSR is a compressed-sparse-row matrix, the representation Leva's
+// matrix-factorization path uses for the proximity matrix: the
+// value-node construction keeps it sparse enough for randomized SVD.
+type CSR struct {
+	NumRows, NumCols int
+	RowPtr           []int32 // len NumRows+1
+	ColIdx           []int32 // len NNZ
+	Vals             []float64
+}
+
+// NewCSR assembles a CSR matrix from unordered COO triples. Duplicate
+// (row, col) entries are summed.
+func NewCSR(rows, cols int, entries []COO) *CSR {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Row != entries[j].Row {
+			return entries[i].Row < entries[j].Row
+		}
+		return entries[i].Col < entries[j].Col
+	})
+	m := &CSR{NumRows: rows, NumCols: cols, RowPtr: make([]int32, rows+1)}
+	for i := 0; i < len(entries); {
+		e := entries[i]
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("matrix: COO entry (%d,%d) out of %dx%d", e.Row, e.Col, rows, cols))
+		}
+		v := e.Val
+		j := i + 1
+		for j < len(entries) && entries[j].Row == e.Row && entries[j].Col == e.Col {
+			v += entries[j].Val
+			j++
+		}
+		m.ColIdx = append(m.ColIdx, int32(e.Col))
+		m.Vals = append(m.Vals, v)
+		m.RowPtr[e.Row+1]++
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Vals) }
+
+// RowNNZ returns the slice bounds of row r's entries.
+func (m *CSR) RowNNZ(r int) (start, end int32) { return m.RowPtr[r], m.RowPtr[r+1] }
+
+// At returns element (i, j) with a binary search over row i.
+func (m *CSR) At(i, j int) float64 {
+	start, end := m.RowPtr[i], m.RowPtr[i+1]
+	cols := m.ColIdx[start:end]
+	k := sort.Search(len(cols), func(k int) bool { return cols[k] >= int32(j) })
+	if k < len(cols) && cols[k] == int32(j) {
+		return m.Vals[int(start)+k]
+	}
+	return 0
+}
+
+// MulDense returns m * b as a dense matrix.
+func (m *CSR) MulDense(b *Dense) *Dense {
+	if m.NumCols != b.Rows {
+		panic(fmt.Sprintf("matrix: CSR MulDense shape mismatch %dx%d * %dx%d", m.NumRows, m.NumCols, b.Rows, b.Cols))
+	}
+	out := NewDense(m.NumRows, b.Cols)
+	for i := 0; i < m.NumRows; i++ {
+		oi := out.Row(i)
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			v := m.Vals[p]
+			bk := b.Row(int(m.ColIdx[p]))
+			for j, bv := range bk {
+				oi[j] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// TMulDense returns mᵀ * b as a dense matrix.
+func (m *CSR) TMulDense(b *Dense) *Dense {
+	if m.NumRows != b.Rows {
+		panic(fmt.Sprintf("matrix: CSR TMulDense shape mismatch (%dx%d)T * %dx%d", m.NumRows, m.NumCols, b.Rows, b.Cols))
+	}
+	out := NewDense(m.NumCols, b.Cols)
+	for i := 0; i < m.NumRows; i++ {
+		bi := b.Row(i)
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			v := m.Vals[p]
+			oc := out.Row(int(m.ColIdx[p]))
+			for j, bv := range bi {
+				oc[j] += v * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m * x.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if m.NumCols != len(x) {
+		panic("matrix: CSR MulVec length mismatch")
+	}
+	out := make([]float64, m.NumRows)
+	for i := 0; i < m.NumRows; i++ {
+		s := 0.0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Vals[p] * x[m.ColIdx[p]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dense expands the matrix to dense form (for tests and small inputs).
+func (m *CSR) Dense() *Dense {
+	out := NewDense(m.NumRows, m.NumCols)
+	for i := 0; i < m.NumRows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			out.Set(i, int(m.ColIdx[p]), m.Vals[p])
+		}
+	}
+	return out
+}
+
+// RowSums returns the vector of per-row sums.
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.NumRows)
+	for i := 0; i < m.NumRows; i++ {
+		s := 0.0
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			s += m.Vals[p]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ScaleRows multiplies row i by s[i] in place.
+func (m *CSR) ScaleRows(s []float64) {
+	if len(s) != m.NumRows {
+		panic("matrix: ScaleRows length mismatch")
+	}
+	for i := 0; i < m.NumRows; i++ {
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			m.Vals[p] *= s[i]
+		}
+	}
+}

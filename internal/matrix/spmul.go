@@ -1,0 +1,105 @@
+package matrix
+
+import "sort"
+
+// MulCSRPrune computes the sparse product a*b, keeping at most topK
+// entries per output row (the largest by magnitude; topK <= 0 keeps
+// everything) and dropping entries below eps. Pruned sparse powers of
+// the transition matrix are how the windowed (NetSMF-style) proximity
+// matrix stays tractable on graphs with hub nodes.
+func MulCSRPrune(a, b *CSR, topK int, eps float64) *CSR {
+	if a.NumCols != b.NumRows {
+		panic("matrix: MulCSRPrune shape mismatch")
+	}
+	out := &CSR{NumRows: a.NumRows, NumCols: b.NumCols, RowPtr: make([]int32, a.NumRows+1)}
+	// Dense accumulator with a touched-list, reset per row.
+	acc := make([]float64, b.NumCols)
+	touched := make([]int32, 0, 256)
+	type entry struct {
+		col int32
+		val float64
+	}
+	row := make([]entry, 0, 256)
+
+	for i := 0; i < a.NumRows; i++ {
+		touched = touched[:0]
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			av := a.Vals[p]
+			k := a.ColIdx[p]
+			for q := b.RowPtr[k]; q < b.RowPtr[k+1]; q++ {
+				j := b.ColIdx[q]
+				if acc[j] == 0 {
+					touched = append(touched, j)
+				}
+				acc[j] += av * b.Vals[q]
+			}
+		}
+		row = row[:0]
+		for _, j := range touched {
+			v := acc[j]
+			acc[j] = 0
+			if v > eps || v < -eps {
+				row = append(row, entry{col: j, val: v})
+			}
+		}
+		if topK > 0 && len(row) > topK {
+			sort.Slice(row, func(x, y int) bool {
+				ax, ay := row[x].val, row[y].val
+				if ax < 0 {
+					ax = -ax
+				}
+				if ay < 0 {
+					ay = -ay
+				}
+				return ax > ay
+			})
+			row = row[:topK]
+		}
+		sort.Slice(row, func(x, y int) bool { return row[x].col < row[y].col })
+		for _, e := range row {
+			out.ColIdx = append(out.ColIdx, e.col)
+			out.Vals = append(out.Vals, e.val)
+		}
+		out.RowPtr[i+1] = int32(len(out.Vals))
+	}
+	return out
+}
+
+// AddCSR returns a + b (same shape).
+func AddCSR(a, b *CSR) *CSR {
+	if a.NumRows != b.NumRows || a.NumCols != b.NumCols {
+		panic("matrix: AddCSR shape mismatch")
+	}
+	out := &CSR{NumRows: a.NumRows, NumCols: a.NumCols, RowPtr: make([]int32, a.NumRows+1)}
+	for i := 0; i < a.NumRows; i++ {
+		pa, pb := a.RowPtr[i], b.RowPtr[i]
+		ea, eb := a.RowPtr[i+1], b.RowPtr[i+1]
+		for pa < ea || pb < eb {
+			switch {
+			case pb >= eb || (pa < ea && a.ColIdx[pa] < b.ColIdx[pb]):
+				out.ColIdx = append(out.ColIdx, a.ColIdx[pa])
+				out.Vals = append(out.Vals, a.Vals[pa])
+				pa++
+			case pa >= ea || b.ColIdx[pb] < a.ColIdx[pa]:
+				out.ColIdx = append(out.ColIdx, b.ColIdx[pb])
+				out.Vals = append(out.Vals, b.Vals[pb])
+				pb++
+			default:
+				out.ColIdx = append(out.ColIdx, a.ColIdx[pa])
+				out.Vals = append(out.Vals, a.Vals[pa]+b.Vals[pb])
+				pa++
+				pb++
+			}
+		}
+		out.RowPtr[i+1] = int32(len(out.Vals))
+	}
+	return out
+}
+
+// ScaleCSR multiplies every stored value by s in place and returns m.
+func ScaleCSR(m *CSR, s float64) *CSR {
+	for i := range m.Vals {
+		m.Vals[i] *= s
+	}
+	return m
+}

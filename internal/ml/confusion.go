@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ConfusionMatrix counts prediction outcomes per (true, predicted)
+// class pair.
+type ConfusionMatrix struct {
+	NumClasses int
+	Counts     [][]int // Counts[true][pred]
+}
+
+// NewConfusionMatrix tallies predictions against truth.
+func NewConfusionMatrix(pred, truth []int, numClasses int) *ConfusionMatrix {
+	if len(pred) != len(truth) {
+		panic("ml: confusion matrix length mismatch")
+	}
+	m := &ConfusionMatrix{NumClasses: numClasses, Counts: make([][]int, numClasses)}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, numClasses)
+	}
+	for i, p := range pred {
+		t := truth[i]
+		if t >= 0 && t < numClasses && p >= 0 && p < numClasses {
+			m.Counts[t][p]++
+		}
+	}
+	return m
+}
+
+// Accuracy returns trace / total.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	diag, total := 0, 0
+	for i := range m.Counts {
+		for j, c := range m.Counts[i] {
+			total += c
+			if i == j {
+				diag += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// PerClass returns precision, recall and F1 for one class.
+func (m *ConfusionMatrix) PerClass(c int) (prec, rec, f1 float64) {
+	tp := m.Counts[c][c]
+	fp, fn := 0, 0
+	for i := 0; i < m.NumClasses; i++ {
+		if i != c {
+			fp += m.Counts[i][c]
+			fn += m.Counts[c][i]
+		}
+	}
+	return PrecisionRecallF1(tp, fp, fn)
+}
+
+// String renders the matrix with per-class metrics, a classification
+// report.
+func (m *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion matrix (%d classes, accuracy %.3f)\n", m.NumClasses, m.Accuracy())
+	b.WriteString("true\\pred")
+	for j := 0; j < m.NumClasses; j++ {
+		fmt.Fprintf(&b, "%8d", j)
+	}
+	b.WriteString("    prec   rec    f1\n")
+	for i := 0; i < m.NumClasses; i++ {
+		fmt.Fprintf(&b, "%9d", i)
+		for j := 0; j < m.NumClasses; j++ {
+			fmt.Fprintf(&b, "%8d", m.Counts[i][j])
+		}
+		p, r, f := m.PerClass(i)
+		fmt.Fprintf(&b, "   %.3f  %.3f  %.3f\n", p, r, f)
+	}
+	return b.String()
+}

@@ -1,0 +1,186 @@
+// Package ml is the machine-learning substrate the evaluation needs:
+// the downstream models the paper trains on featurized data (random
+// forest, logistic regression and linear models with ElasticNet, and a
+// 2-layer fully connected network with dropout), plus metrics, one-hot
+// table encoding, train/test splitting, grid search, and the ARDA-style
+// random-injection feature selection used by the Full+FE baseline.
+//
+// Feature matrices are row-major [][]float64; classification labels are
+// ints in [0, numClasses).
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Split holds train/test index partitions of a table or matrix.
+type Split struct {
+	Train []int
+	Test  []int
+}
+
+// TrainTestSplit shuffles [0, n) with the seeded RNG and carves off
+// testFrac of it as the test set.
+func TrainTestSplit(n int, testFrac float64, seed int64) Split {
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	cut := int(float64(n) * (1 - testFrac))
+	if cut < 1 && n > 1 {
+		cut = 1
+	}
+	if cut > n {
+		cut = n
+	}
+	return Split{Train: idx[:cut], Test: idx[cut:]}
+}
+
+// KFold yields k train/test partitions of [0, n).
+func KFold(n, k int, seed int64) []Split {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([]Split, k)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		test := append([]int(nil), idx[lo:hi]...)
+		train := make([]int, 0, n-len(test))
+		train = append(train, idx[:lo]...)
+		train = append(train, idx[hi:]...)
+		folds[f] = Split{Train: train, Test: test}
+	}
+	return folds
+}
+
+// SelectRows gathers rows of x at the given indices (vectors shared).
+func SelectRows(x [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	return out
+}
+
+// SelectLabels gathers labels at the given indices.
+func SelectLabels(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// SelectFloats gathers float targets at the given indices.
+func SelectFloats(y []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// Standardizer rescales features to zero mean, unit variance, fitted on
+// training data and applied to both splits.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer computes per-column moments of x.
+func FitStandardizer(x [][]float64) *Standardizer {
+	if len(x) == 0 {
+		return &Standardizer{}
+	}
+	d := len(x[0])
+	s := &Standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, row := range x {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of x.
+func (s *Standardizer) Transform(x [][]float64) [][]float64 {
+	if len(s.Mean) == 0 {
+		return x
+	}
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Classifier is a supervised classification model.
+type Classifier interface {
+	Fit(x [][]float64, y []int)
+	Predict(x [][]float64) []int
+}
+
+// Regressor is a supervised regression model.
+type Regressor interface {
+	FitRegression(x [][]float64, y []float64)
+	PredictRegression(x [][]float64) []float64
+}
+
+// LabelEncoder maps arbitrary target values to class ids.
+type LabelEncoder struct {
+	classes []dataset.Value
+	index   map[dataset.Value]int
+}
+
+// FitLabels builds an encoder over the distinct values of col.
+func FitLabels(col *dataset.Column) *LabelEncoder {
+	e := &LabelEncoder{index: make(map[dataset.Value]int)}
+	for _, v := range col.Values {
+		if _, ok := e.index[v]; !ok {
+			e.index[v] = len(e.classes)
+			e.classes = append(e.classes, v)
+		}
+	}
+	return e
+}
+
+// NumClasses returns the number of distinct labels.
+func (e *LabelEncoder) NumClasses() int { return len(e.classes) }
+
+// Encode maps values to class ids; unknown values return an error.
+func (e *LabelEncoder) Encode(vals []dataset.Value) ([]int, error) {
+	out := make([]int, len(vals))
+	for i, v := range vals {
+		id, ok := e.index[v]
+		if !ok {
+			return nil, fmt.Errorf("ml: unseen label %v", v)
+		}
+		out[i] = id
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package ml
+
+import (
+	"repro/internal/dataset"
+)
+
+// OneHotEncoder featurizes a table the conventional way the Base/Full
+// baselines use: numeric columns pass through (standardized by the
+// caller if desired), categorical columns one-hot encode their training
+// categories, and unseen or null categories map to all-zeros. Category
+// vocabularies above MaxCategories keep only the most frequent values
+// to bound dimensionality, mirroring common practice.
+type OneHotEncoder struct {
+	// MaxCategories caps the one-hot width per column. Default 64.
+	MaxCategories int
+
+	cols []encodedColumn
+	dim  int
+}
+
+type encodedColumn struct {
+	name    string
+	numeric bool
+	offset  int
+	// cats maps category string -> slot for categorical columns.
+	cats map[string]int
+}
+
+// FitOneHot builds an encoder over the columns of t, excluding the
+// named target column.
+func FitOneHot(t *dataset.Table, target string, maxCategories int) *OneHotEncoder {
+	if maxCategories <= 0 {
+		maxCategories = 64
+	}
+	e := &OneHotEncoder{MaxCategories: maxCategories}
+	offset := 0
+	for _, c := range t.Columns {
+		if c.Name == target {
+			continue
+		}
+		ec := encodedColumn{name: c.Name, offset: offset}
+		if isNumericColumn(c) {
+			ec.numeric = true
+			offset++
+		} else {
+			counts := map[string]int{}
+			for _, v := range c.Values {
+				if v.IsNull() {
+					continue
+				}
+				counts[v.Text()]++
+			}
+			top := topCategories(counts, maxCategories)
+			ec.cats = make(map[string]int, len(top))
+			for slot, cat := range top {
+				ec.cats[cat] = slot
+			}
+			offset += len(top)
+		}
+		e.cols = append(e.cols, ec)
+	}
+	e.dim = offset
+	return e
+}
+
+func isNumericColumn(c *dataset.Column) bool {
+	nonNull, numeric := 0, 0
+	for _, v := range c.Values {
+		if v.IsNull() {
+			continue
+		}
+		nonNull++
+		if v.Kind == dataset.KindNumber || v.Kind == dataset.KindTime {
+			numeric++
+		}
+	}
+	return nonNull > 0 && numeric == nonNull
+}
+
+func topCategories(counts map[string]int, limit int) []string {
+	type kv struct {
+		k string
+		v int
+	}
+	all := make([]kv, 0, len(counts))
+	for k, v := range counts {
+		all = append(all, kv{k, v})
+	}
+	// Selection by count then name for determinism.
+	for i := 0; i < len(all); i++ {
+		best := i
+		for j := i + 1; j < len(all); j++ {
+			if all[j].v > all[best].v || (all[j].v == all[best].v && all[j].k < all[best].k) {
+				best = j
+			}
+		}
+		all[i], all[best] = all[best], all[i]
+	}
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.k
+	}
+	return out
+}
+
+// Dim returns the width of encoded feature vectors.
+func (e *OneHotEncoder) Dim() int { return e.dim }
+
+// FeatureNames returns a name per encoded feature slot (for the
+// feature-selection baseline's reporting).
+func (e *OneHotEncoder) FeatureNames() []string {
+	names := make([]string, e.dim)
+	for _, c := range e.cols {
+		if c.numeric {
+			names[c.offset] = c.name
+			continue
+		}
+		for cat, slot := range c.cats {
+			names[c.offset+slot] = c.name + "=" + cat
+		}
+	}
+	return names
+}
+
+// Transform encodes the rows of t (matched to fitted columns by name;
+// extra columns are ignored, and fitted columns missing from t
+// contribute zeros).
+func (e *OneHotEncoder) Transform(t *dataset.Table) [][]float64 {
+	n := t.NumRows()
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, e.dim)
+	}
+	for _, ec := range e.cols {
+		col := t.Column(ec.name)
+		if col == nil {
+			continue
+		}
+		for i, v := range col.Values {
+			if v.IsNull() {
+				continue
+			}
+			if ec.numeric {
+				if f, ok := v.Float(); ok {
+					out[i][ec.offset] = f
+				}
+				continue
+			}
+			if slot, ok := ec.cats[v.Text()]; ok {
+				out[i][ec.offset+slot] = 1
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestOneHotEncoder(t *testing.T) {
+	tab := dataset.NewTable("t", "num", "cat", "label")
+	tab.AppendRow(dataset.Number(1.5), dataset.String("red"), dataset.String("a"))
+	tab.AppendRow(dataset.Number(2.5), dataset.String("blue"), dataset.String("b"))
+	tab.AppendRow(dataset.Number(3.5), dataset.String("red"), dataset.String("a"))
+	tab.AppendRow(dataset.Null(), dataset.Null(), dataset.String("a"))
+
+	enc := FitOneHot(tab, "label", 10)
+	if enc.Dim() != 3 { // num + {red, blue}
+		t.Fatalf("dim = %d, want 3", enc.Dim())
+	}
+	x := enc.Transform(tab)
+	if x[0][0] != 1.5 {
+		t.Errorf("numeric passthrough = %v", x[0][0])
+	}
+	// red and blue occupy distinct slots, exactly one hot per row.
+	if x[0][1]+x[0][2] != 1 || x[1][1]+x[1][2] != 1 {
+		t.Errorf("one-hot rows: %v %v", x[0], x[1])
+	}
+	if x[0][1] == x[1][1] {
+		t.Error("red and blue mapped to the same slot")
+	}
+	// Nulls contribute zeros.
+	if x[3][0] != 0 || x[3][1] != 0 || x[3][2] != 0 {
+		t.Errorf("null row = %v", x[3])
+	}
+
+	names := enc.FeatureNames()
+	if len(names) != 3 || names[0] != "num" {
+		t.Errorf("feature names = %v", names)
+	}
+}
+
+func TestOneHotMaxCategoriesKeepsFrequent(t *testing.T) {
+	tab := dataset.NewTable("t", "c", "y")
+	for i := 0; i < 50; i++ {
+		tab.AppendRow(dataset.String("common"), dataset.Int(0))
+	}
+	tab.AppendRow(dataset.String("rare1"), dataset.Int(0))
+	tab.AppendRow(dataset.String("rare2"), dataset.Int(0))
+	enc := FitOneHot(tab, "y", 1)
+	if enc.Dim() != 1 {
+		t.Fatalf("dim = %d, want 1", enc.Dim())
+	}
+	x := enc.Transform(tab)
+	if x[0][0] != 1 {
+		t.Error("frequent category not kept")
+	}
+	if x[50][0] != 0 {
+		t.Error("rare category encoded despite cap")
+	}
+}
+
+func TestOneHotUnseenTableColumns(t *testing.T) {
+	fitTab := dataset.NewTable("t", "a", "y")
+	fitTab.AppendRow(dataset.String("x"), dataset.Int(0))
+	fitTab.AppendRow(dataset.String("x"), dataset.Int(0))
+	enc := FitOneHot(fitTab, "y", 8)
+
+	other := dataset.NewTable("t", "b") // fitted column missing entirely
+	other.AppendRow(dataset.String("z"))
+	x := enc.Transform(other)
+	if len(x) != 1 || len(x[0]) != enc.Dim() {
+		t.Fatalf("transform shape wrong")
+	}
+	for _, v := range x[0] {
+		if v != 0 {
+			t.Error("missing column contributed nonzero")
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(map[string][]float64{"a": {1, 2}, "b": {10}})
+	if len(g) != 2 {
+		t.Fatalf("grid size = %d", len(g))
+	}
+	seen := map[float64]bool{}
+	for _, p := range g {
+		if p["b"] != 10 {
+			t.Errorf("param b = %v", p["b"])
+		}
+		seen[p["a"]] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("grid missing values: %v", g)
+	}
+}
+
+func TestGridSearchClassifierPicksRegularization(t *testing.T) {
+	// Overlapping blobs: one unpruned tree overfits in CV, the
+	// ensemble generalizes.
+	x, y := blobs(300, 1, 20)
+	grid := Grid(map[string][]float64{"trees": {1, 40}})
+	best, score := GridSearchClassifier(x, y, grid, 4, 1, func(p Params) Classifier {
+		return &RandomForest{NumTrees: int(p["trees"]), Seed: 1}
+	})
+	if best["trees"] != 40 {
+		t.Errorf("grid search picked %v trees", best["trees"])
+	}
+	if score < 0.75 {
+		t.Errorf("CV score = %v", score)
+	}
+}
+
+func TestGridSearchRegressor(t *testing.T) {
+	x, y := linearData(200, 0.1, 21)
+	grid := Grid(map[string][]float64{"l2": {0.001, 1000}})
+	best, mae := GridSearchRegressor(x, y, grid, 4, 1, func(p Params) Regressor {
+		return &LinearRegression{L2: p["l2"]}
+	})
+	if best["l2"] != 0.001 {
+		t.Errorf("picked l2 = %v, want small", best["l2"])
+	}
+	if mae > 0.3 {
+		t.Errorf("CV MAE = %v", mae)
+	}
+}
+
+func TestSelectFeaturesKeepsSignalDropsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	n := 300
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		cls := i % 2
+		y[i] = cls
+		signal := float64(cls)*3 + rng.NormFloat64()
+		x[i] = []float64{signal, rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	cols := SelectFeatures(x, y, nil, 8, 1)
+	found := false
+	for _, c := range cols {
+		if c == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("signal feature dropped: %v", cols)
+	}
+	if len(cols) > 2 {
+		t.Errorf("too many noise features kept: %v", cols)
+	}
+	proj := ProjectColumns(x, cols)
+	if len(proj[0]) != len(cols) {
+		t.Error("projection width wrong")
+	}
+}
+
+func TestSelectFeaturesBinaryIndicators(t *testing.T) {
+	// Sparse binary indicator carrying the signal must survive against
+	// continuous probes (the importance-bias case).
+	rng := rand.New(rand.NewSource(23))
+	n := 400
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		cls := i % 2
+		y[i] = cls
+		ind := 0.0
+		if cls == 1 && rng.Float64() < 0.9 {
+			ind = 1
+		}
+		x[i] = []float64{ind, rng.NormFloat64()}
+	}
+	cols := SelectFeatures(x, y, nil, 8, 2)
+	found := false
+	for _, c := range cols {
+		if c == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("binary signal indicator dropped: %v", cols)
+	}
+}
+
+func TestLabelEncoder(t *testing.T) {
+	col := &dataset.Column{Name: "y", Values: []dataset.Value{
+		dataset.String("a"), dataset.String("b"), dataset.String("a"),
+	}}
+	enc := FitLabels(col)
+	if enc.NumClasses() != 2 {
+		t.Fatalf("classes = %d", enc.NumClasses())
+	}
+	ids, err := enc.Encode(col.Values)
+	if err != nil || ids[0] != ids[2] || ids[0] == ids[1] {
+		t.Errorf("encoded = %v, %v", ids, err)
+	}
+	if _, err := enc.Encode([]dataset.Value{dataset.String("zzz")}); err == nil {
+		t.Error("unseen label encoded without error")
+	}
+}

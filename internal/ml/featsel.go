@@ -1,0 +1,113 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// SelectFeatures implements the ARDA-style random-injection feature
+// selection the Full+FE baseline uses (paper reference [15]): inject
+// synthetic random-noise probe features, train a random forest, and keep
+// only real features whose importance exceeds a quantile of the probes'
+// importances. Features that cannot beat noise are discarded.
+//
+// x is the candidate feature matrix; yClass is non-nil for
+// classification, yReg for regression. It returns the indices of the
+// selected columns, sorted ascending. If nothing beats the probes the
+// single best real feature is kept so the downstream model always has
+// input.
+func SelectFeatures(x [][]float64, yClass []int, yReg []float64, probes int, seed int64) []int {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil
+	}
+	if probes <= 0 {
+		probes = d / 4
+		if probes < 3 {
+			probes = 3
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Probes mimic the real feature types: impurity-based importances
+	// are biased toward continuous features (they admit more candidate
+	// splits), so a binary indicator column must be compared against
+	// binary probes and a continuous column against continuous ones.
+	binary := make([]bool, d)
+	for j := 0; j < d; j++ {
+		binary[j] = true
+		for i := 0; i < n && binary[j]; i++ {
+			v := x[i][j]
+			if v != 0 && v != 1 {
+				binary[j] = false
+			}
+		}
+	}
+	aug := make([][]float64, n)
+	for i, row := range x {
+		r := make([]float64, d+2*probes)
+		copy(r, row)
+		for p := 0; p < probes; p++ {
+			r[d+p] = rng.NormFloat64() // continuous probes
+			if rng.Float64() < 0.3 {   // binary probes
+				r[d+probes+p] = 1
+			}
+		}
+		aug[i] = r
+	}
+	rf := &RandomForest{NumTrees: 60, MinLeaf: 2, Seed: seed}
+	if yClass != nil {
+		rf.Fit(aug, yClass)
+	} else {
+		rf.FitRegression(aug, yReg)
+	}
+	imp := rf.FeatureImportances()
+
+	contProbe := append([]float64(nil), imp[d:d+probes]...)
+	binProbe := append([]float64(nil), imp[d+probes:]...)
+	sort.Float64s(contProbe)
+	sort.Float64s(binProbe)
+	// Threshold at the 75th percentile of the matching probe type: a
+	// real feature must clearly beat noise of its own kind.
+	contThr := contProbe[(len(contProbe)*3)/4]
+	binThr := binProbe[(len(binProbe)*3)/4]
+
+	var selected []int
+	for j := 0; j < d; j++ {
+		thr := contThr
+		if binary[j] {
+			thr = binThr
+		}
+		if imp[j] > thr {
+			selected = append(selected, j)
+		}
+	}
+	if len(selected) == 0 {
+		best := 0
+		for j := 1; j < d; j++ {
+			if imp[j] > imp[best] {
+				best = j
+			}
+		}
+		selected = []int{best}
+	}
+	return selected
+}
+
+// ProjectColumns returns x restricted to the given column indices.
+func ProjectColumns(x [][]float64, cols []int) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		r := make([]float64, len(cols))
+		for k, j := range cols {
+			if j < len(row) {
+				r[k] = row[j]
+			}
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// RandomForest is a bagged ensemble of CART trees usable for both
+// classification (Fit/Predict) and regression
+// (FitRegression/PredictRegression). Bootstrap sampling plus sqrt(d)
+// feature subsampling per split; MinLeaf is the "minimum number of
+// nodes per leaf" regularizer from paper Table 6.
+type RandomForest struct {
+	// NumTrees is the ensemble size. Default 100.
+	NumTrees int
+	// MaxDepth caps tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf. Default 1.
+	MinLeaf int
+	// MaxFeatures is the number of features per split; 0 means
+	// sqrt(d) for classification and d/3 for regression.
+	MaxFeatures int
+	// Seed makes training deterministic.
+	Seed int64
+	// Workers caps parallel tree construction; 0 means GOMAXPROCS.
+	Workers int
+
+	trees      []*tree
+	numClasses int
+	importance []float64
+	dim        int
+}
+
+func (f *RandomForest) config(d int, numClasses int, rng *rand.Rand) *treeConfig {
+	maxFeat := f.MaxFeatures
+	if maxFeat <= 0 {
+		if numClasses > 0 {
+			maxFeat = int(math.Sqrt(float64(d)))
+		} else {
+			maxFeat = d / 3
+		}
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	minLeaf := f.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 1
+	}
+	return &treeConfig{
+		maxDepth:    f.MaxDepth,
+		minLeaf:     minLeaf,
+		maxFeatures: maxFeat,
+		numClasses:  numClasses,
+		rng:         rng,
+	}
+}
+
+func (f *RandomForest) numTrees() int {
+	if f.NumTrees <= 0 {
+		return 100
+	}
+	return f.NumTrees
+}
+
+func (f *RandomForest) workers() int {
+	if f.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return f.Workers
+}
+
+// Fit trains a classification forest; labels must lie in [0, max(y)].
+func (f *RandomForest) Fit(x [][]float64, y []int) {
+	numClasses := 0
+	for _, c := range y {
+		if c+1 > numClasses {
+			numClasses = c + 1
+		}
+	}
+	if numClasses < 2 {
+		numClasses = 2
+	}
+	f.fit(x, y, nil, numClasses)
+}
+
+// FitRegression trains a regression forest.
+func (f *RandomForest) FitRegression(x [][]float64, y []float64) {
+	f.fit(x, nil, y, 0)
+}
+
+func (f *RandomForest) fit(x [][]float64, yClass []int, yReg []float64, numClasses int) {
+	n := len(x)
+	f.numClasses = numClasses
+	if n == 0 {
+		f.trees = nil
+		return
+	}
+	f.dim = len(x[0])
+	nt := f.numTrees()
+	f.trees = make([]*tree, nt)
+	importances := make([][]float64, nt)
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, f.workers())
+	for t := 0; t < nt; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := rand.New(rand.NewSource(f.Seed + int64(t)*104729 + 1))
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = rng.Intn(n) // bootstrap sample
+			}
+			cfg := f.config(f.dim, numClasses, rng)
+			cfg.impurityDecay = make([]float64, f.dim)
+			f.trees[t] = buildTree(x, yClass, yReg, idx, cfg)
+			importances[t] = cfg.impurityDecay
+		}(t)
+	}
+	wg.Wait()
+
+	f.importance = make([]float64, f.dim)
+	for _, imp := range importances {
+		for j, v := range imp {
+			f.importance[j] += v
+		}
+	}
+	total := 0.0
+	for _, v := range f.importance {
+		total += v
+	}
+	if total > 0 {
+		for j := range f.importance {
+			f.importance[j] /= total
+		}
+	}
+}
+
+// Predict returns majority-vote class predictions.
+func (f *RandomForest) Predict(x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		votes := make([]float64, f.numClasses)
+		for _, t := range f.trees {
+			counts := t.predictClassCounts(row)
+			total := 0.0
+			for _, c := range counts {
+				total += c
+			}
+			if total == 0 {
+				continue
+			}
+			for c, v := range counts {
+				votes[c] += v / total
+			}
+		}
+		best := 0
+		for c := 1; c < len(votes); c++ {
+			if votes[c] > votes[best] {
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// PredictRegression returns mean-of-trees predictions.
+func (f *RandomForest) PredictRegression(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	if len(f.trees) == 0 {
+		return out
+	}
+	for i, row := range x {
+		s := 0.0
+		for _, t := range f.trees {
+			s += t.predictValue(row)
+		}
+		out[i] = s / float64(len(f.trees))
+	}
+	return out
+}
+
+// FeatureImportances returns normalized mean-decrease-impurity
+// importances, the signal the ARDA-style feature selection ranks with.
+func (f *RandomForest) FeatureImportances() []float64 { return f.importance }

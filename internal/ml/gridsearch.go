@@ -1,0 +1,82 @@
+package ml
+
+import "math"
+
+// Params is one hyper-parameter assignment.
+type Params map[string]float64
+
+// Grid expands the cross product of named parameter candidate lists
+// into concrete Params assignments, in deterministic order.
+func Grid(axes map[string][]float64) []Params {
+	names := make([]string, 0, len(axes))
+	for n := range axes {
+		names = append(names, n)
+	}
+	// Insertion sort by name for determinism.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	out := []Params{{}}
+	for _, n := range names {
+		var next []Params
+		for _, base := range out {
+			for _, v := range axes[n] {
+				p := Params{}
+				for k, x := range base {
+					p[k] = x
+				}
+				p[n] = v
+				next = append(next, p)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// GridSearchClassifier runs k-fold cross validation over the grid and
+// returns the parameter setting with the best mean accuracy, along with
+// that accuracy. make must return a fresh model for the given params.
+func GridSearchClassifier(x [][]float64, y []int, grid []Params, folds int, seed int64,
+	make func(Params) Classifier) (Params, float64) {
+	best, bestScore := Params{}, math.Inf(-1)
+	kf := KFold(len(x), folds, seed)
+	for _, p := range grid {
+		score := 0.0
+		for _, f := range kf {
+			m := make(p)
+			m.Fit(SelectRows(x, f.Train), SelectLabels(y, f.Train))
+			pred := m.Predict(SelectRows(x, f.Test))
+			score += Accuracy(pred, SelectLabels(y, f.Test))
+		}
+		score /= float64(len(kf))
+		if score > bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best, bestScore
+}
+
+// GridSearchRegressor runs k-fold CV over the grid minimizing MAE and
+// returns the best params and their mean MAE.
+func GridSearchRegressor(x [][]float64, y []float64, grid []Params, folds int, seed int64,
+	make func(Params) Regressor) (Params, float64) {
+	best, bestScore := Params{}, math.Inf(1)
+	kf := KFold(len(x), folds, seed)
+	for _, p := range grid {
+		score := 0.0
+		for _, f := range kf {
+			m := make(p)
+			m.FitRegression(SelectRows(x, f.Train), SelectFloats(y, f.Train))
+			pred := m.PredictRegression(SelectRows(x, f.Test))
+			score += MAE(pred, SelectFloats(y, f.Test))
+		}
+		score /= float64(len(kf))
+		if score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	return best, bestScore
+}

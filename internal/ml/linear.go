@@ -1,0 +1,284 @@
+package ml
+
+import (
+	"math"
+)
+
+// LinearRegression is ordinary least squares with optional ridge (L2)
+// shrinkage, solved in closed form via Cholesky on the normal equations.
+type LinearRegression struct {
+	// L2 is the ridge penalty; 0 recovers plain OLS (a tiny jitter is
+	// still added for numerical safety).
+	L2 float64
+
+	weights []float64
+	bias    float64
+}
+
+// FitRegression fits the model on x, y.
+func (m *LinearRegression) FitRegression(x [][]float64, y []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	d := len(x[0])
+	// Augment with a bias column: solve (A'A + λI)w = A'y.
+	dim := d + 1
+	ata := make([]float64, dim*dim)
+	aty := make([]float64, dim)
+	row := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		copy(row, x[i])
+		row[d] = 1
+		for a := 0; a < dim; a++ {
+			if row[a] == 0 {
+				continue
+			}
+			for b := a; b < dim; b++ {
+				ata[a*dim+b] += row[a] * row[b]
+			}
+			aty[a] += row[a] * y[i]
+		}
+	}
+	for a := 0; a < dim; a++ {
+		for b := 0; b < a; b++ {
+			ata[a*dim+b] = ata[b*dim+a]
+		}
+	}
+	lambda := m.L2
+	if lambda <= 0 {
+		lambda = 1e-8
+	}
+	for a := 0; a < d; a++ { // do not shrink the bias
+		ata[a*dim+a] += lambda
+	}
+	w := choleskySolve(ata, aty, dim)
+	m.weights = w[:d]
+	m.bias = w[d]
+}
+
+// PredictRegression returns predictions for the rows of x.
+func (m *LinearRegression) PredictRegression(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		s := m.bias
+		for j, w := range m.weights {
+			if j < len(row) {
+				s += w * row[j]
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Weights exposes the fitted coefficients (shared slice).
+func (m *LinearRegression) Weights() []float64 { return m.weights }
+
+// choleskySolve solves the symmetric positive-definite system Aw = b
+// in-place; A is dim x dim row-major. Falls back to adding jitter when
+// the factorization hits a non-positive pivot.
+func choleskySolve(a, b []float64, dim int) []float64 {
+	l := make([]float64, dim*dim)
+	for jitter := 1e-10; ; jitter *= 10 {
+		ok := true
+		for i := 0; i < dim && ok; i++ {
+			for j := 0; j <= i; j++ {
+				s := a[i*dim+j]
+				if i == j {
+					s += jitter
+				}
+				for k := 0; k < j; k++ {
+					s -= l[i*dim+k] * l[j*dim+k]
+				}
+				if i == j {
+					if s <= 0 {
+						ok = false
+						break
+					}
+					l[i*dim+j] = math.Sqrt(s)
+				} else {
+					l[i*dim+j] = s / l[j*dim+j]
+				}
+			}
+		}
+		if ok {
+			break
+		}
+		if jitter > 1 {
+			// Hopeless conditioning; return zeros rather than NaNs.
+			return make([]float64, dim)
+		}
+		for i := range l {
+			l[i] = 0
+		}
+	}
+	// Forward then back substitution.
+	yv := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l[i*dim+k] * yv[k]
+		}
+		yv[i] = s / l[i*dim+i]
+	}
+	w := make([]float64, dim)
+	for i := dim - 1; i >= 0; i-- {
+		s := yv[i]
+		for k := i + 1; k < dim; k++ {
+			s -= l[k*dim+i] * w[k]
+		}
+		w[i] = s / l[i*dim+i]
+	}
+	return w
+}
+
+// ElasticNetRegression is linear regression with the ElasticNet penalty
+// alpha * (l1Ratio*|w|_1 + (1-l1Ratio)/2*|w|_2^2), fitted by cyclic
+// coordinate descent with soft-thresholding.
+type ElasticNetRegression struct {
+	// Alpha is the overall penalty strength. Default 0.01.
+	Alpha float64
+	// L1Ratio balances L1 vs L2; 1 is lasso, 0 is ridge. Default 0.5.
+	L1Ratio float64
+	// MaxIter caps coordinate-descent sweeps. Default 200.
+	MaxIter int
+	// Tol stops when the largest coefficient update falls below it.
+	// Default 1e-6.
+	Tol float64
+
+	weights []float64
+	bias    float64
+}
+
+func (m *ElasticNetRegression) defaults() (alpha, l1 float64, iters int, tol float64) {
+	alpha = m.Alpha
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	l1 = m.L1Ratio
+	if l1 < 0 {
+		l1 = 0
+	}
+	if l1 > 1 {
+		l1 = 1
+	}
+	if m.L1Ratio == 0 {
+		l1 = 0.5
+	}
+	iters = m.MaxIter
+	if iters <= 0 {
+		iters = 200
+	}
+	tol = m.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	return alpha, l1, iters, tol
+}
+
+// FitRegression fits by coordinate descent on centered data.
+func (m *ElasticNetRegression) FitRegression(x [][]float64, y []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	d := len(x[0])
+	alpha, l1, iters, tol := m.defaults()
+	nf := float64(n)
+
+	// Center y and columns of x so the bias separates out.
+	meanY := 0.0
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= nf
+	meanX := make([]float64, d)
+	for _, row := range x {
+		for j, v := range row {
+			meanX[j] += v
+		}
+	}
+	for j := range meanX {
+		meanX[j] /= nf
+	}
+
+	// Column squared norms of centered data.
+	colSq := make([]float64, d)
+	for _, row := range x {
+		for j, v := range row {
+			c := v - meanX[j]
+			colSq[j] += c * c
+		}
+	}
+
+	w := make([]float64, d)
+	resid := make([]float64, n) // y - Xw (centered)
+	for i := range resid {
+		resid[i] = y[i] - meanY
+	}
+	l1Pen := alpha * l1 * nf
+	l2Pen := alpha * (1 - l1) * nf
+	for it := 0; it < iters; it++ {
+		maxDelta := 0.0
+		for j := 0; j < d; j++ {
+			if colSq[j] == 0 {
+				continue
+			}
+			// rho = x_j . (resid + w_j x_j)
+			rho := 0.0
+			for i, row := range x {
+				rho += (row[j] - meanX[j]) * resid[i]
+			}
+			rho += w[j] * colSq[j]
+			newW := softThreshold(rho, l1Pen) / (colSq[j] + l2Pen)
+			delta := newW - w[j]
+			if delta != 0 {
+				for i, row := range x {
+					resid[i] -= delta * (row[j] - meanX[j])
+				}
+				w[j] = newW
+				if math.Abs(delta) > maxDelta {
+					maxDelta = math.Abs(delta)
+				}
+			}
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	m.weights = w
+	m.bias = meanY
+	for j, wj := range w {
+		m.bias -= wj * meanX[j]
+	}
+}
+
+// PredictRegression returns predictions for the rows of x.
+func (m *ElasticNetRegression) PredictRegression(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		s := m.bias
+		for j, w := range m.weights {
+			if j < len(row) {
+				s += w * row[j]
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Weights exposes the fitted coefficients (shared slice).
+func (m *ElasticNetRegression) Weights() []float64 { return m.weights }
+
+func softThreshold(x, t float64) float64 {
+	switch {
+	case x > t:
+		return x - t
+	case x < -t:
+		return x + t
+	default:
+		return 0
+	}
+}

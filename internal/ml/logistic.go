@@ -1,0 +1,181 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LogisticRegression is multinomial (softmax) logistic regression with
+// an ElasticNet penalty, the classification linear model of paper
+// Fig. 4b. Training is mini-batch SGD with an L2 term in the gradient
+// and an L1 proximal (soft-threshold) step after each update.
+type LogisticRegression struct {
+	// Alpha is the overall penalty strength. Default 1e-4.
+	Alpha float64
+	// L1Ratio balances L1 vs L2 (ElasticNet). Default 0.5.
+	L1Ratio float64
+	// Epochs over the training set. Default 50.
+	Epochs int
+	// LearningRate is the initial SGD step. Default 0.1, decayed 1/t.
+	LearningRate float64
+	// BatchSize for mini-batch SGD. Default 32.
+	BatchSize int
+	// Seed for shuffling.
+	Seed int64
+
+	numClasses int
+	dim        int
+	w          []float64 // numClasses x dim
+	b          []float64 // numClasses
+}
+
+func (m *LogisticRegression) params() (alpha, l1, lr float64, epochs, batch int) {
+	alpha = m.Alpha
+	if alpha <= 0 {
+		alpha = 1e-4
+	}
+	l1 = m.L1Ratio
+	if m.L1Ratio == 0 {
+		l1 = 0.5
+	}
+	if l1 < 0 {
+		l1 = 0
+	}
+	if l1 > 1 {
+		l1 = 1
+	}
+	lr = m.LearningRate
+	if lr <= 0 {
+		lr = 0.1
+	}
+	epochs = m.Epochs
+	if epochs <= 0 {
+		epochs = 50
+	}
+	batch = m.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	return alpha, l1, lr, epochs, batch
+}
+
+// Fit trains the classifier on x with labels y in [0, max(y)].
+func (m *LogisticRegression) Fit(x [][]float64, y []int) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	m.dim = len(x[0])
+	m.numClasses = 0
+	for _, c := range y {
+		if c+1 > m.numClasses {
+			m.numClasses = c + 1
+		}
+	}
+	if m.numClasses < 2 {
+		m.numClasses = 2
+	}
+	alpha, l1, lr0, epochs, batch := m.params()
+	m.w = make([]float64, m.numClasses*m.dim)
+	m.b = make([]float64, m.numClasses)
+
+	rng := rand.New(rand.NewSource(m.Seed))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	probs := make([]float64, m.numClasses)
+	step := 0
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for lo := 0; lo < n; lo += batch {
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			step++
+			lr := lr0 / (1 + 0.01*float64(step))
+			scale := lr / float64(hi-lo)
+			for _, i := range order[lo:hi] {
+				m.softmax(x[i], probs)
+				for c := 0; c < m.numClasses; c++ {
+					g := probs[c]
+					if c == y[i] {
+						g -= 1
+					}
+					if g == 0 {
+						continue
+					}
+					wc := m.w[c*m.dim : (c+1)*m.dim]
+					gs := g * scale
+					for j, v := range x[i] {
+						wc[j] -= gs * v
+					}
+					m.b[c] -= gs
+				}
+			}
+			// ElasticNet: L2 shrink + L1 proximal step.
+			l2Mul := 1 - lr*alpha*(1-l1)
+			if l2Mul < 0 {
+				l2Mul = 0
+			}
+			l1Step := lr * alpha * l1
+			for k := range m.w {
+				m.w[k] = softThreshold(m.w[k]*l2Mul, l1Step)
+			}
+		}
+	}
+}
+
+func (m *LogisticRegression) softmax(row []float64, probs []float64) {
+	maxZ := math.Inf(-1)
+	for c := 0; c < m.numClasses; c++ {
+		z := m.b[c]
+		wc := m.w[c*m.dim : (c+1)*m.dim]
+		for j, v := range row {
+			if j < len(wc) {
+				z += wc[j] * v
+			}
+		}
+		probs[c] = z
+		if z > maxZ {
+			maxZ = z
+		}
+	}
+	sum := 0.0
+	for c := range probs[:m.numClasses] {
+		probs[c] = math.Exp(probs[c] - maxZ)
+		sum += probs[c]
+	}
+	for c := range probs[:m.numClasses] {
+		probs[c] /= sum
+	}
+}
+
+// Predict returns the argmax class per row.
+func (m *LogisticRegression) Predict(x [][]float64) []int {
+	out := make([]int, len(x))
+	probs := make([]float64, m.numClasses)
+	for i, row := range x {
+		m.softmax(row, probs)
+		best := 0
+		for c := 1; c < m.numClasses; c++ {
+			if probs[c] > probs[best] {
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// PredictProba returns class probabilities per row.
+func (m *LogisticRegression) PredictProba(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		probs := make([]float64, m.numClasses)
+		m.softmax(row, probs)
+		out[i] = probs
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package ml
+
+import "math"
+
+// Accuracy returns the fraction of exact label matches.
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("ml: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	n := 0
+	for i, p := range pred {
+		if p == truth[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(pred))
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("ml: MAE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		s += math.Abs(p - truth[i])
+	}
+	return s / float64(len(pred))
+}
+
+// MSE returns the mean squared error.
+func MSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("ml: MSE length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		d := p - truth[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination of predictions against
+// truth; 1 is perfect, 0 matches predicting the mean, negative is worse
+// than the mean.
+func R2(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic("ml: R2 length mismatch")
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, t := range truth {
+		mean += t
+	}
+	mean /= float64(len(truth))
+	var ssRes, ssTot float64
+	for i, t := range truth {
+		d := t - pred[i]
+		ssRes += d * d
+		m := t - mean
+		ssTot += m * m
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// F1Binary returns the F1 score treating class `positive` as positive.
+func F1Binary(pred, truth []int, positive int) float64 {
+	if len(pred) != len(truth) {
+		panic("ml: F1Binary length mismatch")
+	}
+	var tp, fp, fn float64
+	for i, p := range pred {
+		t := truth[i]
+		switch {
+		case p == positive && t == positive:
+			tp++
+		case p == positive && t != positive:
+			fp++
+		case p != positive && t == positive:
+			fn++
+		}
+	}
+	if tp == 0 {
+		return 0
+	}
+	prec := tp / (tp + fp)
+	rec := tp / (tp + fn)
+	return 2 * prec * rec / (prec + rec)
+}
+
+// PrecisionRecallF1 returns the binary precision, recall and F1 given
+// counts of true positives, false positives and false negatives. It is
+// the scoring primitive the entity-resolution experiment uses on sets of
+// predicted match pairs.
+func PrecisionRecallF1(tp, fp, fn int) (prec, rec, f1 float64) {
+	if tp == 0 {
+		return 0, 0, 0
+	}
+	prec = float64(tp) / float64(tp+fp)
+	rec = float64(tp) / float64(tp+fn)
+	f1 = 2 * prec * rec / (prec + rec)
+	return prec, rec, f1
+}
+
+// AUC returns the area under the ROC curve for binary classification
+// given positive-class scores. Ties in score contribute half, the
+// standard Mann-Whitney convention.
+func AUC(scores []float64, truth []int, positive int) float64 {
+	if len(scores) != len(truth) {
+		panic("ml: AUC length mismatch")
+	}
+	type pair struct {
+		score float64
+		pos   bool
+	}
+	pairs := make([]pair, len(scores))
+	nPos, nNeg := 0, 0
+	for i, s := range scores {
+		p := truth[i] == positive
+		pairs[i] = pair{score: s, pos: p}
+		if p {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0
+	}
+	// O(n^2) pair counting is fine at evaluation sizes and avoids a
+	// rank-with-ties subtlety.
+	wins := 0.0
+	for _, a := range pairs {
+		if !a.pos {
+			continue
+		}
+		for _, b := range pairs {
+			if b.pos {
+				continue
+			}
+			switch {
+			case a.score > b.score:
+				wins++
+			case a.score == b.score:
+				wins += 0.5
+			}
+		}
+	}
+	return wins / float64(nPos*nNeg)
+}
+
+// MacroF1 averages per-class F1 over numClasses classes.
+func MacroF1(pred, truth []int, numClasses int) float64 {
+	if numClasses == 0 {
+		return 0
+	}
+	s := 0.0
+	for c := 0; c < numClasses; c++ {
+		s += F1Binary(pred, truth, c)
+	}
+	return s / float64(numClasses)
+}

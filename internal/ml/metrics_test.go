@@ -1,0 +1,162 @@
+package ml
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); a != 2.0/3.0 {
+		t.Errorf("Accuracy = %v", a)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy != 0")
+	}
+}
+
+func TestRegressionMetrics(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{2, 2, 5}
+	if m := MAE(pred, truth); m != 1 {
+		t.Errorf("MAE = %v", m)
+	}
+	if m := MSE(pred, truth); math.Abs(m-5.0/3.0) > 1e-12 {
+		t.Errorf("MSE = %v", m)
+	}
+	// Perfect prediction.
+	if r := R2(truth, truth); r != 1 {
+		t.Errorf("R2 perfect = %v", r)
+	}
+	// Mean prediction has R2 = 0.
+	mean := (2.0 + 2.0 + 5.0) / 3
+	if r := R2([]float64{mean, mean, mean}, truth); math.Abs(r) > 1e-12 {
+		t.Errorf("R2 mean = %v", r)
+	}
+}
+
+func TestF1(t *testing.T) {
+	pred := []int{1, 1, 0, 1}
+	truth := []int{1, 0, 1, 1}
+	// tp=2 fp=1 fn=1 -> p=2/3 r=2/3 f1=2/3.
+	if f := F1Binary(pred, truth, 1); math.Abs(f-2.0/3.0) > 1e-12 {
+		t.Errorf("F1 = %v", f)
+	}
+	if f := F1Binary([]int{0, 0}, []int{1, 1}, 1); f != 0 {
+		t.Errorf("zero-tp F1 = %v", f)
+	}
+	p, r, f := PrecisionRecallF1(2, 1, 1)
+	if math.Abs(p-2.0/3.0) > 1e-12 || math.Abs(r-2.0/3.0) > 1e-12 || math.Abs(f-2.0/3.0) > 1e-12 {
+		t.Errorf("PRF = %v %v %v", p, r, f)
+	}
+	if m := MacroF1(pred, truth, 2); m <= 0 || m > 1 {
+		t.Errorf("MacroF1 = %v", m)
+	}
+}
+
+func TestSplitters(t *testing.T) {
+	s := TrainTestSplit(100, 0.25, 1)
+	if len(s.Train) != 75 || len(s.Test) != 25 {
+		t.Fatalf("split sizes %d/%d", len(s.Train), len(s.Test))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, s.Train...), s.Test...) {
+		if seen[i] {
+			t.Fatal("duplicate index in split")
+		}
+		seen[i] = true
+	}
+	if len(seen) != 100 {
+		t.Fatal("split does not cover all rows")
+	}
+	// Deterministic per seed.
+	s2 := TrainTestSplit(100, 0.25, 1)
+	for i := range s.Train {
+		if s.Train[i] != s2.Train[i] {
+			t.Fatal("split not deterministic")
+		}
+	}
+
+	folds := KFold(50, 5, 2)
+	if len(folds) != 5 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	covered := map[int]int{}
+	for _, f := range folds {
+		if len(f.Train)+len(f.Test) != 50 {
+			t.Fatal("fold does not partition")
+		}
+		for _, i := range f.Test {
+			covered[i]++
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if covered[i] != 1 {
+			t.Fatalf("row %d in %d test folds", i, covered[i])
+		}
+	}
+}
+
+func TestAUC(t *testing.T) {
+	// Perfect separation.
+	if a := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []int{1, 1, 0, 0}, 1); a != 1 {
+		t.Errorf("perfect AUC = %v", a)
+	}
+	// Inverted scores.
+	if a := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []int{1, 1, 0, 0}, 1); a != 0 {
+		t.Errorf("inverted AUC = %v", a)
+	}
+	// All-tied scores: 0.5 by convention.
+	if a := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []int{1, 1, 0, 0}, 1); a != 0.5 {
+		t.Errorf("tied AUC = %v", a)
+	}
+	// Degenerate single-class input.
+	if a := AUC([]float64{0.5, 0.6}, []int{1, 1}, 1); a != 0 {
+		t.Errorf("single-class AUC = %v", a)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	pred := []int{0, 1, 1, 0, 1}
+	truth := []int{0, 1, 0, 0, 1}
+	m := NewConfusionMatrix(pred, truth, 2)
+	if m.Counts[0][0] != 2 || m.Counts[0][1] != 1 || m.Counts[1][1] != 2 || m.Counts[1][0] != 0 {
+		t.Errorf("counts = %v", m.Counts)
+	}
+	if a := m.Accuracy(); a != 0.8 {
+		t.Errorf("accuracy = %v", a)
+	}
+	p, r, _ := m.PerClass(1)
+	if p != 2.0/3.0 || r != 1 {
+		t.Errorf("class 1 prec/rec = %v/%v", p, r)
+	}
+	s := m.String()
+	if !strings.Contains(s, "accuracy 0.800") || !strings.Contains(s, "prec") {
+		t.Errorf("render:\n%s", s)
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	x := [][]float64{{1, 10}, {3, 30}, {5, 50}}
+	s := FitStandardizer(x)
+	out := s.Transform(x)
+	for j := 0; j < 2; j++ {
+		mean, sq := 0.0, 0.0
+		for i := range out {
+			mean += out[i][j]
+		}
+		mean /= 3
+		for i := range out {
+			d := out[i][j] - mean
+			sq += d * d
+		}
+		if math.Abs(mean) > 1e-12 || math.Abs(sq/3-1) > 1e-9 {
+			t.Errorf("col %d mean %v var %v", j, mean, sq/3)
+		}
+	}
+	// Constant column does not blow up.
+	c := FitStandardizer([][]float64{{7}, {7}})
+	if got := c.Transform([][]float64{{7}})[0][0]; got != 0 {
+		t.Errorf("constant col transformed to %v", got)
+	}
+}

@@ -1,0 +1,328 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is the paper's 2-layer fully connected network: one ReLU hidden
+// layer (default width 64) followed by a linear output — softmax
+// cross-entropy for classification, mean squared error for regression.
+// Training is mini-batch Adam with optional dropout on the hidden layer
+// (the regularizer of paper Table 6) and optional L2 weight decay.
+type MLP struct {
+	// Hidden is the hidden-layer width. Default 64.
+	Hidden int
+	// Epochs over the training set. Default 100.
+	Epochs int
+	// BatchSize for mini-batch updates. Default 32.
+	BatchSize int
+	// LearningRate is the Adam step size. Default 1e-3.
+	LearningRate float64
+	// Dropout is the hidden-unit drop probability at train time.
+	Dropout float64
+	// L2 is the weight-decay coefficient.
+	L2 float64
+	// Seed makes initialization and shuffling deterministic.
+	Seed int64
+
+	dim, out   int
+	regression bool
+
+	w1, b1, w2, b2 []float64
+	// Adam state
+	mw1, vw1, mb1, vb1 []float64
+	mw2, vw2, mb2, vb2 []float64
+	step               int
+}
+
+func (m *MLP) hidden() int {
+	if m.Hidden <= 0 {
+		return 64
+	}
+	return m.Hidden
+}
+
+func (m *MLP) epochs() int {
+	if m.Epochs <= 0 {
+		return 100
+	}
+	return m.Epochs
+}
+
+func (m *MLP) batch() int {
+	if m.BatchSize <= 0 {
+		return 32
+	}
+	return m.BatchSize
+}
+
+func (m *MLP) lr() float64 {
+	if m.LearningRate <= 0 {
+		return 1e-3
+	}
+	return m.LearningRate
+}
+
+// Fit trains for classification with labels in [0, max(y)].
+func (m *MLP) Fit(x [][]float64, y []int) {
+	numClasses := 0
+	for _, c := range y {
+		if c+1 > numClasses {
+			numClasses = c + 1
+		}
+	}
+	if numClasses < 2 {
+		numClasses = 2
+	}
+	m.regression = false
+	m.train(x, y, nil, numClasses)
+}
+
+// FitRegression trains for scalar regression.
+func (m *MLP) FitRegression(x [][]float64, y []float64) {
+	cols := make([][]float64, len(y))
+	for i, v := range y {
+		cols[i] = []float64{v}
+	}
+	m.FitMultiRegression(x, cols)
+}
+
+// FitMultiRegression trains for vector-valued regression (one linear
+// output unit per target dimension, MSE loss).
+func (m *MLP) FitMultiRegression(x [][]float64, y [][]float64) {
+	m.regression = true
+	out := 1
+	if len(y) > 0 {
+		out = len(y[0])
+	}
+	m.train(x, nil, y, out)
+}
+
+func (m *MLP) train(x [][]float64, yClass []int, yReg [][]float64, out int) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	m.dim = len(x[0])
+	m.out = out
+	h := m.hidden()
+	rng := rand.New(rand.NewSource(m.Seed))
+
+	// He initialization for the ReLU layer, Xavier for the output.
+	m.w1 = make([]float64, h*m.dim)
+	scale1 := math.Sqrt(2 / float64(m.dim))
+	for i := range m.w1 {
+		m.w1[i] = rng.NormFloat64() * scale1
+	}
+	m.b1 = make([]float64, h)
+	m.w2 = make([]float64, out*h)
+	scale2 := math.Sqrt(1 / float64(h))
+	for i := range m.w2 {
+		m.w2[i] = rng.NormFloat64() * scale2
+	}
+	m.b2 = make([]float64, out)
+	m.mw1 = make([]float64, len(m.w1))
+	m.vw1 = make([]float64, len(m.w1))
+	m.mb1 = make([]float64, len(m.b1))
+	m.vb1 = make([]float64, len(m.b1))
+	m.mw2 = make([]float64, len(m.w2))
+	m.vw2 = make([]float64, len(m.w2))
+	m.mb2 = make([]float64, len(m.b2))
+	m.vb2 = make([]float64, len(m.b2))
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	gw1 := make([]float64, len(m.w1))
+	gb1 := make([]float64, len(m.b1))
+	gw2 := make([]float64, len(m.w2))
+	gb2 := make([]float64, len(m.b2))
+	hid := make([]float64, h)
+	act := make([]float64, h)
+	mask := make([]bool, h)
+	outv := make([]float64, out)
+	dOut := make([]float64, out)
+	dHid := make([]float64, h)
+
+	for e := 0; e < m.epochs(); e++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for lo := 0; lo < n; lo += m.batch() {
+			hi := lo + m.batch()
+			if hi > n {
+				hi = n
+			}
+			zero(gw1)
+			zero(gb1)
+			zero(gw2)
+			zero(gb2)
+			for _, i := range order[lo:hi] {
+				m.forward(x[i], hid, act, mask, outv, rng, true)
+				// Output gradient.
+				if m.regression {
+					for c := 0; c < out; c++ {
+						dOut[c] = outv[c] - yReg[i][c]
+					}
+				} else {
+					softmaxInPlace(outv)
+					copy(dOut, outv)
+					dOut[yClass[i]] -= 1
+				}
+				// Backprop to hidden.
+				for j := 0; j < h; j++ {
+					s := 0.0
+					for c := 0; c < out; c++ {
+						s += dOut[c] * m.w2[c*h+j]
+					}
+					if act[j] <= 0 || mask[j] {
+						s = 0
+					}
+					dHid[j] = s
+				}
+				for c := 0; c < out; c++ {
+					for j := 0; j < h; j++ {
+						gw2[c*h+j] += dOut[c] * act[j]
+					}
+					gb2[c] += dOut[c]
+				}
+				for j := 0; j < h; j++ {
+					if dHid[j] == 0 {
+						continue
+					}
+					row := gw1[j*m.dim : (j+1)*m.dim]
+					for k, v := range x[i] {
+						row[k] += dHid[j] * v
+					}
+					gb1[j] += dHid[j]
+				}
+			}
+			inv := 1 / float64(hi-lo)
+			m.step++
+			m.adam(m.w1, gw1, m.mw1, m.vw1, inv)
+			m.adam(m.b1, gb1, m.mb1, m.vb1, inv)
+			m.adam(m.w2, gw2, m.mw2, m.vw2, inv)
+			m.adam(m.b2, gb2, m.mb2, m.vb2, inv)
+		}
+	}
+}
+
+// forward computes hidden pre-activations, ReLU activations (with
+// optional inverted dropout when train is true) and output logits.
+func (m *MLP) forward(row []float64, hid, act []float64, mask []bool, outv []float64, rng *rand.Rand, train bool) {
+	h := len(hid)
+	for j := 0; j < h; j++ {
+		s := m.b1[j]
+		wj := m.w1[j*m.dim : (j+1)*m.dim]
+		for k, v := range row {
+			if k < len(wj) {
+				s += wj[k] * v
+			}
+		}
+		hid[j] = s
+		a := s
+		if a < 0 {
+			a = 0
+		}
+		mask[j] = false
+		if train && m.Dropout > 0 {
+			if rng.Float64() < m.Dropout {
+				a = 0
+				mask[j] = true
+			} else {
+				a /= 1 - m.Dropout
+			}
+		}
+		act[j] = a
+	}
+	for c := 0; c < m.out; c++ {
+		s := m.b2[c]
+		wc := m.w2[c*h : (c+1)*h]
+		for j := 0; j < h; j++ {
+			s += wc[j] * act[j]
+		}
+		outv[c] = s
+	}
+}
+
+func (m *MLP) adam(w, g, mom, vel []float64, gradScale float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	lr := m.lr()
+	bc1 := 1 - math.Pow(beta1, float64(m.step))
+	bc2 := 1 - math.Pow(beta2, float64(m.step))
+	for i := range w {
+		grad := g[i]*gradScale + m.L2*w[i]
+		mom[i] = beta1*mom[i] + (1-beta1)*grad
+		vel[i] = beta2*vel[i] + (1-beta2)*grad*grad
+		w[i] -= lr * (mom[i] / bc1) / (math.Sqrt(vel[i]/bc2) + eps)
+	}
+}
+
+// Predict returns argmax class predictions.
+func (m *MLP) Predict(x [][]float64) []int {
+	out := make([]int, len(x))
+	h := m.hidden()
+	hid := make([]float64, h)
+	act := make([]float64, h)
+	mask := make([]bool, h)
+	outv := make([]float64, m.out)
+	for i, row := range x {
+		m.forward(row, hid, act, mask, outv, nil, false)
+		best := 0
+		for c := 1; c < m.out; c++ {
+			if outv[c] > outv[best] {
+				best = c
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// PredictRegression returns scalar predictions.
+func (m *MLP) PredictRegression(x [][]float64) []float64 {
+	multi := m.PredictMultiRegression(x)
+	out := make([]float64, len(x))
+	for i, row := range multi {
+		out[i] = row[0]
+	}
+	return out
+}
+
+// PredictMultiRegression returns vector-valued predictions.
+func (m *MLP) PredictMultiRegression(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	h := m.hidden()
+	hid := make([]float64, h)
+	act := make([]float64, h)
+	mask := make([]bool, h)
+	outv := make([]float64, m.out)
+	for i, row := range x {
+		m.forward(row, hid, act, mask, outv, nil, false)
+		out[i] = append([]float64(nil), outv...)
+	}
+	return out
+}
+
+func softmaxInPlace(v []float64) {
+	maxV := v[0]
+	for _, x := range v[1:] {
+		if x > maxV {
+			maxV = x
+		}
+	}
+	sum := 0.0
+	for i := range v {
+		v[i] = math.Exp(v[i] - maxV)
+		sum += v[i]
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

@@ -1,0 +1,294 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// linearData generates y = 3*x0 - 2*x1 + 1 + eps.
+func linearData(n int, noise float64, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = 3*x[i][0] - 2*x[i][1] + 1 + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestLinearRegressionRecoversCoefficients(t *testing.T) {
+	x, y := linearData(500, 0.01, 1)
+	m := &LinearRegression{}
+	m.FitRegression(x, y)
+	w := m.Weights()
+	if math.Abs(w[0]-3) > 0.05 || math.Abs(w[1]+2) > 0.05 {
+		t.Errorf("weights = %v, want [3, -2]", w)
+	}
+	pred := m.PredictRegression(x)
+	if r := R2(pred, y); r < 0.999 {
+		t.Errorf("R2 = %v", r)
+	}
+}
+
+func TestLinearRegressionRidgeShrinks(t *testing.T) {
+	x, y := linearData(50, 0.5, 2)
+	plain := &LinearRegression{}
+	plain.FitRegression(x, y)
+	ridge := &LinearRegression{L2: 100}
+	ridge.FitRegression(x, y)
+	if math.Abs(ridge.Weights()[0]) >= math.Abs(plain.Weights()[0]) {
+		t.Error("ridge did not shrink coefficients")
+	}
+}
+
+func TestElasticNetSparsityAndFit(t *testing.T) {
+	// Third feature is pure noise; strong L1 must zero it out.
+	rng := rand.New(rand.NewSource(3))
+	n := 400
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = 2*x[i][0] - x[i][1] + 0.05*rng.NormFloat64()
+	}
+	m := &ElasticNetRegression{Alpha: 0.05, L1Ratio: 1}
+	m.FitRegression(x, y)
+	w := m.Weights()
+	if math.Abs(w[2]) > 0.02 {
+		t.Errorf("noise coefficient not shrunk: %v", w)
+	}
+	if w[0] < 1.5 || w[1] > -0.5 {
+		t.Errorf("signal coefficients lost: %v", w)
+	}
+	pred := m.PredictRegression(x)
+	if r := R2(pred, y); r < 0.95 {
+		t.Errorf("R2 = %v", r)
+	}
+}
+
+// blobs returns two Gaussian clusters labeled 0/1.
+func blobs(n int, sep float64, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		c := i % 2
+		y[i] = c
+		ofs := -sep
+		if c == 1 {
+			ofs = sep
+		}
+		x[i] = []float64{ofs + rng.NormFloat64(), ofs + rng.NormFloat64()}
+	}
+	return x, y
+}
+
+func TestLogisticRegressionSeparable(t *testing.T) {
+	x, y := blobs(400, 2.5, 4)
+	m := &LogisticRegression{Epochs: 30, Seed: 1}
+	m.Fit(x, y)
+	if acc := Accuracy(m.Predict(x), y); acc < 0.95 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	probs := m.PredictProba(x[:3])
+	for _, p := range probs {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("probs do not sum to 1: %v", p)
+		}
+	}
+}
+
+func TestLogisticRegressionMulticlass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var x [][]float64
+	var y []int
+	centers := [][2]float64{{0, 0}, {5, 0}, {0, 5}}
+	for i := 0; i < 600; i++ {
+		c := i % 3
+		x = append(x, []float64{centers[c][0] + rng.NormFloat64(), centers[c][1] + rng.NormFloat64()})
+		y = append(y, c)
+	}
+	m := &LogisticRegression{Epochs: 40, Seed: 2}
+	m.Fit(x, y)
+	if acc := Accuracy(m.Predict(x), y); acc < 0.95 {
+		t.Errorf("3-class accuracy = %v", acc)
+	}
+}
+
+func TestRandomForestClassification(t *testing.T) {
+	x, y := blobs(400, 2, 6)
+	f := &RandomForest{NumTrees: 30, Seed: 1}
+	f.Fit(x, y)
+	if acc := Accuracy(f.Predict(x), y); acc < 0.95 {
+		t.Errorf("forest accuracy = %v", acc)
+	}
+	imp := f.FeatureImportances()
+	sum := 0.0
+	for _, v := range imp {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+}
+
+func TestRandomForestRegression(t *testing.T) {
+	// Nonlinear target a linear model cannot fit: y = x0^2.
+	rng := rand.New(rand.NewSource(7))
+	n := 600
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Float64()*4 - 2}
+		y[i] = x[i][0] * x[i][0]
+	}
+	f := &RandomForest{NumTrees: 40, Seed: 2}
+	f.FitRegression(x, y)
+	if r := R2(f.PredictRegression(x), y); r < 0.95 {
+		t.Errorf("forest regression R2 = %v", r)
+	}
+}
+
+func TestRandomForestMinLeafRegularizes(t *testing.T) {
+	x, y := blobs(200, 0.3, 8) // heavily overlapping: memorization risk
+	big := &RandomForest{NumTrees: 20, MinLeaf: 1, Seed: 3}
+	big.Fit(x, y)
+	reg := &RandomForest{NumTrees: 20, MinLeaf: 40, Seed: 3}
+	reg.Fit(x, y)
+	accBig := Accuracy(big.Predict(x), y)
+	accReg := Accuracy(reg.Predict(x), y)
+	if accReg >= accBig {
+		t.Errorf("min-leaf forest fits training as well as unconstrained (%v >= %v)", accReg, accBig)
+	}
+}
+
+func TestMLPXor(t *testing.T) {
+	// XOR is the classic not-linearly-separable case.
+	var x [][]float64
+	var y []int
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 400; i++ {
+		a, b := rng.Float64() > 0.5, rng.Float64() > 0.5
+		fx := []float64{0, 0}
+		if a {
+			fx[0] = 1
+		}
+		if b {
+			fx[1] = 1
+		}
+		fx[0] += rng.NormFloat64() * 0.1
+		fx[1] += rng.NormFloat64() * 0.1
+		x = append(x, fx)
+		if a != b {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	m := &MLP{Hidden: 16, Epochs: 150, Seed: 4}
+	m.Fit(x, y)
+	if acc := Accuracy(m.Predict(x), y); acc < 0.95 {
+		t.Errorf("XOR accuracy = %v", acc)
+	}
+}
+
+func TestMLPRegression(t *testing.T) {
+	x, y := linearData(400, 0.05, 10)
+	m := &MLP{Hidden: 16, Epochs: 150, Seed: 5}
+	m.FitRegression(x, y)
+	if r := R2(m.PredictRegression(x), y); r < 0.97 {
+		t.Errorf("MLP regression R2 = %v", r)
+	}
+}
+
+func TestMLPMultiRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 300
+	x := make([][]float64, n)
+	y := make([][]float64, n)
+	for i := range x {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x[i] = []float64{a, b}
+		y[i] = []float64{2 * a, a + b}
+	}
+	m := &MLP{Hidden: 16, Epochs: 150, Seed: 6}
+	m.FitMultiRegression(x, y)
+	if r := R2Multi(m.PredictMultiRegression(x), y); r < 0.95 {
+		t.Errorf("multi-output R2 = %v", r)
+	}
+}
+
+func TestMultiOutputLinear(t *testing.T) {
+	x, y1 := linearData(200, 0.01, 12)
+	y := make([][]float64, len(y1))
+	for i, v := range y1 {
+		y[i] = []float64{v, -v}
+	}
+	mo := &MultiOutput{New: func(int) Regressor { return &LinearRegression{} }}
+	mo.Fit(x, y)
+	if r := R2Multi(mo.Predict(x), y); r < 0.999 {
+		t.Errorf("multi-output linear R2 = %v", r)
+	}
+}
+
+// Property: forest class predictions always land in the label range,
+// whatever the data looks like.
+func TestForestPredictionRangeProperty(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(50)
+		k := 2 + rng.Intn(4)
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64(), rng.NormFloat64() * 100}
+			y[i] = rng.Intn(k)
+		}
+		f := &RandomForest{NumTrees: 10, Seed: seed}
+		f.Fit(x, y)
+		for _, p := range f.Predict(x) {
+			if p < 0 || p >= k {
+				t.Fatalf("seed %d: prediction %d outside [0,%d)", seed, p, k)
+			}
+		}
+	}
+}
+
+// Property: model outputs stay finite on adversarial feature scales.
+func TestModelsFiniteOnExtremeScales(t *testing.T) {
+	x := [][]float64{{1e12, -1e-12}, {-1e12, 1e-12}, {0, 0}, {1e12, 1e-12}}
+	yClass := []int{0, 1, 0, 1}
+	yReg := []float64{1e6, -1e6, 0, 1e6}
+
+	lr := &LogisticRegression{Epochs: 5, Seed: 1}
+	lr.Fit(x, yClass)
+	for _, row := range lr.PredictProba(x) {
+		for _, p := range row {
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Fatal("logistic produced non-finite probability")
+			}
+		}
+	}
+	lin := &LinearRegression{}
+	lin.FitRegression(x, yReg)
+	for _, p := range lin.PredictRegression(x) {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatal("linear regression produced non-finite prediction")
+		}
+	}
+}
+
+func TestMLPDropoutStillLearns(t *testing.T) {
+	x, y := blobs(400, 2.5, 13)
+	m := &MLP{Hidden: 32, Epochs: 100, Dropout: 0.3, Seed: 7}
+	m.Fit(x, y)
+	if acc := Accuracy(m.Predict(x), y); acc < 0.9 {
+		t.Errorf("dropout accuracy = %v", acc)
+	}
+}

@@ -1,0 +1,55 @@
+package ml
+
+// MultiOutput fits one independent regressor per output dimension, the
+// vector-valued regression the Fig. 3 embedding-recovery experiment
+// needs (mapping E_all token vectors onto E_clean token vectors).
+type MultiOutput struct {
+	// New returns a fresh single-output regressor for output dim j.
+	New func(j int) Regressor
+
+	models []Regressor
+}
+
+// Fit trains len(y[0]) regressors on (x, y column j).
+func (m *MultiOutput) Fit(x [][]float64, y [][]float64) {
+	if len(y) == 0 {
+		return
+	}
+	k := len(y[0])
+	m.models = make([]Regressor, k)
+	col := make([]float64, len(y))
+	for j := 0; j < k; j++ {
+		for i := range y {
+			col[i] = y[i][j]
+		}
+		r := m.New(j)
+		r.FitRegression(x, append([]float64(nil), col...))
+		m.models[j] = r
+	}
+}
+
+// Predict returns the stacked per-dimension predictions.
+func (m *MultiOutput) Predict(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i := range out {
+		out[i] = make([]float64, len(m.models))
+	}
+	for j, r := range m.models {
+		pred := r.PredictRegression(x)
+		for i, v := range pred {
+			out[i][j] = v
+		}
+	}
+	return out
+}
+
+// R2Multi returns the pooled coefficient of determination over every
+// (sample, dimension) pair.
+func R2Multi(pred, truth [][]float64) float64 {
+	var flatP, flatT []float64
+	for i := range truth {
+		flatP = append(flatP, pred[i]...)
+		flatT = append(flatT, truth[i]...)
+	}
+	return R2(flatP, flatT)
+}

@@ -1,0 +1,273 @@
+package ml
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// treeNode is one CART node; leaves have featureIdx == -1.
+type treeNode struct {
+	featureIdx int
+	threshold  float64
+	left       int32 // child indices into the tree's node arena
+	right      int32
+	// leaf payload
+	classCounts []float64 // classification: per-class training counts
+	value       float64   // regression: mean target
+}
+
+// treeConfig bundles the hyper-parameters shared by both tree kinds.
+type treeConfig struct {
+	maxDepth      int
+	minLeaf       int // regularization: "minimum number of nodes per leaf" (paper Table 6)
+	maxFeatures   int // features considered per split; 0 = all
+	numClasses    int // 0 for regression
+	rng           *rand.Rand
+	impurityDecay []float64 // per-feature accumulated impurity decrease (importance)
+}
+
+// tree is a fitted CART over an arena of nodes.
+type tree struct {
+	nodes      []treeNode
+	numClasses int
+}
+
+// buildTree grows a tree on x[idx], y[idx].
+func buildTree(x [][]float64, yClass []int, yReg []float64, idx []int, cfg *treeConfig) *tree {
+	t := &tree{numClasses: cfg.numClasses}
+	t.grow(x, yClass, yReg, idx, cfg, 0)
+	return t
+}
+
+func (t *tree) grow(x [][]float64, yClass []int, yReg []float64, idx []int, cfg *treeConfig, depth int) int32 {
+	nodeID := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{featureIdx: -1})
+
+	if cfg.numClasses > 0 {
+		counts := make([]float64, cfg.numClasses)
+		for _, i := range idx {
+			counts[yClass[i]]++
+		}
+		t.nodes[nodeID].classCounts = counts
+		if pure(counts) || len(idx) < 2*cfg.minLeaf || (cfg.maxDepth > 0 && depth >= cfg.maxDepth) {
+			return nodeID
+		}
+	} else {
+		mean := 0.0
+		for _, i := range idx {
+			mean += yReg[i]
+		}
+		mean /= float64(len(idx))
+		t.nodes[nodeID].value = mean
+		if len(idx) < 2*cfg.minLeaf || (cfg.maxDepth > 0 && depth >= cfg.maxDepth) {
+			return nodeID
+		}
+	}
+
+	feat, thr, gain := bestSplit(x, yClass, yReg, idx, cfg)
+	if feat < 0 {
+		return nodeID
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.minLeaf || len(right) < cfg.minLeaf {
+		return nodeID
+	}
+	if cfg.impurityDecay != nil {
+		cfg.impurityDecay[feat] += gain * float64(len(idx))
+	}
+	t.nodes[nodeID].featureIdx = feat
+	t.nodes[nodeID].threshold = thr
+	l := t.grow(x, yClass, yReg, left, cfg, depth+1)
+	r := t.grow(x, yClass, yReg, right, cfg, depth+1)
+	t.nodes[nodeID].left = l
+	t.nodes[nodeID].right = r
+	return nodeID
+}
+
+func pure(counts []float64) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	return nonzero <= 1
+}
+
+// bestSplit scans a feature subset for the split maximizing impurity
+// decrease (Gini for classification, variance for regression). Returns
+// feature -1 when no split improves.
+func bestSplit(x [][]float64, yClass []int, yReg []float64, idx []int, cfg *treeConfig) (int, float64, float64) {
+	d := len(x[idx[0]])
+	features := make([]int, d)
+	for i := range features {
+		features[i] = i
+	}
+	if cfg.maxFeatures > 0 && cfg.maxFeatures < d {
+		cfg.rng.Shuffle(d, func(i, j int) { features[i], features[j] = features[j], features[i] })
+		features = features[:cfg.maxFeatures]
+	}
+
+	bestFeat, bestThr, bestGain := -1, 0.0, 1e-12
+	vals := make([]float64, len(idx))
+	order := make([]int, len(idx))
+	parent := impurity(yClass, yReg, idx, cfg)
+
+	for _, f := range features {
+		for k, i := range idx {
+			vals[k] = x[i][f]
+			order[k] = i
+		}
+		sort.Sort(&byFeature{vals: vals, order: order})
+		gain, thr, ok := scanSplits(vals, order, yClass, yReg, cfg, parent)
+		if ok && gain > bestGain {
+			bestFeat, bestThr, bestGain = f, thr, gain
+		}
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+type byFeature struct {
+	vals  []float64
+	order []int
+}
+
+func (b *byFeature) Len() int           { return len(b.vals) }
+func (b *byFeature) Less(i, j int) bool { return b.vals[i] < b.vals[j] }
+func (b *byFeature) Swap(i, j int) {
+	b.vals[i], b.vals[j] = b.vals[j], b.vals[i]
+	b.order[i], b.order[j] = b.order[j], b.order[i]
+}
+
+// scanSplits sweeps sorted values accumulating left-side statistics and
+// returns the best (gain, threshold).
+func scanSplits(vals []float64, order []int, yClass []int, yReg []float64, cfg *treeConfig, parent float64) (float64, float64, bool) {
+	n := len(vals)
+	if cfg.numClasses > 0 {
+		total := make([]float64, cfg.numClasses)
+		for _, i := range order {
+			total[yClass[i]]++
+		}
+		left := make([]float64, cfg.numClasses)
+		bestGain, bestThr, found := 0.0, 0.0, false
+		for k := 0; k < n-1; k++ {
+			left[yClass[order[k]]]++
+			if vals[k] == vals[k+1] {
+				continue
+			}
+			nl, nr := float64(k+1), float64(n-k-1)
+			gl := giniFromCounts(left, nl)
+			gr := giniFromCountsDiff(total, left, nr)
+			gain := parent - (nl*gl+nr*gr)/float64(n)
+			if gain > bestGain {
+				bestGain, bestThr, found = gain, (vals[k]+vals[k+1])/2, true
+			}
+		}
+		return bestGain, bestThr, found
+	}
+	// Regression: variance reduction via running sums.
+	var sumTotal, sumSqTotal float64
+	for _, i := range order {
+		sumTotal += yReg[i]
+		sumSqTotal += yReg[i] * yReg[i]
+	}
+	var sumL, sumSqL float64
+	bestGain, bestThr, found := 0.0, 0.0, false
+	for k := 0; k < n-1; k++ {
+		v := yReg[order[k]]
+		sumL += v
+		sumSqL += v * v
+		if vals[k] == vals[k+1] {
+			continue
+		}
+		nl, nr := float64(k+1), float64(n-k-1)
+		varL := sumSqL/nl - (sumL/nl)*(sumL/nl)
+		sumR, sumSqR := sumTotal-sumL, sumSqTotal-sumSqL
+		varR := sumSqR/nr - (sumR/nr)*(sumR/nr)
+		gain := parent - (nl*varL+nr*varR)/float64(n)
+		if gain > bestGain {
+			bestGain, bestThr, found = gain, (vals[k]+vals[k+1])/2, true
+		}
+	}
+	return bestGain, bestThr, found
+}
+
+func impurity(yClass []int, yReg []float64, idx []int, cfg *treeConfig) float64 {
+	if cfg.numClasses > 0 {
+		counts := make([]float64, cfg.numClasses)
+		for _, i := range idx {
+			counts[yClass[i]]++
+		}
+		return giniFromCounts(counts, float64(len(idx)))
+	}
+	var sum, sumSq float64
+	for _, i := range idx {
+		sum += yReg[i]
+		sumSq += yReg[i] * yReg[i]
+	}
+	n := float64(len(idx))
+	return sumSq/n - (sum/n)*(sum/n)
+}
+
+func giniFromCounts(counts []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}
+
+func giniFromCountsDiff(total, left []float64, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for i, c := range total {
+		p := (c - left[i]) / n
+		g -= p * p
+	}
+	return g
+}
+
+// predictClassCounts walks the tree and returns the leaf's class counts.
+func (t *tree) predictClassCounts(row []float64) []float64 {
+	id := int32(0)
+	for {
+		n := &t.nodes[id]
+		if n.featureIdx < 0 {
+			return n.classCounts
+		}
+		if n.featureIdx < len(row) && row[n.featureIdx] <= n.threshold {
+			id = n.left
+		} else {
+			id = n.right
+		}
+	}
+}
+
+// predictValue walks the tree and returns the leaf's mean target.
+func (t *tree) predictValue(row []float64) float64 {
+	id := int32(0)
+	for {
+		n := &t.nodes[id]
+		if n.featureIdx < 0 {
+			return n.value
+		}
+		if n.featureIdx < len(row) && row[n.featureIdx] <= n.threshold {
+			id = n.left
+		} else {
+			id = n.right
+		}
+	}
+}

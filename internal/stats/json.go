@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// histogramJSON is the wire form of a Histogram.
+type histogramJSON struct {
+	Kind  string    `json:"kind"`
+	Bins  int       `json:"bins"`
+	Min   float64   `json:"min,omitempty"`
+	Width float64   `json:"width,omitempty"`
+	Edges []float64 `json:"edges,omitempty"`
+}
+
+// MarshalJSON serializes the fitted histogram so deployments can be
+// saved and reloaded without refitting.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	out := histogramJSON{Kind: h.Kind.String(), Bins: h.bins}
+	switch h.Kind {
+	case EquiWidth:
+		out.Min = h.min
+		out.Width = h.width
+	case EquiDepth:
+		out.Edges = h.edges
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a histogram written by MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var in histogramJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Bins < 1 {
+		return fmt.Errorf("stats: histogram with %d bins", in.Bins)
+	}
+	h.bins = in.Bins
+	switch in.Kind {
+	case "equi-width":
+		h.Kind = EquiWidth
+		h.min = in.Min
+		h.width = in.Width
+		if h.width <= 0 {
+			h.width = 1
+		}
+	case "equi-depth":
+		h.Kind = EquiDepth
+		h.edges = in.Edges
+	default:
+		return fmt.Errorf("stats: unknown histogram kind %q", in.Kind)
+	}
+	return nil
+}

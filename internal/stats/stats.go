@@ -1,0 +1,197 @@
+// Package stats provides the small statistical toolkit Leva's
+// textification stage depends on: moments (including the kurtosis test
+// that selects between equi-width and equi-depth histograms), quantiles,
+// and the two histogram binners themselves.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Kurtosis returns the excess kurtosis of xs (0 for a normal
+// distribution). Degenerate inputs (fewer than 4 values or zero
+// variance) report 0, which steers the caller to the equi-width default.
+func Kurtosis(xs []float64) float64 {
+	if len(xs) < 4 {
+		return 0
+	}
+	m := Mean(xs)
+	var m2, m4 float64
+	for _, x := range xs {
+		d := x - m
+		d2 := d * d
+		m2 += d2
+		m4 += d2 * d2
+	}
+	n := float64(len(xs))
+	m2 /= n
+	m4 /= n
+	if m2 == 0 {
+		return 0
+	}
+	return m4/(m2*m2) - 3
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. The input need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// HistogramKind selects the binning strategy.
+type HistogramKind uint8
+
+const (
+	// EquiWidth divides [min, max] into equal-width intervals. Good
+	// for light-tailed distributions.
+	EquiWidth HistogramKind = iota
+	// EquiDepth places bin boundaries at quantiles so that each bin
+	// holds roughly the same number of observations. Good for
+	// heavy-tailed distributions because outliers do not stretch the
+	// interior bins.
+	EquiDepth
+)
+
+func (k HistogramKind) String() string {
+	if k == EquiDepth {
+		return "equi-depth"
+	}
+	return "equi-width"
+}
+
+// Histogram quantizes floats into bin IDs in [0, Bins).
+type Histogram struct {
+	Kind HistogramKind
+	// edges has Bins-1 interior boundaries for EquiDepth; for
+	// EquiWidth min/width are used instead.
+	edges []float64
+	min   float64
+	width float64
+	bins  int
+}
+
+// NewHistogram fits a histogram of the given kind with the given number
+// of bins over xs. bins must be >= 1 and xs non-empty.
+func NewHistogram(kind HistogramKind, bins int, xs []float64) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs >=1 bin, got %d", bins)
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: histogram needs data")
+	}
+	h := &Histogram{Kind: kind, bins: bins}
+	switch kind {
+	case EquiWidth:
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			if x < mn {
+				mn = x
+			}
+			if x > mx {
+				mx = x
+			}
+		}
+		h.min = mn
+		if mx > mn {
+			h.width = (mx - mn) / float64(bins)
+		} else {
+			h.width = 1 // all values identical: everything lands in bin 0
+		}
+	case EquiDepth:
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		h.edges = make([]float64, 0, bins-1)
+		for i := 1; i < bins; i++ {
+			h.edges = append(h.edges, quantileSorted(sorted, float64(i)/float64(bins)))
+		}
+	default:
+		return nil, fmt.Errorf("stats: unknown histogram kind %d", kind)
+	}
+	return h, nil
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return h.bins }
+
+// Bin maps x to its bin ID in [0, Bins). Values outside the fitted range
+// clamp to the first or last bin, which is how unseen test-time values
+// are quantized.
+func (h *Histogram) Bin(x float64) int {
+	switch h.Kind {
+	case EquiWidth:
+		b := int(math.Floor((x - h.min) / h.width))
+		if b < 0 {
+			return 0
+		}
+		if b >= h.bins {
+			return h.bins - 1
+		}
+		return b
+	default: // EquiDepth
+		// First edge strictly greater than x determines the bin.
+		return sort.SearchFloat64s(h.edges, math.Nextafter(x, math.Inf(1)))
+	}
+}
+
+// ChooseKind picks the histogram kind the paper's heuristic prescribes:
+// equi-depth when the data is heavier-tailed than a normal distribution
+// (positive excess kurtosis), equi-width otherwise.
+func ChooseKind(xs []float64) HistogramKind {
+	if Kurtosis(xs) > 0 {
+		return EquiDepth
+	}
+	return EquiWidth
+}

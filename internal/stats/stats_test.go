@@ -1,0 +1,217 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMoments(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); v != 1.25 {
+		t.Errorf("Variance = %v", v)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("StdDev = %v", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty-slice moments not zero")
+	}
+}
+
+func TestKurtosis(t *testing.T) {
+	// Uniform distribution has negative excess kurtosis (~-1.2).
+	rng := rand.New(rand.NewSource(1))
+	uniform := make([]float64, 20000)
+	for i := range uniform {
+		uniform[i] = rng.Float64()
+	}
+	if k := Kurtosis(uniform); k > -0.8 || k < -1.6 {
+		t.Errorf("uniform kurtosis = %v, want ~-1.2", k)
+	}
+	// Laplace-ish heavy tail: positive excess kurtosis.
+	heavy := make([]float64, 20000)
+	for i := range heavy {
+		u := rng.Float64() - 0.5
+		heavy[i] = math.Copysign(math.Log(1-2*math.Abs(u)), u)
+	}
+	if k := Kurtosis(heavy); k < 1 {
+		t.Errorf("heavy-tail kurtosis = %v, want > 1", k)
+	}
+	if Kurtosis([]float64{1, 1, 1, 1}) != 0 {
+		t.Error("constant data kurtosis != 0")
+	}
+	if Kurtosis([]float64{1, 2}) != 0 {
+		t.Error("short data kurtosis != 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile(nil) not NaN")
+	}
+}
+
+func TestEquiWidthHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h, err := NewHistogram(EquiWidth, 5, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bin(0) != 0 || h.Bin(9) != 4 {
+		t.Errorf("extremes binned to %d, %d", h.Bin(0), h.Bin(9))
+	}
+	// Out-of-range values clamp (test-time quantization).
+	if h.Bin(-100) != 0 || h.Bin(100) != 4 {
+		t.Errorf("clamping failed: %d, %d", h.Bin(-100), h.Bin(100))
+	}
+	// Monotone.
+	prev := -1
+	for x := 0.0; x <= 9; x += 0.5 {
+		b := h.Bin(x)
+		if b < prev {
+			t.Fatalf("non-monotone binning at %v", x)
+		}
+		prev = b
+	}
+}
+
+func TestEquiDepthHistogram(t *testing.T) {
+	// Heavily skewed data: equi-depth should still balance counts.
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64() * 2)
+	}
+	const bins = 10
+	h, err := NewHistogram(EquiDepth, bins, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, bins)
+	for _, x := range xs {
+		counts[h.Bin(x)]++
+	}
+	for b, c := range counts {
+		if c < len(xs)/bins/2 || c > len(xs)/bins*2 {
+			t.Errorf("bin %d count %d far from balanced %d", b, c, len(xs)/bins)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram(EquiWidth, 4, []float64{7, 7, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bin(7) != 0 {
+		t.Errorf("constant data bin = %d", h.Bin(7))
+	}
+	if _, err := NewHistogram(EquiWidth, 0, []float64{1}); err == nil {
+		t.Error("0 bins accepted")
+	}
+	if _, err := NewHistogram(EquiDepth, 3, nil); err == nil {
+		t.Error("empty data accepted")
+	}
+}
+
+func TestChooseKind(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	uniform := make([]float64, 5000)
+	for i := range uniform {
+		uniform[i] = rng.Float64()
+	}
+	if ChooseKind(uniform) != EquiWidth {
+		t.Error("uniform data chose equi-depth")
+	}
+	heavy := make([]float64, 5000)
+	for i := range heavy {
+		heavy[i] = math.Exp(rng.NormFloat64() * 3)
+	}
+	if ChooseKind(heavy) != EquiDepth {
+		t.Error("heavy-tailed data chose equi-width")
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64())
+	}
+	for _, kind := range []HistogramKind{EquiWidth, EquiDepth} {
+		h, err := NewHistogram(kind, 12, xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := h.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := &Histogram{}
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatal(err)
+		}
+		if back.Bins() != 12 || back.Kind != kind {
+			t.Fatalf("%v: shape changed", kind)
+		}
+		for _, x := range []float64{-5, 0.1, 1, 3, 1e6} {
+			if h.Bin(x) != back.Bin(x) {
+				t.Fatalf("%v: Bin(%v) = %d vs %d", kind, x, h.Bin(x), back.Bin(x))
+			}
+		}
+	}
+}
+
+func TestHistogramJSONErrors(t *testing.T) {
+	h := &Histogram{}
+	for _, bad := range []string{
+		`{"kind":"nope","bins":3}`,
+		`{"kind":"equi-width","bins":0}`,
+		`garbage`,
+	} {
+		if err := h.UnmarshalJSON([]byte(bad)); err == nil {
+			t.Errorf("input %q accepted", bad)
+		}
+	}
+}
+
+// Property: every histogram maps every input into [0, bins).
+func TestHistogramBinRangeProperty(t *testing.T) {
+	f := func(seed int64, probe float64) bool {
+		if math.IsNaN(probe) || math.IsInf(probe, 0) {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		for _, kind := range []HistogramKind{EquiWidth, EquiDepth} {
+			h, err := NewHistogram(kind, 1+rng.Intn(20), xs)
+			if err != nil {
+				return false
+			}
+			if b := h.Bin(probe); b < 0 || b >= h.Bins() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package synth
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+// FTPOptions configures the FTP-shaped dataset (paper Table 4: 2
+// tables, ~96K rows, classification, missing data, 50% string columns).
+// It mirrors the PAKDD'15 task: predict a binary gender label from
+// product-viewing logs joined to session records.
+type FTPOptions struct {
+	Scale float64
+	Seed  int64
+}
+
+// FTP generates the dataset. Gender is predictable from the mix of
+// product categories in the session's view log — signal that only
+// exists in the non-base table.
+func FTP(opts FTPOptions) *Spec {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	numSessions := scaleCount(16000, opts.Scale, 150)
+	viewsPerSession := 5
+
+	devices := []string{"mobile", "desktop", "tablet"}
+	// Category preferences per gender: disjoint high-affinity sets
+	// plus a shared pool.
+	catsA := vocab("cat_a", 10)
+	catsB := vocab("cat_b", 10)
+	catsShared := vocab("cat_s", 10)
+
+	sessions := dataset.NewTable("sessions", "session_id", "device", "duration", "start_hour", "gender")
+	sessions.SetKeys("session_id")
+	logs := dataset.NewTable("view_logs", "session_id", "category", "price", "dwell_seconds")
+	logs.AddForeignKey("session_id", "sessions", "session_id")
+
+	entities := make([][]graph.RowRef, numSessions)
+	logRow := 0
+	for s := 0; s < numSessions; s++ {
+		gender := rng.Intn(2)
+		sid := id("sess", s)
+		label := "female"
+		if gender == 1 {
+			label = "male"
+		}
+		// start_hour is weakly predictive (shifted distributions).
+		hour := int(gauss(rng, 13+2*float64(gender), 5))
+		if hour < 0 {
+			hour = 0
+		}
+		if hour > 23 {
+			hour = 23
+		}
+		sessions.AppendRow(
+			dataset.String(sid),
+			dataset.String(pick(devices, rng)),
+			dataset.Number(absf(gauss(rng, 300, 120))),
+			dataset.Int(hour),
+			dataset.String(label),
+		)
+		entities[s] = []graph.RowRef{{Table: "sessions", Row: int32(s)}}
+		n := 1 + rng.Intn(2*viewsPerSession-1)
+		for v := 0; v < n; v++ {
+			var cat string
+			r := rng.Float64()
+			switch {
+			case r < 0.55 && gender == 0:
+				cat = pick(catsA, rng)
+			case r < 0.55 && gender == 1:
+				cat = pick(catsB, rng)
+			default:
+				cat = pick(catsShared, rng)
+			}
+			logs.AppendRow(
+				dataset.String(sid),
+				dataset.String(cat),
+				dataset.Number(absf(gauss(rng, 40, 25))),
+				dataset.Number(absf(gauss(rng, 45, 30))),
+			)
+			entities[s] = append(entities[s], graph.RowRef{Table: "view_logs", Row: int32(logRow)})
+			logRow++
+		}
+	}
+
+	injectMissing(sessions, []string{"device"}, 0.07, rng)
+	injectMissing(logs, []string{"category"}, 0.05, rng)
+
+	return &Spec{
+		Name:           "ftp",
+		DB:             dataset.NewDatabase(sessions, logs),
+		BaseTable:      "sessions",
+		Target:         "gender",
+		Classification: true,
+		Entities:       entities,
+	}
+}

@@ -1,0 +1,69 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// ScalabilityOptions configures the Fig. 7a scalability workload: a
+// 3-table, 2000-row, 5-column dataset with 4000 unique tokens, grown by
+// a replication factor K so that both rows and distinct tokens scale
+// linearly.
+type ScalabilityOptions struct {
+	// Replication is the factor K; each replica suffixes every token
+	// with its version number. Default 1.
+	Replication int
+	Seed        int64
+}
+
+// Scalability generates the replicated dataset of the scalability
+// experiment.
+func Scalability(opts ScalabilityOptions) *dataset.Database {
+	if opts.Replication <= 0 {
+		opts.Replication = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	const (
+		tables       = 3
+		rowsPerTable = 667 // ~2000 rows total
+		cols         = 5
+		tokenPool    = 4000
+	)
+	pool := make([]string, tokenPool)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("tok_%04d", i)
+	}
+
+	db := &dataset.Database{}
+	for t := 0; t < tables; t++ {
+		names := make([]string, cols)
+		for c := range names {
+			names[c] = fmt.Sprintf("attr_%d", c)
+		}
+		tab := dataset.NewTable(fmt.Sprintf("table_%d", t), names...)
+		// Pre-draw the base rows once, then emit K suffixed copies so
+		// replica structure matches the paper's design exactly.
+		base := make([][]string, rowsPerTable)
+		for r := range base {
+			row := make([]string, cols)
+			for c := range row {
+				row[c] = pool[rng.Intn(tokenPool)]
+			}
+			base[r] = row
+		}
+		for k := 1; k <= opts.Replication; k++ {
+			for _, row := range base {
+				vals := make([]dataset.Value, cols)
+				for c, tok := range row {
+					vals[c] = dataset.String(fmt.Sprintf("%s_v%d", tok, k))
+				}
+				tab.AppendRow(vals...)
+			}
+		}
+		db.Add(tab)
+	}
+	return db
+}

@@ -1,0 +1,117 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/graph"
+)
+
+// StudentOptions configures the STUDENT dataset of paper Table 1: the
+// running example whose target (Total Expenses) is fully explained by
+// order/price information in other tables and uncorrelated with the
+// base table's own attributes.
+type StudentOptions struct {
+	// Students is the number of base rows. Default 500.
+	Students int
+	// Items is the catalog size. Default 40.
+	Items int
+	// OrdersPerStudent is the mean order count. Default 4.
+	OrdersPerStudent int
+	// NoisyAttrs appends this many white-noise numeric attributes to
+	// every table, the Fig. 3 noise-injection knob.
+	NoisyAttrs int
+	Seed       int64
+}
+
+func (o StudentOptions) withDefaults() StudentOptions {
+	if o.Students <= 0 {
+		o.Students = 500
+	}
+	if o.Items <= 0 {
+		o.Items = 40
+	}
+	if o.OrdersPerStudent <= 0 {
+		o.OrdersPerStudent = 4
+	}
+	return o
+}
+
+// Student generates the STUDENT database: Expenses(Name, Gender,
+// SchoolName, TotalExpenses), OrderInfo(Name FK, Item FK) and
+// PriceInfo(Item, Prices). TotalExpenses is the exact sum of the prices
+// of the student's ordered items.
+func Student(opts StudentOptions) *Spec {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	genders := []string{"female", "male", "nonbinary"}
+	schools := vocab("school", 12)
+
+	prices := dataset.NewTable("price_info", "item", "prices")
+	prices.SetKeys("item")
+	itemPrice := make([]float64, opts.Items)
+	for i := 0; i < opts.Items; i++ {
+		itemPrice[i] = float64(5 + rng.Intn(200))
+		prices.AppendRow(dataset.String(id("item", i)), dataset.Number(itemPrice[i]))
+	}
+
+	expenses := dataset.NewTable("expenses", "name", "gender", "school_name", "total_expenses")
+	expenses.SetKeys("name")
+	orders := dataset.NewTable("order_info", "name", "item")
+	orders.AddForeignKey("name", "expenses", "name")
+	orders.AddForeignKey("item", "price_info", "item")
+
+	entities := make([][]graph.RowRef, 0, opts.Students)
+	orderRow := 0
+	for s := 0; s < opts.Students; s++ {
+		name := id("student", s)
+		total := 0.0
+		n := 1 + rng.Intn(2*opts.OrdersPerStudent-1)
+		group := []graph.RowRef{{Table: "expenses", Row: int32(s)}}
+		for k := 0; k < n; k++ {
+			item := rng.Intn(opts.Items)
+			total += itemPrice[item]
+			orders.AppendRow(dataset.String(name), dataset.String(id("item", item)))
+			group = append(group, graph.RowRef{Table: "order_info", Row: int32(orderRow)})
+			orderRow++
+		}
+		expenses.AppendRow(
+			dataset.String(name),
+			dataset.String(pick(genders, rng)),
+			dataset.String(pick(schools, rng)),
+			dataset.Number(total),
+		)
+		entities = append(entities, group)
+	}
+
+	db := dataset.NewDatabase(expenses, orders, prices)
+	addNoiseAttrs(db, opts.NoisyAttrs, rng)
+	return &Spec{
+		Name:      "student",
+		DB:        db,
+		BaseTable: "expenses",
+		Target:    "total_expenses",
+		Entities:  entities,
+	}
+}
+
+// addNoiseAttrs appends k white-noise numeric columns to every table of
+// db (the Fig. 3 experiment injects these to create spurious edges once
+// binned).
+func addNoiseAttrs(db *dataset.Database, k int, rng *rand.Rand) {
+	for _, t := range db.Tables {
+		n := t.NumRows()
+		for j := 0; j < k; j++ {
+			vals := make([]dataset.Value, n)
+			for i := range vals {
+				vals[i] = dataset.Number(rng.NormFloat64())
+			}
+			t.Columns = append(t.Columns, &dataset.Column{
+				Name:   fmt.Sprintf("noise_%s_%d", t.Name, j),
+				Values: vals,
+			})
+		}
+	}
+}

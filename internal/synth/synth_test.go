@@ -1,0 +1,300 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// checkSpec verifies the structural contract every generator must meet.
+func checkSpec(t *testing.T, s *Spec, wantTables int, classification bool) {
+	t.Helper()
+	if err := s.DB.Validate(); err != nil {
+		t.Fatalf("%s: invalid database: %v", s.Name, err)
+	}
+	if len(s.DB.Tables) != wantTables {
+		t.Errorf("%s: %d tables, want %d", s.Name, len(s.DB.Tables), wantTables)
+	}
+	if s.Classification != classification {
+		t.Errorf("%s: classification = %v", s.Name, s.Classification)
+	}
+	base := s.DB.Table(s.BaseTable)
+	if base == nil {
+		t.Fatalf("%s: base table %q missing", s.Name, s.BaseTable)
+	}
+	if base.Column(s.Target) == nil {
+		t.Fatalf("%s: target column %q missing", s.Name, s.Target)
+	}
+	// Entity groups reference valid rows.
+	for gi, group := range s.Entities {
+		for _, ref := range group {
+			tab := s.DB.Table(ref.Table)
+			if tab == nil || int(ref.Row) >= tab.NumRows() || ref.Row < 0 {
+				t.Fatalf("%s: entity %d has invalid ref %+v", s.Name, gi, ref)
+			}
+		}
+	}
+}
+
+// stringColumnFraction computes the share of columns whose non-null
+// values are predominantly strings.
+func stringColumnFraction(db *dataset.Database) float64 {
+	str, total := 0, 0
+	for _, tab := range db.Tables {
+		for _, c := range tab.Columns {
+			total++
+			nonNull, strings := 0, 0
+			for _, v := range c.Values {
+				if v.IsNull() {
+					continue
+				}
+				nonNull++
+				if v.Kind == dataset.KindString {
+					strings++
+				}
+			}
+			if nonNull > 0 && float64(strings) > 0.5*float64(nonNull) {
+				str++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(str) / float64(total)
+}
+
+func hasMissingMarkers(db *dataset.Database) bool {
+	markers := map[string]bool{}
+	for _, m := range missingMarkers {
+		markers[m] = true
+	}
+	for _, tab := range db.Tables {
+		for _, c := range tab.Columns {
+			for _, v := range c.Values {
+				if v.Kind == dataset.KindString && markers[v.Str] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestStudent(t *testing.T) {
+	s := Student(StudentOptions{Students: 50, Seed: 1})
+	checkSpec(t, s, 3, false)
+	// Ground truth: total expenses = sum of ordered item prices.
+	exp := s.DB.Table("expenses")
+	orders := s.DB.Table("order_info")
+	prices := s.DB.Table("price_info")
+	priceOf := map[string]float64{}
+	for i := 0; i < prices.NumRows(); i++ {
+		priceOf[prices.Cell(i, "item").Str] = prices.Cell(i, "prices").Num
+	}
+	sums := map[string]float64{}
+	for i := 0; i < orders.NumRows(); i++ {
+		sums[orders.Cell(i, "name").Str] += priceOf[orders.Cell(i, "item").Str]
+	}
+	for i := 0; i < exp.NumRows(); i++ {
+		name := exp.Cell(i, "name").Str
+		if got := exp.Cell(i, "total_expenses").Num; got != sums[name] {
+			t.Fatalf("student %s: total %v != sum %v", name, got, sums[name])
+		}
+	}
+	// Noisy-attribute injection adds K columns per table.
+	noisy := Student(StudentOptions{Students: 10, Seed: 1, NoisyAttrs: 2})
+	for _, tab := range noisy.DB.Tables {
+		clean := s.DB.Table(tab.Name)
+		if tab.NumCols() != clean.NumCols()+2 {
+			t.Errorf("%s: %d cols, want %d", tab.Name, tab.NumCols(), clean.NumCols()+2)
+		}
+	}
+}
+
+func TestGenesShape(t *testing.T) {
+	s := Genes(GenesOptions{Scale: 0.1, Seed: 2})
+	checkSpec(t, s, 3, true)
+	if !hasMissingMarkers(s.DB) {
+		t.Error("genes has no dirty missing markers")
+	}
+	if f := stringColumnFraction(s.DB); f < 0.8 {
+		t.Errorf("genes string-column fraction = %v, want ~0.93", f)
+	}
+	// Target has 4 classes.
+	classes := map[string]bool{}
+	for _, v := range s.DB.Table("genes").Column("localization").Values {
+		classes[v.Str] = true
+	}
+	if len(classes) != 4 {
+		t.Errorf("classes = %d", len(classes))
+	}
+}
+
+func TestKrakenShape(t *testing.T) {
+	s := Kraken(KrakenOptions{Scale: 0.1, Seed: 3})
+	checkSpec(t, s, 32, true)
+	if hasMissingMarkers(s.DB) {
+		t.Error("kraken should have no missing data")
+	}
+	if f := stringColumnFraction(s.DB); f != 0 {
+		t.Errorf("kraken string fraction = %v, want 0", f)
+	}
+}
+
+func TestFTPShape(t *testing.T) {
+	s := FTP(FTPOptions{Scale: 0.02, Seed: 4})
+	checkSpec(t, s, 2, true)
+	if !hasMissingMarkers(s.DB) {
+		t.Error("ftp has no missing markers")
+	}
+	f := stringColumnFraction(s.DB)
+	if f < 0.3 || f > 0.7 {
+		t.Errorf("ftp string fraction = %v, want ~0.5", f)
+	}
+	// Binary target.
+	classes := map[string]bool{}
+	for _, v := range s.DB.Table("sessions").Column("gender").Values {
+		classes[v.Str] = true
+	}
+	if len(classes) != 2 {
+		t.Errorf("gender classes = %v", classes)
+	}
+}
+
+func TestFinancialShape(t *testing.T) {
+	s := Financial(FinancialOptions{Scale: 0.05, Seed: 5})
+	checkSpec(t, s, 8, true)
+	if hasMissingMarkers(s.DB) {
+		t.Error("financial should have no missing data")
+	}
+	f := stringColumnFraction(s.DB)
+	if f > 0.6 {
+		t.Errorf("financial string fraction = %v, want low-ish", f)
+	}
+	// Both loan outcomes occur.
+	classes := map[string]int{}
+	for _, v := range s.DB.Table("loan").Column("status").Values {
+		classes[v.Str]++
+	}
+	if classes["paid"] == 0 || classes["default"] == 0 {
+		t.Errorf("loan status distribution = %v", classes)
+	}
+}
+
+func TestRestbaseAndBioShapes(t *testing.T) {
+	r := Restbase(RestbaseOptions{Scale: 0.05, Seed: 6})
+	checkSpec(t, r, 3, false)
+	if f := stringColumnFraction(r.DB); f < 0.5 {
+		t.Errorf("restbase string fraction = %v, want ~0.67", f)
+	}
+	b := Bio(BioOptions{Scale: 0.05, Seed: 7})
+	checkSpec(t, b, 3, false)
+	if !hasMissingMarkers(b.DB) {
+		t.Error("bio has no missing markers")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Genes(GenesOptions{Scale: 0.05, Seed: 42})
+	b := Genes(GenesOptions{Scale: 0.05, Seed: 42})
+	ta, tb := a.DB.Table("genes"), b.DB.Table("genes")
+	if ta.NumRows() != tb.NumRows() {
+		t.Fatal("row counts differ")
+	}
+	for i := 0; i < ta.NumRows(); i++ {
+		for j := range ta.Columns {
+			if !ta.Columns[j].Values[i].Equal(tb.Columns[j].Values[i]) {
+				t.Fatalf("row %d col %d differs", i, j)
+			}
+		}
+	}
+	c := Genes(GenesOptions{Scale: 0.05, Seed: 43})
+	same := true
+	tc := c.DB.Table("genes")
+	for i := 0; i < ta.NumRows() && i < tc.NumRows(); i++ {
+		if !ta.Cell(i, "chromosome").Equal(tc.Cell(i, "chromosome")) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestScalabilityReplication(t *testing.T) {
+	base := Scalability(ScalabilityOptions{Replication: 1, Seed: 8})
+	doubled := Scalability(ScalabilityOptions{Replication: 2, Seed: 8})
+	if doubled.TotalRows() != 2*base.TotalRows() {
+		t.Errorf("rows %d, want %d", doubled.TotalRows(), 2*base.TotalRows())
+	}
+	distinct := func(db *dataset.Database) int {
+		set := map[string]bool{}
+		for _, tab := range db.Tables {
+			for _, c := range tab.Columns {
+				for _, v := range c.Values {
+					set[v.Str] = true
+				}
+			}
+		}
+		return len(set)
+	}
+	if d1, d2 := distinct(base), distinct(doubled); d2 != 2*d1 {
+		t.Errorf("distinct tokens %d -> %d, want doubling", d1, d2)
+	}
+}
+
+func TestAddFlagColumns(t *testing.T) {
+	s := Student(StudentOptions{Students: 20, Seed: 1})
+	before := make(map[string]int)
+	for _, tab := range s.DB.Tables {
+		before[tab.Name] = tab.NumCols()
+	}
+	AddFlagColumns(s.DB, 2, 3, 7)
+	for _, tab := range s.DB.Tables {
+		if tab.NumCols() != before[tab.Name]+2 {
+			t.Errorf("%s: cols %d, want %d", tab.Name, tab.NumCols(), before[tab.Name]+2)
+		}
+		if err := tab.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Low cardinality: at most 3 distinct values per flag column.
+		c := tab.Column("flag_" + tab.Name + "_0")
+		distinct := map[string]bool{}
+		for _, v := range c.Values {
+			distinct[v.Str] = true
+		}
+		if len(distinct) > 3 {
+			t.Errorf("%s flag cardinality = %d", tab.Name, len(distinct))
+		}
+	}
+}
+
+func TestERPair(t *testing.T) {
+	p := ER("x", EROptions{Entities: 100, ExtraPerSide: 20, Noise: 0.3, Seed: 9})
+	if p.A.NumRows() != 120 || p.B.NumRows() != 120 {
+		t.Fatalf("sizes %d/%d", p.A.NumRows(), p.B.NumRows())
+	}
+	if len(p.Matches) != 100 {
+		t.Fatalf("matches = %d", len(p.Matches))
+	}
+	if err := p.A.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Matched rows share at least some attribute values on average.
+	shared := 0
+	for _, m := range p.Matches {
+		for _, col := range []string{"brand", "product_line", "style", "pack"} {
+			if p.A.Cell(m[0], col).Equal(p.B.Cell(m[1], col)) {
+				shared++
+			}
+		}
+	}
+	if avg := float64(shared) / float64(len(p.Matches)); avg < 1.5 {
+		t.Errorf("matched rows share %v attrs on average, too noisy", avg)
+	}
+	presets := ERPresets(1)
+	if len(presets) != 3 {
+		t.Errorf("presets = %d", len(presets))
+	}
+}

@@ -1,0 +1,43 @@
+package textify
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// modelJSON is the wire form of a fitted Model.
+type modelJSON struct {
+	Options Options                           `json:"options"`
+	Tables  map[string]map[string]*ColumnPlan `json:"tables"`
+}
+
+// MarshalJSON serializes the fitted textification model (column types,
+// separators, and histograms) so a deployment can tokenize new data
+// identically after a reload.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{Options: m.opts, Tables: m.plans})
+}
+
+// UnmarshalJSON restores a model written by MarshalJSON.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Tables == nil {
+		return fmt.Errorf("textify: model JSON has no tables")
+	}
+	m.opts = in.Options
+	m.plans = in.Tables
+	return nil
+}
+
+// MarshalJSON includes the plan's type as a readable string alongside
+// the numeric code for debuggability.
+func (p *ColumnPlan) MarshalJSON() ([]byte, error) {
+	type alias ColumnPlan // avoid recursion
+	return json.Marshal(struct {
+		*alias
+		TypeName string `json:"typeName"`
+	}{(*alias)(p), p.Type.String()})
+}

@@ -1,0 +1,74 @@
+package textify
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestModelJSONRoundTrip(t *testing.T) {
+	// A table with one of each plan type.
+	tab := dataset.NewTable("t", "key", "num", "tags", "cat")
+	for i := 0; i < 40; i++ {
+		tab.AppendRow(
+			dataset.String(keyOf(i)),
+			dataset.Number(float64(i%10)+0.5),
+			dataset.String("a, b"),
+			dataset.String([]string{"x", "y"}[i%2]),
+		)
+	}
+	m, err := Fit(dataset.NewDatabase(tab), Options{BinCount: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := &Model{}
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+
+	// Types preserved.
+	for _, colName := range tab.ColumnNames() {
+		orig := m.Plan("t", colName)
+		got := back.Plan("t", colName)
+		if got == nil || got.Type != orig.Type || got.Separator != orig.Separator {
+			t.Fatalf("plan for %s changed: %+v vs %+v", colName, got, orig)
+		}
+	}
+	// Tokenization identical, including histogram bins.
+	for _, v := range []dataset.Value{
+		dataset.Number(3.7), dataset.Number(-100), dataset.String("a, q"),
+		dataset.String("x"), dataset.Null(),
+	} {
+		for _, colName := range []string{"num", "tags", "cat"} {
+			want, err1 := m.TextifyValue("t", colName, v)
+			got, err2 := back.TextifyValue("t", colName, v)
+			if (err1 == nil) != (err2 == nil) || len(want) != len(got) {
+				t.Fatalf("%s(%v): %v/%v vs %v/%v", colName, v, want, err1, got, err2)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%s(%v): token %q vs %q", colName, v, want[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestModelJSONErrors(t *testing.T) {
+	m := &Model{}
+	if err := json.Unmarshal([]byte(`{"options":{}}`), m); err == nil {
+		t.Error("model without tables accepted")
+	}
+	if err := json.Unmarshal([]byte(`notjson`), m); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func keyOf(i int) string {
+	return "k" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

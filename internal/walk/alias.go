@@ -1,0 +1,83 @@
+// Package walk generates the random-walk corpora Leva's RW embedding
+// method trains on (paper Section 4.2.2): weighted transitions via alias
+// tables, walk balancing through restarts from under-represented nodes,
+// visit limits that keep over-visited value nodes out of the corpus, and
+// the second-order (p, q) bias used by the Node2Vec comparator.
+package walk
+
+import "math/rand"
+
+// Alias is a Vose alias table: O(n) construction, O(1) sampling from a
+// fixed discrete distribution. Weighted random walks build one table per
+// node; the paper calls out their memory cost as the reason unweighted
+// graphs scale further.
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds an alias table over the given non-negative weights.
+// All-zero weights degrade to the uniform distribution.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	if n == 0 {
+		return a
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	scaled := make([]float64, n)
+	if total <= 0 {
+		for i := range scaled {
+			scaled[i] = 1
+		}
+	} else {
+		for i, w := range weights {
+			scaled[i] = w / total * float64(n)
+		}
+	}
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, s := range scaled {
+		if s < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a
+}
+
+// Len returns the number of outcomes.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Draw samples an index from the table.
+func (a *Alias) Draw(rng *rand.Rand) int {
+	i := rng.Intn(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

@@ -1,0 +1,247 @@
+package walk
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Options configures corpus generation. Paper defaults: walk length 80,
+// 10 iterations per node, of which 4 restart from the worst-represented
+// nodes when balancing is on.
+type Options struct {
+	// WalkLength is the number of emitted nodes per walk. Default 80.
+	WalkLength int
+	// WalksPerNode is the number of iterations; each iteration starts
+	// one walk from every (chosen) node. Default 10.
+	WalksPerNode int
+	// RestartIterations replaces that many trailing iterations with
+	// walks started only from the least-visited nodes (Section 6.6.3:
+	// 6 normal + 4 restart). 0 disables balancing restarts.
+	RestartIterations int
+	// VisitLimit, when positive, stops emitting a node into walks
+	// after it has been visited this many times; the walk still passes
+	// through it, which effectively makes walks hop row-to-row across
+	// over-visited value nodes. 0 disables limits.
+	VisitLimit int
+	// P and Q are the Node2Vec return and in-out biases for
+	// second-order walks. Both zero (or one) means first-order walks.
+	P, Q float64
+	// Seed seeds the deterministic per-walk RNG stream.
+	Seed int64
+	// Workers caps parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.WalkLength <= 0 {
+		o.WalkLength = 80
+	}
+	if o.WalksPerNode <= 0 {
+		o.WalksPerNode = 10
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+func (o Options) secondOrder() bool {
+	return (o.P != 0 && o.P != 1) || (o.Q != 0 && o.Q != 1)
+}
+
+// Corpus is a set of walks, each a sequence of node ids.
+type Corpus struct {
+	Walks [][]int32
+	// Visits counts how many times each node was emitted, used by the
+	// balancing diagnostics and tests.
+	Visits []int64
+}
+
+// Generate produces a walk corpus from the graph.
+func Generate(g *graph.Graph, opts Options) *Corpus {
+	opts = opts.withDefaults()
+	n := g.NumNodes()
+	c := &Corpus{Visits: make([]int64, n)}
+	if n == 0 {
+		return c
+	}
+
+	var aliases []*Alias
+	if g.Weighted {
+		aliases = make([]*Alias, n)
+		for i := 0; i < n; i++ {
+			if w := g.Weights(int32(i)); len(w) > 0 {
+				aliases[i] = NewAlias(w)
+			}
+		}
+	}
+
+	normalIters := opts.WalksPerNode - opts.RestartIterations
+	if normalIters < 0 {
+		normalIters = 0
+	}
+
+	starts := make([]int32, n)
+	for i := range starts {
+		starts[i] = int32(i)
+	}
+	for iter := 0; iter < normalIters; iter++ {
+		c.runIteration(g, aliases, starts, opts, int64(iter))
+	}
+	if opts.RestartIterations > 0 {
+		// Restart from the least-visited nodes: take the bottom
+		// half by visit count and cycle through them to fill the
+		// same number of walks a normal iteration produces.
+		worst := leastVisited(c.Visits, (n+1)/2)
+		restartStarts := make([]int32, n)
+		for i := range restartStarts {
+			restartStarts[i] = worst[i%len(worst)]
+		}
+		for iter := 0; iter < opts.RestartIterations; iter++ {
+			c.runIteration(g, aliases, restartStarts, opts, int64(normalIters+iter))
+		}
+	}
+	return c
+}
+
+func leastVisited(visits []int64, k int) []int32 {
+	idx := make([]int32, len(visits))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if visits[idx[a]] != visits[idx[b]] {
+			return visits[idx[a]] < visits[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// runIteration walks once from every entry of starts, in parallel.
+func (c *Corpus) runIteration(g *graph.Graph, aliases []*Alias, starts []int32, opts Options, iter int64) {
+	walks := make([][]int32, len(starts))
+	var wg sync.WaitGroup
+	chunk := (len(starts) + opts.Workers - 1) / opts.Workers
+	for w := 0; w < opts.Workers; w++ {
+		lo := w * chunk
+		if lo >= len(starts) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(starts) {
+			hi = len(starts)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				rng := rand.New(rand.NewSource(opts.Seed ^ (iter << 32) ^ int64(i)*0x9e3779b9))
+				walks[i] = c.walkFrom(g, aliases, starts[i], opts, rng)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, w := range walks {
+		if len(w) > 0 {
+			c.Walks = append(c.Walks, w)
+		}
+	}
+}
+
+// walkFrom generates one walk, honoring weights, visit limits, and the
+// optional second-order (p, q) bias.
+func (c *Corpus) walkFrom(g *graph.Graph, aliases []*Alias, start int32, opts Options, rng *rand.Rand) []int32 {
+	walk := make([]int32, 0, opts.WalkLength)
+	cur := start
+	prev := int32(-1)
+	emit := func(node int32) {
+		if opts.VisitLimit > 0 && g.Kind(node) == graph.ValueNode &&
+			atomic.LoadInt64(&c.Visits[node]) >= int64(opts.VisitLimit) {
+			return // traversed but not emitted
+		}
+		atomic.AddInt64(&c.Visits[node], 1)
+		walk = append(walk, node)
+	}
+	emit(cur)
+	for step := 1; step < opts.WalkLength; step++ {
+		next, ok := c.step(g, aliases, cur, prev, opts, rng)
+		if !ok {
+			break
+		}
+		emit(next)
+		prev, cur = cur, next
+	}
+	return walk
+}
+
+func (c *Corpus) step(g *graph.Graph, aliases []*Alias, cur, prev int32, opts Options, rng *rand.Rand) (int32, bool) {
+	nbrs := g.Neighbors(cur)
+	if len(nbrs) == 0 {
+		return 0, false
+	}
+	if opts.secondOrder() && prev >= 0 {
+		return node2vecStep(g, nbrs, cur, prev, opts, rng)
+	}
+	if aliases != nil && aliases[cur] != nil {
+		return nbrs[aliases[cur].Draw(rng)], true
+	}
+	return nbrs[rng.Intn(len(nbrs))], true
+}
+
+// node2vecStep samples the next node with the unnormalized second-order
+// weights 1/p (return), 1 (common neighbor), 1/q (outward), scaled by
+// the edge weight. Linear scan suffices because the comparator baseline
+// runs on moderate graphs.
+func node2vecStep(g *graph.Graph, nbrs []int32, cur, prev int32, opts Options, rng *rand.Rand) (int32, bool) {
+	p, q := opts.P, opts.Q
+	if p == 0 {
+		p = 1
+	}
+	if q == 0 {
+		q = 1
+	}
+	prevNbrs := g.Neighbors(prev)
+	isPrevNbr := func(x int32) bool {
+		for _, y := range prevNbrs {
+			if y == x {
+				return true
+			}
+		}
+		return false
+	}
+	weights := make([]float64, len(nbrs))
+	total := 0.0
+	for i, nb := range nbrs {
+		w := g.EdgeWeight(cur, i)
+		switch {
+		case nb == prev:
+			w /= p
+		case isPrevNbr(nb):
+			// distance 1 from prev: weight unchanged
+		default:
+			w /= q
+		}
+		weights[i] = w
+		total += w
+	}
+	if total <= 0 {
+		return nbrs[rng.Intn(len(nbrs))], true
+	}
+	r := rng.Float64() * total
+	for i, w := range weights {
+		r -= w
+		if r <= 0 {
+			return nbrs[i], true
+		}
+	}
+	return nbrs[len(nbrs)-1], true
+}

@@ -1,0 +1,220 @@
+package walk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/textify"
+)
+
+func TestAliasMatchesDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	rng := rand.New(rand.NewSource(1))
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Draw(rng)]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("outcome %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasDegenerate(t *testing.T) {
+	// All-zero weights degrade to uniform.
+	a := NewAlias([]float64{0, 0, 0})
+	rng := rand.New(rand.NewSource(2))
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[a.Draw(rng)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("degenerate outcome %d count %d", i, c)
+		}
+	}
+	if NewAlias(nil).Len() != 0 {
+		t.Error("empty alias not empty")
+	}
+}
+
+// lineGraph builds a weighted path graph 0-1-2-...-n-1 via the public
+// builder (alternating row and value nodes keeps it bipartite).
+func lineGraph(n int) *graph.Graph {
+	g := graph.New(true)
+	prev := g.AddRowNode("t", 0)
+	for i := 1; i < n; i++ {
+		var cur int32
+		if i%2 == 1 {
+			cur = g.AddValueNode(tokenName(i))
+		} else {
+			cur = g.AddRowNode("t", i)
+		}
+		g.AddEdge(prev, cur, 1)
+		prev = cur
+	}
+	return g
+}
+
+func tokenName(i int) string { return string(rune('a' + i)) }
+
+func TestGenerateShape(t *testing.T) {
+	g := lineGraph(7)
+	c := Generate(g, Options{WalkLength: 10, WalksPerNode: 3, Seed: 1})
+	if len(c.Walks) != 3*g.NumNodes() {
+		t.Fatalf("walks = %d, want %d", len(c.Walks), 3*g.NumNodes())
+	}
+	for _, w := range c.Walks {
+		if len(w) == 0 || len(w) > 10 {
+			t.Fatalf("walk length %d out of range", len(w))
+		}
+		for k := 1; k < len(w); k++ {
+			// Consecutive nodes must be adjacent.
+			found := false
+			for _, nb := range g.Neighbors(w[k-1]) {
+				if nb == w[k] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("walk steps over a non-edge %d->%d", w[k-1], w[k])
+			}
+		}
+	}
+	// Visits bookkeeping consistent with walks.
+	var emitted int64
+	for _, w := range c.Walks {
+		emitted += int64(len(w))
+	}
+	var visits int64
+	for _, v := range c.Visits {
+		visits += v
+	}
+	if emitted != visits {
+		t.Errorf("emitted %d != visits %d", emitted, visits)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := lineGraph(9)
+	a := Generate(g, Options{WalkLength: 8, WalksPerNode: 2, Seed: 42, Workers: 2})
+	b := Generate(g, Options{WalkLength: 8, WalksPerNode: 2, Seed: 42, Workers: 4})
+	if len(a.Walks) != len(b.Walks) {
+		t.Fatalf("walk counts differ: %d vs %d", len(a.Walks), len(b.Walks))
+	}
+	// Per-walk RNG depends only on (seed, iteration, start), so walks
+	// must be identical regardless of worker count once sorted by
+	// iteration order — they are generated in deterministic order.
+	for i := range a.Walks {
+		if len(a.Walks[i]) != len(b.Walks[i]) {
+			t.Fatalf("walk %d lengths differ", i)
+		}
+		for k := range a.Walks[i] {
+			if a.Walks[i][k] != b.Walks[i][k] {
+				t.Fatalf("walk %d diverges at step %d", i, k)
+			}
+		}
+	}
+}
+
+func TestVisitLimitSuppressesValueNodes(t *testing.T) {
+	// Star graph: one value node connected to many rows. With a visit
+	// limit the hub must stop being emitted.
+	tt := &textify.TokenizedTable{Table: "t", Attrs: []string{"x"}}
+	for i := 0; i < 20; i++ {
+		tt.Cells = append(tt.Cells, [][]string{{"hub"}})
+	}
+	g, _ := graph.Build([]*textify.TokenizedTable{tt}, graph.Options{})
+	hub, ok := g.ValueNodeID("hub")
+	if !ok {
+		t.Fatal("no hub node")
+	}
+	c := Generate(g, Options{WalkLength: 20, WalksPerNode: 4, VisitLimit: 5, Seed: 3})
+	if c.Visits[hub] > 6 { // limit plus at most one in-flight emit
+		t.Errorf("hub visits = %d with limit 5", c.Visits[hub])
+	}
+	// Without the limit the hub dominates.
+	c2 := Generate(g, Options{WalkLength: 20, WalksPerNode: 4, Seed: 3})
+	if c2.Visits[hub] < 100 {
+		t.Errorf("unexpected: hub visits only %d without limit", c2.Visits[hub])
+	}
+}
+
+func TestRestartIterationsBoostLeastVisited(t *testing.T) {
+	// Lollipop: a dense clique with a pendant path. Pendant nodes are
+	// under-visited; restarts must narrow the gap.
+	g := graph.New(false)
+	var clique []int32
+	for i := 0; i < 6; i++ {
+		clique = append(clique, g.AddRowNode("c", i))
+	}
+	for i := 0; i < 6; i++ {
+		v := g.AddValueNode(tokenName(i))
+		for _, r := range clique {
+			g.AddEdge(r, v, 1)
+		}
+	}
+	// Pendant path off clique row 0.
+	p1 := g.AddValueNode("p1")
+	p2 := g.AddRowNode("p", 0)
+	g.AddEdge(clique[0], p1, 1)
+	g.AddEdge(p1, p2, 1)
+
+	plain := Generate(g, Options{WalkLength: 12, WalksPerNode: 6, Seed: 4})
+	balanced := Generate(g, Options{WalkLength: 12, WalksPerNode: 6, RestartIterations: 3, Seed: 4})
+
+	// The mechanism's contract: restart iterations start more walks
+	// from the worst-represented nodes (the pendant) than plain
+	// iterations do.
+	startsAt := func(c *Corpus, node int32) int {
+		n := 0
+		for _, w := range c.Walks {
+			if len(w) > 0 && w[0] == node {
+				n++
+			}
+		}
+		return n
+	}
+	if sb, sp := startsAt(balanced, p2), startsAt(plain, p2); sb <= sp {
+		t.Errorf("restart walks did not start more often at pendant: %d <= %d", sb, sp)
+	}
+}
+
+func TestNode2VecBiasPrefersReturn(t *testing.T) {
+	// Triangle-free path; with tiny p the walk should bounce back and
+	// forth (return bias), yielding alternating sequences.
+	g := lineGraph(5)
+	c := Generate(g, Options{WalkLength: 12, WalksPerNode: 2, P: 0.01, Q: 1, Seed: 5})
+	bounces, steps := 0, 0
+	for _, w := range c.Walks {
+		for k := 2; k < len(w); k++ {
+			steps++
+			if w[k] == w[k-2] {
+				bounces++
+			}
+		}
+	}
+	if steps == 0 || float64(bounces)/float64(steps) < 0.8 {
+		t.Errorf("return bias weak: %d/%d bounces", bounces, steps)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New(false)
+	c := Generate(g, Options{})
+	if len(c.Walks) != 0 {
+		t.Error("walks on empty graph")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package word2vec
+
+// raceDetectorEnabled reports whether the build carries the race
+// detector.
+const raceDetectorEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package word2vec
+
+// raceDetectorEnabled reports whether the build carries the race
+// detector. Hogwild SGD races by design (the lock-free updates are the
+// algorithm), so under -race the trainer drops to a single worker.
+const raceDetectorEnabled = true

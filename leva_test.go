@@ -1,0 +1,161 @@
+package leva_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	leva "repro"
+)
+
+// buildMiniDB writes two joinable CSVs and loads them through the
+// public API.
+func buildMiniDB(t *testing.T) *leva.Database {
+	t.Helper()
+	dir := t.TempDir()
+	orders := "order_id,customer,amount,label\n"
+	customers := "customer,segment\n"
+	for i := 0; i < 60; i++ {
+		seg := "retail"
+		label := "small"
+		if i%2 == 0 {
+			seg = "wholesale"
+			label = "big"
+		}
+		orders += fmt.Sprintf("o%03d,c%02d,%d.5,%s\n", i, i%20, 10+i%7, label)
+		if i < 20 {
+			customers += fmt.Sprintf("c%02d,%s\n", i, seg)
+		}
+	}
+	// Make segment predictive of label through the customer key.
+	if err := os.WriteFile(filepath.Join(dir, "orders.csv"), []byte(orders), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "customers.csv"), []byte(customers), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := leva.ReadCSVDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := buildMiniDB(t)
+	if db.Table("orders") == nil || db.Table("customers") == nil {
+		t.Fatal("CSV tables missing")
+	}
+
+	cfg := leva.DefaultConfig()
+	cfg.Dim = 16
+	cfg.Seed = 1
+	data, err := leva.PrepareClassification(leva.Task{
+		DB: db, BaseTable: "orders", Target: "label", Seed: 1,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.NumClasses != 2 {
+		t.Fatalf("classes = %d", data.NumClasses)
+	}
+	rf := &leva.RandomForest{NumTrees: 30, Seed: 1}
+	rf.Fit(data.XTrain, data.YClassTrain)
+	acc := leva.Accuracy(rf.Predict(data.XTest), data.YClassTest)
+	// customer -> segment fully determines the label; the embedding
+	// must carry enough of it to beat coin flipping clearly.
+	if acc < 0.7 {
+		t.Errorf("public-API accuracy = %v", acc)
+	}
+}
+
+func TestPublicBuildAndFeaturize(t *testing.T) {
+	db := buildMiniDB(t)
+	cfg := leva.DefaultConfig()
+	cfg.Dim = 8
+	cfg.Method = leva.MethodMF
+	res, err := leva.Build(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := res.Featurize(db.Table("orders"), "orders", []string{"label"},
+		func(i int) int { return i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 60 || len(x[0]) != 16 { // row+value default doubles dim
+		t.Fatalf("featurized shape %dx%d", len(x), len(x[0]))
+	}
+	if res.Embedding.Len() == 0 || res.Graph.NumEdges() == 0 {
+		t.Error("empty embedding or graph")
+	}
+}
+
+func TestPublicBundleAndAutoTune(t *testing.T) {
+	db := buildMiniDB(t)
+	cfg := leva.DefaultConfig()
+	cfg.Dim = 8
+	cfg.Method = leva.MethodMF
+	res, err := leva.Build(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := leva.LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Embedding.Dim != 8 {
+		t.Errorf("bundle dim = %d", back.Embedding.Dim)
+	}
+
+	tuned, err := leva.AutoTune(leva.Task{
+		DB: db, BaseTable: "orders", Target: "label", Seed: 2,
+	}, cfg, leva.AutoTuneOptions{BinCandidates: []int{20}, DimCandidates: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Dim != 8 {
+		t.Errorf("tuned dim = %d", tuned.Dim)
+	}
+}
+
+func TestPublicRegression(t *testing.T) {
+	// Regression path through the public API: target = amount.
+	db := buildMiniDB(t)
+	cfg := leva.DefaultConfig()
+	cfg.Dim = 8
+	cfg.Method = leva.MethodMF
+	data, err := leva.PrepareRegression(leva.Task{
+		DB: db, BaseTable: "orders", Target: "amount", Seed: 3,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin := &leva.LinearRegression{}
+	lin.FitRegression(data.XTrain, data.YRegTrain)
+	mae := leva.MAE(lin.PredictRegression(data.XTest), data.YRegTest)
+	if mae < 0 {
+		t.Errorf("mae = %v", mae)
+	}
+	if r := leva.R2(data.YRegTrain, data.YRegTrain); r != 1 {
+		t.Errorf("R2 identity = %v", r)
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := leva.DefaultConfig()
+	if cfg.Dim != 100 {
+		t.Errorf("default dim = %d, want 100", cfg.Dim)
+	}
+	if cfg.Method != leva.MethodAuto {
+		t.Errorf("default method = %s", cfg.Method)
+	}
+	if cfg.Featurization != leva.RowPlusValue {
+		t.Errorf("default featurization = %v", cfg.Featurization)
+	}
+}

@@ -1,0 +1,41 @@
+package leva
+
+import "repro/internal/ml"
+
+// Downstream-model substrate, re-exported so examples and users can run
+// the full train-featurize-fit loop against one import. These are the
+// model families the paper evaluates (Section 6.1): random forests,
+// (logistic) linear models with ElasticNet, and a 2-layer fully
+// connected network.
+type (
+	// RandomForest classifies or regresses with bagged CART trees.
+	RandomForest = ml.RandomForest
+	// LogisticRegression is softmax regression with ElasticNet.
+	LogisticRegression = ml.LogisticRegression
+	// LinearRegression is OLS/ridge regression.
+	LinearRegression = ml.LinearRegression
+	// ElasticNetRegression is L1+L2-penalized linear regression.
+	ElasticNetRegression = ml.ElasticNetRegression
+	// MLP is the 2-layer fully connected network with dropout.
+	MLP = ml.MLP
+	// Standardizer rescales features to zero mean and unit variance.
+	Standardizer = ml.Standardizer
+	// Split is a train/test index partition.
+	Split = ml.Split
+)
+
+// Metrics and helpers.
+var (
+	// Accuracy is the fraction of exact label matches.
+	Accuracy = ml.Accuracy
+	// MAE is the mean absolute error.
+	MAE = ml.MAE
+	// R2 is the coefficient of determination.
+	R2 = ml.R2
+	// MacroF1 averages per-class F1.
+	MacroF1 = ml.MacroF1
+	// TrainTestSplit shuffles and partitions row indices.
+	TrainTestSplit = ml.TrainTestSplit
+	// FitStandardizer computes feature moments on training data.
+	FitStandardizer = ml.FitStandardizer
+)
