@@ -151,6 +151,41 @@ func BenchmarkEndToEndPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineParallel measures the end-to-end embedding build
+// (textify → graph → MF → featurize) at Workers=1 versus all cores.
+// Run with -cpu to control GOMAXPROCS for the workers=max case, e.g.
+//
+//	go test -bench PipelineParallel -cpu 1,2,4
+//
+// On a single-core machine the two sub-benchmarks coincide; the
+// parallel paths still run, they just collapse to one shard.
+func BenchmarkPipelineParallel(b *testing.B) {
+	spec := synth.Student(synth.StudentOptions{Students: 300, Seed: 1})
+	base := spec.DB.Table(spec.BaseTable)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=max", 0}, // 0 resolves to GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.BuildEmbedding(spec.DB, core.Config{
+					Dim: 32, Seed: 1, Method: embed.MethodMF, Workers: bc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := res.Featurize(base, spec.BaseTable, []string{spec.Target},
+					func(r int) int { return r }); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkScalabilityPoint is the single-K kernel of Fig. 7a for quick
 // regression tracking.
 func BenchmarkScalabilityPoint(b *testing.B) {

@@ -47,33 +47,35 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  leva embed -data <csv dir> [-out emb.tsv] [-bundle dir] [-dim N] [-method auto|mf|rw] [-bins N] [-seed N]
-  leva train -data <csv dir> -base <table> -target <column> [-dim N] [-method ...] [-seed N]
+  leva embed -data <csv dir> [-out emb.tsv] [-bundle dir] [-dim N] [-method auto|mf|rw] [-bins N] [-seed N] [-workers N]
+  leva train -data <csv dir> -base <table> -target <column> [-dim N] [-method ...] [-seed N] [-workers N]
   leva apply -bundle <dir> -data <csv dir> -table <name> [-out features.tsv] [-exclude col1,col2]
   leva inspect -data <csv dir>`)
 }
 
-func pipelineFlags(fs *flag.FlagSet) (data *string, dim *int, method *string, bins *int, seed *int64) {
+func pipelineFlags(fs *flag.FlagSet) (data *string, dim *int, method *string, bins *int, seed *int64, workers *int) {
 	data = fs.String("data", "", "directory of CSV files (one table per file)")
 	dim = fs.Int("dim", 100, "embedding dimension")
 	method = fs.String("method", "auto", "embedding method: auto, mf, rw")
 	bins = fs.Int("bins", 50, "numeric histogram bins")
 	seed = fs.Int64("seed", 1, "random seed")
+	workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
 	return
 }
 
-func buildConfig(dim, bins int, method string, seed int64) leva.Config {
+func buildConfig(dim, bins int, method string, seed int64, workers int) leva.Config {
 	cfg := leva.DefaultConfig()
 	cfg.Dim = dim
 	cfg.Seed = seed
 	cfg.Textify.BinCount = bins
 	cfg.Method = leva.Method(method)
+	cfg.Workers = workers
 	return cfg
 }
 
 func runEmbed(args []string) error {
 	fs := flag.NewFlagSet("embed", flag.ExitOnError)
-	data, dim, method, bins, seed := pipelineFlags(fs)
+	data, dim, method, bins, seed, workers := pipelineFlags(fs)
 	out := fs.String("out", "embedding.tsv", "output TSV path")
 	bundle := fs.String("bundle", "", "also save a reusable deployment bundle to this directory")
 	fs.Parse(args)
@@ -86,7 +88,7 @@ func runEmbed(args []string) error {
 		return err
 	}
 	start := time.Now()
-	res, err := leva.Build(db, buildConfig(*dim, *bins, *method, *seed))
+	res, err := leva.Build(db, buildConfig(*dim, *bins, *method, *seed, *workers))
 	if err != nil {
 		return err
 	}
@@ -171,7 +173,7 @@ func runApply(args []string) error {
 
 func runTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
-	data, dim, method, bins, seed := pipelineFlags(fs)
+	data, dim, method, bins, seed, workers := pipelineFlags(fs)
 	base := fs.String("base", "", "base table (holds the target column)")
 	target := fs.String("target", "", "target column")
 	fs.Parse(args)
@@ -193,7 +195,7 @@ func runTrain(args []string) error {
 	}
 
 	task := leva.Task{DB: db, BaseTable: *base, Target: *target, Seed: *seed}
-	cfg := buildConfig(*dim, *bins, *method, *seed)
+	cfg := buildConfig(*dim, *bins, *method, *seed, *workers)
 
 	// Numeric targets with many distinct values run as regression,
 	// everything else as classification.

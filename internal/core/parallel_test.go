@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+// TestPipelineWorkersDeterministicMF verifies the acceptance contract
+// of the parallel pipeline: with the MF method the features coming out
+// of the end-to-end run are bit-identical at every worker count
+// (Workers=1 being exactly the historical sequential path).
+func TestPipelineWorkersDeterministicMF(t *testing.T) {
+	spec := synth.Genes(synth.GenesOptions{Scale: 0.05, Seed: 8})
+	task := Task{DB: spec.DB, BaseTable: spec.BaseTable, Target: spec.Target, Seed: 8}
+
+	run := func(workers int) *SupervisedData {
+		t.Helper()
+		d, err := PrepareClassification(task, Config{Dim: 16, Seed: 8, Method: embed.MethodMF, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	ref := run(1)
+	for _, w := range []int{2, 4} {
+		got := run(w)
+		if len(got.XTrain) != len(ref.XTrain) || len(got.XTest) != len(ref.XTest) {
+			t.Fatalf("workers=%d: split sizes differ", w)
+		}
+		for i := range ref.XTrain {
+			for j := range ref.XTrain[i] {
+				if ref.XTrain[i][j] != got.XTrain[i][j] {
+					t.Fatalf("workers=%d: XTrain[%d][%d] = %v vs %v", w, i, j, got.XTrain[i][j], ref.XTrain[i][j])
+				}
+			}
+		}
+		for i := range ref.XTest {
+			for j := range ref.XTest[i] {
+				if ref.XTest[i][j] != got.XTest[i][j] {
+					t.Fatalf("workers=%d: XTest[%d][%d] = %v vs %v", w, i, j, got.XTest[i][j], ref.XTest[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineWorkersRWShapes runs the RW path with the pipeline-wide
+// worker knob; Hogwild training is only statistically reproducible
+// across worker counts, so this asserts shape and usability, not bits.
+func TestPipelineWorkersRWShapes(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 40, Seed: 3})
+	cfg := Config{
+		Dim: 8, Seed: 3, Method: embed.MethodRW, Workers: 4,
+		RW: embed.RWOptions{WalkLength: 10, WalksPerNode: 2, Epochs: 1},
+	}
+	res, err := BuildEmbedding(spec.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MethodUsed != embed.MethodRW {
+		t.Fatalf("method = %s", res.MethodUsed)
+	}
+	bt := spec.DB.Table(spec.BaseTable)
+	x, err := res.Featurize(bt, spec.BaseTable, []string{spec.Target}, func(i int) int { return i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != bt.NumRows() || len(x[0]) != 2*cfg.Dim {
+		t.Fatalf("features %dx%d, want %dx%d", len(x), len(x[0]), bt.NumRows(), 2*cfg.Dim)
+	}
+}
+
+// TestConfigWorkersPropagates checks the pipeline-wide knob lands in
+// every stage-level option unless that stage set its own.
+func TestConfigWorkersPropagates(t *testing.T) {
+	c := Config{Workers: 3}.withDefaults()
+	if c.Graph.Workers != 3 || c.MF.Workers != 3 || c.RW.Workers != 3 || c.GloVe.Workers != 3 {
+		t.Fatalf("workers not propagated: %+v", c)
+	}
+	c = Config{Workers: 3, MF: embed.MFOptions{Workers: 2}}.withDefaults()
+	if c.MF.Workers != 2 {
+		t.Fatalf("stage override lost: %d", c.MF.Workers)
+	}
+}

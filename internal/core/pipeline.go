@@ -12,6 +12,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/graph"
+	"repro/internal/parallel"
 	"repro/internal/textify"
 )
 
@@ -67,6 +68,16 @@ type Config struct {
 	UnseenFallbackDims int
 	// Seed drives all randomized stages.
 	Seed int64
+	// Workers caps the parallelism of every pipeline hot path:
+	// textification, graph construction, the MF matmuls, RW walk
+	// generation and SGNS training, and featurization. 0 means
+	// GOMAXPROCS; 1 reproduces the sequential pipeline exactly. The
+	// textify, graph and MF stages are bit-identical at every worker
+	// count; RW training (Hogwild SGD) is reproducible only at
+	// Workers=1 and statistically equivalent otherwise. Stage-level
+	// knobs (Graph.Workers, MF.Workers, RW.Workers, GloVe.Workers)
+	// override this when set.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +86,20 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Method == "" {
 		c.Method = embed.MethodAuto
+	}
+	// Thread the pipeline-wide worker count into every stage knob that
+	// was not set explicitly.
+	if c.Graph.Workers == 0 {
+		c.Graph.Workers = c.Workers
+	}
+	if c.MF.Workers == 0 {
+		c.MF.Workers = c.Workers
+	}
+	if c.RW.Workers == 0 {
+		c.RW.Workers = c.Workers
+	}
+	if c.GloVe.Workers == 0 {
+		c.GloVe.Workers = c.Workers
 	}
 	return c
 }
@@ -117,7 +142,7 @@ func BuildEmbedding(db *dataset.Database, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: textify: %w", err)
 	}
-	tokenized, err := model.TransformAll(db)
+	tokenized, err := model.TransformAllWorkers(db, cfg.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: textify transform: %w", err)
 	}
@@ -183,6 +208,13 @@ func (r *Result) Featurize(t *dataset.Table, tableName string, exclude []string,
 
 // FeaturizeWithMode is Featurize with an explicit featurization mode,
 // letting deployment-strategy ablations reuse one built embedding.
+//
+// Rows featurize independently against the read-only embedding and
+// tokenizer, so the work fans out in row chunks across Config.Workers
+// goroutines (0 = GOMAXPROCS); each row writes only its own output
+// vector, making the features bit-identical at every worker count.
+// graphRow must therefore be safe for concurrent calls — pure index
+// arithmetic, the common case, always is.
 func (r *Result) FeaturizeWithMode(t *dataset.Table, tableName string, exclude []string, graphRow func(i int) int, mode FeaturizationMode) ([][]float64, error) {
 	skip := make(map[string]bool, len(exclude))
 	for _, e := range exclude {
@@ -198,30 +230,36 @@ func (r *Result) FeaturizeWithMode(t *dataset.Table, tableName string, exclude [
 	for i := range out {
 		out[i] = make([]float64, width+fallback)
 	}
-	for i := 0; i < t.NumRows(); i++ {
-		tokens, err := r.rowTokens(t, tableName, i, skip)
-		if err != nil {
-			return nil, err
-		}
-		valueVec, _ := r.Embedding.MeanVector(tokens)
-
-		rowVec := valueVec
-		if gr := graphRow(i); gr >= 0 {
-			if v, ok := r.Embedding.Vector(embed.RowKey(tableName, gr)); ok {
-				rowVec = v
+	err := parallel.ForError(t.NumRows(), r.Config.Workers, func(_ int, pr parallel.Range) error {
+		for i := pr.Lo; i < pr.Hi; i++ {
+			tokens, err := r.rowTokens(t, tableName, i, skip)
+			if err != nil {
+				return err
 			}
-		}
-		copy(out[i][:dim], rowVec)
-		if mode == RowPlusValue {
-			copy(out[i][dim:width], valueVec)
-		}
-		if fallback > 0 {
-			for _, tok := range tokens {
-				if !r.Embedding.Has(tok) {
-					out[i][width+hashToken(tok)%fallback] = 1
+			valueVec, _ := r.Embedding.MeanVector(tokens)
+
+			rowVec := valueVec
+			if gr := graphRow(i); gr >= 0 {
+				if v, ok := r.Embedding.Vector(embed.RowKey(tableName, gr)); ok {
+					rowVec = v
+				}
+			}
+			copy(out[i][:dim], rowVec)
+			if mode == RowPlusValue {
+				copy(out[i][dim:width], valueVec)
+			}
+			if fallback > 0 {
+				for _, tok := range tokens {
+					if !r.Embedding.Has(tok) {
+						out[i][width+hashToken(tok)%fallback] = 1
+					}
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -189,7 +189,10 @@ func DiscoverJoins(db *dataset.Database, baseName string, opts Options) []Candid
 			}
 		}
 		ix.Build()
-		for _, bp := range baseProfiles {
+		// Iterate base columns in schema order, not map order, so the
+		// candidate list (and the MaxJoins cut below) is deterministic.
+		for _, bc := range base.Columns {
+			bp := baseProfiles[bc.Name]
 			if bp.Cardinality < opts.MinCardinality {
 				continue
 			}
@@ -212,7 +215,8 @@ func DiscoverJoins(db *dataset.Database, baseName string, opts Options) []Candid
 				if p.Cardinality < opts.MinCardinality {
 					continue
 				}
-				for _, bp := range baseProfiles {
+				for _, bc := range base.Columns {
+					bp := baseProfiles[bc.Name]
 					if bp.Cardinality < opts.MinCardinality {
 						continue
 					}
@@ -236,7 +240,10 @@ func DiscoverJoins(db *dataset.Database, baseName string, opts Options) []Candid
 		if cands[i].Table != cands[j].Table {
 			return cands[i].Table < cands[j].Table
 		}
-		return cands[i].Column < cands[j].Column
+		if cands[i].Column != cands[j].Column {
+			return cands[i].Column < cands[j].Column
+		}
+		return cands[i].BaseColumn < cands[j].BaseColumn
 	})
 	if len(cands) > opts.MaxJoins {
 		cands = cands[:opts.MaxJoins]

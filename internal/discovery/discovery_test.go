@@ -140,3 +140,43 @@ func TestJaccardSymmetryProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestDiscoverJoinsDeterministic guards against map-iteration order
+// leaking into the candidate list: several base columns sharing a value
+// domain tie on containment, and the MaxJoins cut must still pick the
+// same candidates every run.
+func TestDiscoverJoinsDeterministic(t *testing.T) {
+	var vals []string
+	for i := 0; i < 40; i++ {
+		vals = append(vals, fmt.Sprintf("v%d", i))
+	}
+	base := &dataset.Table{Name: "base", Columns: []*dataset.Column{
+		stringColumn("c1", vals...),
+		stringColumn("c2", vals...),
+		stringColumn("c3", vals...),
+		stringColumn("c4", vals...),
+	}}
+	other := &dataset.Table{Name: "other", Columns: []*dataset.Column{
+		stringColumn("k", vals...),
+	}}
+	db := dataset.NewDatabase(base, other)
+
+	for _, lsh := range []bool{false, true} {
+		opts := Options{MaxJoins: 2, UseLSH: lsh}
+		ref := DiscoverJoins(db, "base", opts)
+		if len(ref) != 2 {
+			t.Fatalf("lsh=%v: expected MaxJoins cut to 2 candidates, got %d", lsh, len(ref))
+		}
+		for run := 0; run < 20; run++ {
+			got := DiscoverJoins(db, "base", opts)
+			if len(got) != len(ref) {
+				t.Fatalf("lsh=%v run %d: %d candidates vs %d", lsh, run, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("lsh=%v run %d: candidate %d = %+v vs %+v", lsh, run, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}

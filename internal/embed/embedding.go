@@ -16,6 +16,7 @@ import (
 // Embedding maps node names to dense vectors. Row nodes are keyed
 // "table:rowIdx"; value nodes are keyed by their token.
 type Embedding struct {
+	// Dim is the vector dimensionality.
 	Dim     int
 	names   []string
 	index   map[string]int

@@ -19,7 +19,8 @@ type GloVeOptions struct {
 	Window int
 	// Epochs of AdaGrad. Default 15.
 	Epochs int
-	Seed   int64
+	// Seed seeds walk generation and factor initialization.
+	Seed int64
 	// Workers caps walk parallelism.
 	Workers int
 }

@@ -3,6 +3,7 @@ package embed
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/matrix"
@@ -54,6 +55,13 @@ type MFOptions struct {
 	ChebS     float64
 	// Seed seeds the Gaussian test matrix.
 	Seed int64
+	// Workers caps parallelism across the proximity-matrix
+	// accumulation, the randomized-SVD matmuls and the spectral
+	// propagation; 0 means GOMAXPROCS. The factorization is
+	// bit-identical at every worker count: all parallel kernels
+	// partition output rows, and reductions keep the sequential
+	// accumulation order.
+	Workers int
 }
 
 func (o MFOptions) withDefaults() MFOptions {
@@ -111,7 +119,10 @@ func MF(g *graph.Graph, opts MFOptions) *Embedding {
 		return NewEmbedding(names, matrix.NewDense(0, opts.Dim))
 	}
 
-	// Weighted degrees and transition matrix P = D^{-1} A.
+	// Weighted degrees and transition matrix P = D^{-1} A. The degree
+	// and volume sums stay sequential (O(E), and splitting them would
+	// change the floating-point accumulation order); the normalized
+	// rows of P assemble in parallel.
 	nodeSum := make([]float64, n)
 	vol := 0.0
 	for i := 0; i < n; i++ {
@@ -124,20 +135,7 @@ func MF(g *graph.Graph, opts MFOptions) *Embedding {
 	if vol == 0 {
 		return NewEmbedding(names, matrix.NewDense(n, opts.Dim))
 	}
-	entries := make([]matrix.COO, 0, n*4)
-	for i := 0; i < n; i++ {
-		if nodeSum[i] == 0 {
-			continue
-		}
-		inv := 1 / nodeSum[i]
-		for k, j := range g.Neighbors(int32(i)) {
-			w := g.EdgeWeight(int32(i), k)
-			if w > 0 {
-				entries = append(entries, matrix.COO{Row: i, Col: int(j), Val: w * inv})
-			}
-		}
-	}
-	p := matrix.NewCSR(n, n, entries)
+	p := transitionCSR(g, nodeSum, opts.Workers)
 
 	var adj *matrix.CSR
 	if !opts.NoSpectralPropagation {
@@ -145,6 +143,43 @@ func MF(g *graph.Graph, opts MFOptions) *Embedding {
 	}
 	e := factorizeWindow(p, adj, nodeSum, vol, opts.Window, opts.Dim, opts)
 	return NewEmbedding(names, e)
+}
+
+// transitionCSR assembles the row-normalized transition matrix
+// P = D^{-1} A with the rows partitioned across workers. Each row's
+// entries are sorted by column (and duplicate neighbor entries summed
+// in adjacency order), matching the canonical NewCSR layout.
+func transitionCSR(g *graph.Graph, nodeSum []float64, workers int) *matrix.CSR {
+	n := g.NumNodes()
+	type entry struct {
+		col int32
+		val float64
+	}
+	return matrix.ShardedCSR(n, n, workers, func(lo, hi int, frag *matrix.CSR) {
+		row := make([]entry, 0, 16)
+		for i := lo; i < hi; i++ {
+			if nodeSum[i] != 0 {
+				inv := 1 / nodeSum[i]
+				row = row[:0]
+				for k, j := range g.Neighbors(int32(i)) {
+					w := g.EdgeWeight(int32(i), k)
+					if w > 0 {
+						row = append(row, entry{col: j, val: w * inv})
+					}
+				}
+				sort.SliceStable(row, func(x, y int) bool { return row[x].col < row[y].col })
+				for _, e := range row {
+					if m := len(frag.Vals); m > int(frag.RowPtr[i-lo]) && frag.ColIdx[m-1] == e.col {
+						frag.Vals[m-1] += e.val
+						continue
+					}
+					frag.ColIdx = append(frag.ColIdx, e.col)
+					frag.Vals = append(frag.Vals, e.val)
+				}
+			}
+			frag.RowPtr[i-lo+1] = int32(len(frag.Vals))
+		}
+	})
 }
 
 // factorizeWindow builds the windowed shifted-PMI proximity from the
@@ -155,57 +190,57 @@ func factorizeWindow(p, adj *matrix.CSR, nodeSum []float64, vol float64, window,
 	s := p
 	acc := p
 	for t := 2; t <= window; t++ {
-		acc = matrix.MulCSRPrune(acc, p, opts.TopK, 1e-6)
-		s = matrix.AddCSR(s, acc)
+		acc = matrix.MulCSRPruneWorkers(acc, p, opts.TopK, 1e-6, opts.Workers)
+		s = matrix.AddCSRWorkers(s, acc, opts.Workers)
 	}
 	if window > 1 {
 		s = matrix.ScaleCSR(s, 1/float64(window))
 	}
 
 	// Shifted positive PMI: M_ij = max(log(vol·S_ij / (τ·d_j)), 0).
-	m := prunePMI(s, nodeSum, vol, opts.Tau, opts.PMICap)
+	m := prunePMI(s, nodeSum, vol, opts.Tau, opts.PMICap, opts.Workers)
 
 	rng := rand.New(rand.NewSource(opts.Seed))
-	res := matrix.RandomizedSVD(m, dim, opts.Oversample, opts.PowerIters, rng)
+	res := matrix.RandomizedSVDWorkers(m, dim, opts.Oversample, opts.PowerIters, rng, opts.Workers)
 	e := matrix.EmbeddingFromSVD(res)
 	e = padColumns(e, dim)
 	if adj != nil {
-		e = matrix.ChebyshevPropagate(adj, e, opts.ChebOrder, opts.ChebMu, opts.ChebS)
+		e = matrix.ChebyshevPropagateWorkers(adj, e, opts.ChebOrder, opts.ChebMu, opts.ChebS, opts.Workers)
 	}
 	return e
 }
 
 // prunePMI maps windowed-transition probabilities to clipped shifted
-// PMI in place of a fresh CSR.
-func prunePMI(s *matrix.CSR, degree []float64, vol, tau, cap float64) *matrix.CSR {
-	out := &matrix.CSR{NumRows: s.NumRows, NumCols: s.NumCols, RowPtr: make([]int32, s.NumRows+1)}
-	for i := 0; i < s.NumRows; i++ {
-		for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
-			j := s.ColIdx[p]
-			if int(j) == i {
-				// Drop self-proximity: bipartite walks return to
-				// their origin at every even step, and the
-				// resulting huge diagonal PMI would make the
-				// truncated SVD spend its dimension budget
-				// encoding node identity instead of structure.
-				continue
+// PMI, with the rows partitioned across workers.
+func prunePMI(s *matrix.CSR, degree []float64, vol, tau, cap float64, workers int) *matrix.CSR {
+	return matrix.ShardedCSR(s.NumRows, s.NumCols, workers, func(lo, hi int, frag *matrix.CSR) {
+		for i := lo; i < hi; i++ {
+			for p := s.RowPtr[i]; p < s.RowPtr[i+1]; p++ {
+				j := s.ColIdx[p]
+				if int(j) == i {
+					// Drop self-proximity: bipartite walks return to
+					// their origin at every even step, and the
+					// resulting huge diagonal PMI would make the
+					// truncated SVD spend its dimension budget
+					// encoding node identity instead of structure.
+					continue
+				}
+				dj := degree[j]
+				if dj <= 0 || s.Vals[p] <= 0 {
+					continue
+				}
+				v := math.Log(vol * s.Vals[p] / (tau * dj))
+				if cap > 0 && v > cap {
+					v = cap
+				}
+				if v > 0 {
+					frag.ColIdx = append(frag.ColIdx, j)
+					frag.Vals = append(frag.Vals, v)
+				}
 			}
-			dj := degree[j]
-			if dj <= 0 || s.Vals[p] <= 0 {
-				continue
-			}
-			v := math.Log(vol * s.Vals[p] / (tau * dj))
-			if cap > 0 && v > cap {
-				v = cap
-			}
-			if v > 0 {
-				out.ColIdx = append(out.ColIdx, j)
-				out.Vals = append(out.Vals, v)
-			}
+			frag.RowPtr[i-lo+1] = int32(len(frag.Vals))
 		}
-		out.RowPtr[i+1] = int32(len(out.Vals))
-	}
-	return out
+	})
 }
 
 // padColumns widens e with zero columns up to dim (the randomized SVD

@@ -3,6 +3,7 @@ package graph
 import (
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/textify"
 )
 
@@ -25,6 +26,12 @@ type Options struct {
 	// for a value node to be created; the paper creates value nodes
 	// "only when values are shared between multiple rows". Default 2.
 	MinShare int
+	// Workers caps the construction parallelism; 0 means GOMAXPROCS.
+	// The voting and edge-filtering passes shard across rows; node ids,
+	// edge order and Stats are identical at every worker count because
+	// shard results merge in deterministic order and interning stays
+	// sequential.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,58 +56,92 @@ type attrVote struct {
 // Stats summarizes what construction and refinement did, for logging and
 // ablation experiments.
 type Stats struct {
-	RowNodes        int
-	ValueNodes      int
-	Edges           int
-	TokensSeen      int
+	RowNodes        int // row nodes created (one per input row)
+	ValueNodes      int // value nodes that survived refinement
+	Edges           int // row-value edges in the final graph
+	TokensSeen      int // distinct tokens before refinement
 	TokensMissing   int // removed by the theta_range missing-data rule
 	TokensRare      int // dropped because shared by fewer than MinShare rows
 	AttrsPruned     int // (token, attribute) groups cut by theta_min
-	TotalAttributes int
+	TotalAttributes int // distinct attributes across all input tables
+}
+
+// tokenInfo accumulates a token's attribute votes and the number of
+// distinct rows mentioning it.
+type tokenInfo struct {
+	votes    []attrVote
+	rowCount int
+}
+
+// vote adds n votes for attr to the token's tally.
+func (info *tokenInfo) vote(attr string, n int) {
+	for i := range info.votes {
+		if info.votes[i].attr == attr {
+			info.votes[i].votes += n
+			return
+		}
+	}
+	info.votes = append(info.votes, attrVote{attr: attr, votes: n})
+}
+
+// flatRow addresses one row of one tokenized table; Build shards work
+// across the flattened row list so parallelism is row-granular even
+// when one table dominates the database.
+type flatRow struct {
+	table *textify.TokenizedTable
+	row   int
+}
+
+func flattenRows(tables []*textify.TokenizedTable) []flatRow {
+	n := 0
+	for _, t := range tables {
+		n += len(t.Cells)
+	}
+	rows := make([]flatRow, 0, n)
+	for _, t := range tables {
+		for r := range t.Cells {
+			rows = append(rows, flatRow{table: t, row: r})
+		}
+	}
+	return rows
 }
 
 // Build runs Algorithm 1 over textified tables: construct row and value
 // nodes, vote tokens into attributes, refine with theta_range and
 // theta_min, and attach inverse-degree edge weights.
+//
+// The voting and edge-filtering passes run on opts.Workers goroutines;
+// the graph produced (node ids, edge order, weights) and the Stats are
+// identical at every worker count. Voting shards merge additively in
+// shard order, rows never straddle a shard (so distinct-row counts stay
+// exact), and node interning — the only order-sensitive step — remains
+// sequential over the deterministic row order.
 func Build(tables []*textify.TokenizedTable, opts Options) (*Graph, Stats) {
 	opts = opts.withDefaults()
 	var stats Stats
 
+	rows := flattenRows(tables)
+
 	// Pass 1: voting. For every token, count votes per qualified
-	// attribute and remember which distinct rows mention it.
-	type tokenInfo struct {
-		votes    []attrVote
-		rowCount int
-	}
-	votes := make(map[string]*tokenInfo)
-	totalAttrs := 0
-	for _, t := range tables {
-		totalAttrs += len(t.Attrs)
-	}
-	stats.TotalAttributes = totalAttrs
-
-	vote := func(info *tokenInfo, attr string) {
-		for i := range info.votes {
-			if info.votes[i].attr == attr {
-				info.votes[i].votes++
-				return
-			}
-		}
-		info.votes = append(info.votes, attrVote{attr: attr, votes: 1})
-	}
-
-	for _, t := range tables {
-		for _, row := range t.Cells {
+	// attribute and remember which distinct rows mention it. Each shard
+	// tallies its rows into a private map; the merge sums counts, which
+	// is order-independent.
+	shards := parallel.Shards(len(rows), opts.Workers)
+	local := make([]map[string]*tokenInfo, len(shards))
+	parallel.For(len(rows), opts.Workers, func(s int, r parallel.Range) {
+		tally := make(map[string]*tokenInfo)
+		for k := r.Lo; k < r.Hi; k++ {
+			t, rowIdx := rows[k].table, rows[k].row
 			seenInRow := map[string]bool{}
-			for col, toks := range row {
+			for col, toks := range t.Cells[rowIdx] {
 				attr := t.Table + "." + t.Attrs[col]
 				for _, tok := range toks {
-					info := votes[tok]
+					info := tally[tok]
 					if info == nil {
 						info = &tokenInfo{}
-						votes[tok] = info
+						tally[tok] = info
 					}
-					vote(info, attr)
+					info.vote(attr, 1)
 					if !seenInRow[tok] {
 						seenInRow[tok] = true
 						info.rowCount++
@@ -108,7 +149,27 @@ func Build(tables []*textify.TokenizedTable, opts Options) (*Graph, Stats) {
 				}
 			}
 		}
+		local[s] = tally
+	})
+	votes := make(map[string]*tokenInfo)
+	for _, tally := range local {
+		for tok, li := range tally {
+			info := votes[tok]
+			if info == nil {
+				votes[tok] = li
+				continue
+			}
+			info.rowCount += li.rowCount
+			for _, v := range li.votes {
+				info.vote(v.attr, v.votes)
+			}
+		}
 	}
+	totalAttrs := 0
+	for _, t := range tables {
+		totalAttrs += len(t.Attrs)
+	}
+	stats.TotalAttributes = totalAttrs
 	stats.TokensSeen = len(votes)
 
 	// Pass 2: refinement decisions.
@@ -149,16 +210,20 @@ func Build(tables []*textify.TokenizedTable, opts Options) (*Graph, Stats) {
 		allowed[tok] = keep
 	}
 
-	// Pass 3: build nodes and edges. Value nodes are interned lazily so
-	// tokens whose every attribute was pruned never materialize.
-	g := New(!opts.Unweighted)
-	type edge struct{ row, val int32 }
-	var edges []edge
-	for _, t := range tables {
-		for rowIdx, row := range t.Cells {
-			rowNode := g.AddRowNode(t.Table, rowIdx)
-			dedup := map[int32]bool{}
-			for col, toks := range row {
+	// Pass 3: build nodes and edges. The per-row refinement filter
+	// (which tokens survive, deduplicated in first-seen order) is
+	// embarrassingly parallel over the read-only `allowed` map; the
+	// result lands in a per-row slot. Value nodes are then interned
+	// lazily — so tokens whose every attribute was pruned never
+	// materialize — in a sequential sweep over the fixed row order,
+	// which keeps node ids identical to the single-worker build.
+	kept := make([][]string, len(rows))
+	parallel.For(len(rows), opts.Workers, func(_ int, r parallel.Range) {
+		for k := r.Lo; k < r.Hi; k++ {
+			t, rowIdx := rows[k].table, rows[k].row
+			var rowKept []string
+			seen := map[string]bool{}
+			for col, toks := range t.Cells[rowIdx] {
 				attr := t.Table + "." + t.Attrs[col]
 				for _, tok := range toks {
 					keep, ok := allowed[tok]
@@ -168,14 +233,24 @@ func Build(tables []*textify.TokenizedTable, opts Options) (*Graph, Stats) {
 					if keep != nil && !keep[attr] {
 						continue
 					}
-					valNode := g.AddValueNode(tok)
-					if dedup[valNode] {
+					if seen[tok] {
 						continue
 					}
-					dedup[valNode] = true
-					edges = append(edges, edge{row: rowNode, val: valNode})
+					seen[tok] = true
+					rowKept = append(rowKept, tok)
 				}
 			}
+			kept[k] = rowKept
+		}
+	})
+
+	g := New(!opts.Unweighted)
+	type edge struct{ row, val int32 }
+	var edges []edge
+	for k, fr := range rows {
+		rowNode := g.AddRowNode(fr.table.Table, fr.row)
+		for _, tok := range kept[k] {
+			edges = append(edges, edge{row: rowNode, val: g.AddValueNode(tok)})
 		}
 	}
 

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/textify"
+)
+
+// parallelFixture generates a moderately sized multi-table database
+// with shared keys, repeated categories, rare tokens and a dirty
+// missing marker, so every refinement rule fires.
+func parallelFixture() []*textify.TokenizedTable {
+	users := &textify.TokenizedTable{Table: "users", Attrs: []string{"id", "city", "tier", "f"}}
+	for i := 0; i < 120; i++ {
+		users.Cells = append(users.Cells, [][]string{
+			{fmt.Sprintf("u%d", i)},
+			{fmt.Sprintf("city%d", i%7)},
+			{fmt.Sprintf("tier%d", i%3)},
+			{"?"},
+		})
+	}
+	orders := &textify.TokenizedTable{Table: "orders", Attrs: []string{"oid", "user", "amount", "g"}}
+	for i := 0; i < 250; i++ {
+		orders.Cells = append(orders.Cells, [][]string{
+			{fmt.Sprintf("o%d", i)}, // unique: rare tokens
+			{fmt.Sprintf("u%d", i%120)},
+			{fmt.Sprintf("amount#%d", i%11)},
+			{"?"},
+		})
+	}
+	return []*textify.TokenizedTable{users, orders}
+}
+
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("node count %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge count %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		id := int32(i)
+		if a.Kind(id) != b.Kind(id) || a.NodeName(id) != b.NodeName(id) {
+			t.Fatalf("node %d: %v %q vs %v %q", i, a.Kind(id), a.NodeName(id), b.Kind(id), b.NodeName(id))
+		}
+		na, nb := a.Neighbors(id), b.Neighbors(id)
+		if len(na) != len(nb) {
+			t.Fatalf("node %d: degree %d vs %d", i, len(na), len(nb))
+		}
+		for k := range na {
+			if na[k] != nb[k] {
+				t.Fatalf("node %d: neighbor %d = %d vs %d", i, k, na[k], nb[k])
+			}
+			if a.EdgeWeight(id, k) != b.EdgeWeight(id, k) {
+				t.Fatalf("node %d: weight %d = %v vs %v", i, k, a.EdgeWeight(id, k), b.EdgeWeight(id, k))
+			}
+		}
+	}
+}
+
+// TestBuildWorkersDeterministic verifies the construction contract:
+// node ids, adjacency order, weights and Stats are identical at every
+// worker count.
+func TestBuildWorkersDeterministic(t *testing.T) {
+	tables := parallelFixture()
+	ref, refStats := Build(tables, Options{Workers: 1})
+	if ref.NumNodes() == 0 || ref.NumEdges() == 0 {
+		t.Fatal("fixture produced a trivial graph")
+	}
+	for _, w := range []int{2, 3, 8} {
+		g, stats := Build(tables, Options{Workers: w})
+		if stats != refStats {
+			t.Fatalf("workers=%d: stats %+v vs %+v", w, stats, refStats)
+		}
+		graphsEqual(t, ref, g)
+	}
+}
+
+// TestBuildWorkersDeterministicUnweighted covers the unweighted branch
+// (no weight arrays, identical adjacency).
+func TestBuildWorkersDeterministicUnweighted(t *testing.T) {
+	tables := parallelFixture()
+	ref, _ := Build(tables, Options{Unweighted: true, Workers: 1})
+	g, _ := Build(tables, Options{Unweighted: true, Workers: 4})
+	graphsEqual(t, ref, g)
+}

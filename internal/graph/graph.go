@@ -25,6 +25,7 @@ const (
 	ColumnNode
 )
 
+// String names the kind for logs and DOT dumps.
 func (k NodeKind) String() string {
 	switch k {
 	case RowNode:
@@ -40,8 +41,8 @@ func (k NodeKind) String() string {
 
 // RowRef identifies the table row a RowNode stands for.
 type RowRef struct {
-	Table string
-	Row   int32
+	Table string // source table name
+	Row   int32  // row index within that table
 }
 
 // Graph is an undirected weighted multigraph over row, value and

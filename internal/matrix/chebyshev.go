@@ -34,6 +34,14 @@ func BesselI(n int, x float64) float64 {
 // band-pass center (default 0.2) and s the kernel width (default 0.5).
 // The result rows are L2-normalized.
 func ChebyshevPropagate(adj *CSR, emb *Dense, order int, mu, s float64) *Dense {
+	return ChebyshevPropagateWorkers(adj, emb, order, mu, s, 1)
+}
+
+// ChebyshevPropagateWorkers is ChebyshevPropagate with its sparse-dense
+// products row-partitioned across workers (<= 0 means GOMAXPROCS); the
+// filter is bit-identical at every worker count because each output row
+// accumulates in sequential order on exactly one goroutine.
+func ChebyshevPropagateWorkers(adj *CSR, emb *Dense, order int, mu, s float64, workers int) *Dense {
 	if adj.NumRows != adj.NumCols || adj.NumRows != emb.Rows {
 		panic("matrix: ChebyshevPropagate shape mismatch")
 	}
@@ -64,7 +72,7 @@ func ChebyshevPropagate(adj *CSR, emb *Dense, order int, mu, s float64) *Dense {
 	da.ScaleRows(inv)
 
 	mdot := func(x *Dense) *Dense {
-		out := da.MulDense(x)
+		out := da.MulDenseWorkers(x, workers)
 		out.Scale(-1)
 		scaled := x.Clone().Scale(1 - mu)
 		return out.Add(scaled)
@@ -85,7 +93,7 @@ func ChebyshevPropagate(adj *CSR, emb *Dense, order int, mu, s float64) *Dense {
 		}
 		lx0, lx1 = lx1, lx2
 	}
-	mm := aPlus.MulDense(emb.Clone().Sub(conv))
+	mm := aPlus.MulDenseWorkers(emb.Clone().Sub(conv), workers)
 
 	for i := 0; i < n; i++ {
 		row := mm.Row(i)

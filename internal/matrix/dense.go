@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/parallel"
 )
 
 // Dense is a row-major dense matrix.
@@ -73,24 +75,32 @@ func (m *Dense) T() *Dense {
 }
 
 // Mul returns m * b.
-func (m *Dense) Mul(b *Dense) *Dense {
+func (m *Dense) Mul(b *Dense) *Dense { return m.MulWorkers(b, 1) }
+
+// MulWorkers is Mul with the output rows partitioned across workers
+// (<= 0 means GOMAXPROCS). Each output row is produced by one goroutine
+// in the sequential accumulation order, so the product is bit-identical
+// at every worker count.
+func (m *Dense) MulWorkers(b *Dense, workers int) *Dense {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewDense(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		ri := m.Row(i)
-		oi := out.Row(i)
-		for k, a := range ri {
-			if a == 0 {
-				continue
-			}
-			bk := b.Row(k)
-			for j, bv := range bk {
-				oi[j] += a * bv
+	parallel.For(m.Rows, workers, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			ri := m.Row(i)
+			oi := out.Row(i)
+			for k, a := range ri {
+				if a == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j, bv := range bk {
+					oi[j] += a * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

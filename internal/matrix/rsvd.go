@@ -22,6 +22,16 @@ type SVDResult struct {
 // powerIters of 1-2 substantially improves accuracy on matrices with a
 // slowly decaying spectrum at the cost of extra sparse multiplies.
 func RandomizedSVD(m *CSR, d, oversample, powerIters int, rng *rand.Rand) SVDResult {
+	return RandomizedSVDWorkers(m, d, oversample, powerIters, rng, 1)
+}
+
+// RandomizedSVDWorkers is RandomizedSVD with the sparse and tall-dense
+// matrix products row-partitioned across workers (<= 0 means
+// GOMAXPROCS). The Gaussian sampling stays a single sequential rng
+// stream and the partitioned products accumulate in sequential order,
+// so the decomposition is bit-identical at every worker count; only the
+// O(rows·k²) QR and the tiny k×k eigensolve remain single-threaded.
+func RandomizedSVDWorkers(m *CSR, d, oversample, powerIters int, rng *rand.Rand, workers int) SVDResult {
 	if d <= 0 {
 		panic("matrix: RandomizedSVD rank must be positive")
 	}
@@ -38,16 +48,16 @@ func RandomizedSVD(m *CSR, d, oversample, powerIters int, rng *rand.Rand) SVDRes
 
 	// Range sampling: Y = M * Omega.
 	omega := Gaussian(m.NumCols, k, rng)
-	y := m.MulDense(omega)
+	y := m.MulDenseWorkers(omega, workers)
 	for it := 0; it < powerIters; it++ {
 		y = QR(y) // re-orthonormalize to avoid collapse
-		z := m.TMulDense(y)
-		y = m.MulDense(z)
+		z := m.TMulDenseWorkers(y, workers)
+		y = m.MulDenseWorkers(z, workers)
 	}
 	q := QR(y) // NumRows x k orthonormal basis of the range
 
 	// B = Qᵀ M computed transposed: Bt = Mᵀ Q (NumCols x k).
-	bt := m.TMulDense(q)
+	bt := m.TMulDenseWorkers(q, workers)
 
 	// C = B Bᵀ = Btᵀ Bt is k x k symmetric; its eigenpairs give the
 	// left singular structure of B.
@@ -67,10 +77,10 @@ func RandomizedSVD(m *CSR, d, oversample, powerIters int, rng *rand.Rand) SVDRes
 			uhatD.Set(i, j, uhat.At(i, j))
 		}
 	}
-	u := q.Mul(uhatD)
+	u := q.MulWorkers(uhatD, workers)
 
 	// V = Bᵀ Uhat Σ⁻¹ = Bt * Uhat * Σ⁻¹.
-	v := bt.Mul(uhatD)
+	v := bt.MulWorkers(uhatD, workers)
 	for j := 0; j < d; j++ {
 		if sigma[j] <= 1e-12 {
 			continue

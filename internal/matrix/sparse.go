@@ -3,6 +3,8 @@ package matrix
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // COO is a coordinate-format triple used to assemble sparse matrices.
@@ -71,40 +73,64 @@ func (m *CSR) At(i, j int) float64 {
 }
 
 // MulDense returns m * b as a dense matrix.
-func (m *CSR) MulDense(b *Dense) *Dense {
+func (m *CSR) MulDense(b *Dense) *Dense { return m.MulDenseWorkers(b, 1) }
+
+// MulDenseWorkers is MulDense with the output rows partitioned across
+// workers (<= 0 means GOMAXPROCS). Each output row is accumulated by
+// exactly one goroutine in the sequential order, so the product is
+// bit-identical at every worker count.
+func (m *CSR) MulDenseWorkers(b *Dense, workers int) *Dense {
 	if m.NumCols != b.Rows {
 		panic(fmt.Sprintf("matrix: CSR MulDense shape mismatch %dx%d * %dx%d", m.NumRows, m.NumCols, b.Rows, b.Cols))
 	}
 	out := NewDense(m.NumRows, b.Cols)
-	for i := 0; i < m.NumRows; i++ {
-		oi := out.Row(i)
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			v := m.Vals[p]
-			bk := b.Row(int(m.ColIdx[p]))
-			for j, bv := range bk {
-				oi[j] += v * bv
+	parallel.For(m.NumRows, workers, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			oi := out.Row(i)
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				v := m.Vals[p]
+				bk := b.Row(int(m.ColIdx[p]))
+				for j, bv := range bk {
+					oi[j] += v * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // TMulDense returns mᵀ * b as a dense matrix.
-func (m *CSR) TMulDense(b *Dense) *Dense {
+func (m *CSR) TMulDense(b *Dense) *Dense { return m.TMulDenseWorkers(b, 1) }
+
+// TMulDenseWorkers is TMulDense with the *output* rows (m's columns)
+// partitioned across workers (<= 0 means GOMAXPROCS). Every worker
+// scans all of m but only accumulates entries whose column falls in its
+// partition, so writes are disjoint and each output row sums its
+// contributions in the sequential input-row order — bit-identical at
+// every worker count, at the cost of re-reading the index arrays once
+// per worker (cheap next to the fused multiply-adds).
+func (m *CSR) TMulDenseWorkers(b *Dense, workers int) *Dense {
 	if m.NumRows != b.Rows {
 		panic(fmt.Sprintf("matrix: CSR TMulDense shape mismatch (%dx%d)T * %dx%d", m.NumRows, m.NumCols, b.Rows, b.Cols))
 	}
 	out := NewDense(m.NumCols, b.Cols)
-	for i := 0; i < m.NumRows; i++ {
-		bi := b.Row(i)
-		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
-			v := m.Vals[p]
-			oc := out.Row(int(m.ColIdx[p]))
-			for j, bv := range bi {
-				oc[j] += v * bv
+	parallel.For(m.NumCols, workers, func(_ int, cr parallel.Range) {
+		lo, hi := int32(cr.Lo), int32(cr.Hi)
+		for i := 0; i < m.NumRows; i++ {
+			bi := b.Row(i)
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				c := m.ColIdx[p]
+				if c < lo || c >= hi {
+					continue
+				}
+				v := m.Vals[p]
+				oc := out.Row(int(c))
+				for j, bv := range bi {
+					oc[j] += v * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,121 @@
+// Package parallel is the shared worker-pool substrate of Leva's hot
+// paths. Every pipeline stage that fans work out across goroutines —
+// textification, graph construction, the matrix-factorization matmuls,
+// walk generation and featurization — goes through this package so that
+// sharding is done one way, deterministically, everywhere.
+//
+// The contract that keeps parallel Leva reproducible is *deterministic
+// sharding plus ordered merges*: Shards splits an index range into
+// contiguous chunks, workers compute into per-shard (or disjoint)
+// destinations, and callers merge shard results in shard order. Stages
+// whose per-item work is independent (textify, featurize, row-partitioned
+// matmuls) are bit-identical at every worker count; stages that reduce
+// across shards document their merge order. Randomized stages derive one
+// RNG stream per work item (not per worker) from the config seed, so the
+// schedule never leaks into the output.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values <= 0 mean
+// GOMAXPROCS, anything else is returned unchanged. Every Options struct
+// with a Workers knob funnels through this so "0 = use the machine"
+// means the same thing in every package.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// Range is a half-open index interval [Lo, Hi) assigned to one shard.
+type Range struct{ Lo, Hi int }
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Shards splits [0, n) into at most workers contiguous half-open ranges
+// of near-equal size. The split depends only on n and workers — never on
+// scheduling — so callers that merge shard outputs in shard order get
+// deterministic results for a fixed worker count, and callers whose
+// shards write disjoint destinations get identical results for every
+// worker count. Empty input yields no shards.
+func Shards(n, workers int) []Range {
+	workers = Workers(workers)
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	out := make([]Range, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// For runs fn over the shards of [0, n) concurrently and waits for all
+// of them. fn receives the shard index and its half-open range; shard
+// indices are dense, starting at zero, so fn can write into a
+// per-shard result slot for an ordered merge afterwards. With one
+// worker (or n <= 1) fn runs inline on the caller's goroutine, making
+// Workers=1 literally the sequential code path.
+func For(n, workers int, fn func(shard int, r Range)) {
+	shards := Shards(n, workers)
+	if len(shards) <= 1 {
+		for s, r := range shards {
+			fn(s, r)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(shards))
+	for s, r := range shards {
+		go func(s int, r Range) {
+			defer wg.Done()
+			fn(s, r)
+		}(s, r)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the worker pool. It
+// is For with per-index granularity hidden; each index is handled
+// exactly once and fn must only write state owned by index i.
+func ForEach(n, workers int, fn func(i int)) {
+	For(n, workers, func(_ int, r Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForError is For over fallible shard work: each shard may return an
+// error, and the first error in *shard order* (not completion order) is
+// returned, keeping error reporting deterministic under concurrency.
+// All shards run to completion even when an early shard fails.
+func ForError(n, workers int, fn func(shard int, r Range) error) error {
+	shards := Shards(n, workers)
+	if len(shards) == 0 {
+		return nil
+	}
+	errs := make([]error, len(shards))
+	For(n, workers, func(s int, r Range) {
+		errs[s] = fn(s, r)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestShardsCoverExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 16, 17, 100, 101} {
+		for _, w := range []int{1, 2, 3, 4, 7, 64} {
+			shards := Shards(n, w)
+			if n == 0 && len(shards) != 0 {
+				t.Fatalf("Shards(0, %d) = %v, want empty", w, shards)
+			}
+			next := 0
+			for _, r := range shards {
+				if r.Lo != next {
+					t.Fatalf("Shards(%d, %d): gap/overlap at %v", n, w, r)
+				}
+				if r.Len() <= 0 {
+					t.Fatalf("Shards(%d, %d): empty shard %v", n, w, r)
+				}
+				next = r.Hi
+			}
+			if next != n {
+				t.Fatalf("Shards(%d, %d) covers [0, %d)", n, w, next)
+			}
+			if len(shards) > w {
+				t.Fatalf("Shards(%d, %d) produced %d shards", n, w, len(shards))
+			}
+		}
+	}
+}
+
+func TestShardsDeterministic(t *testing.T) {
+	a := Shards(1000, 7)
+	b := Shards(1000, 7)
+	if len(a) != len(b) {
+		t.Fatal("shard plans differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForEachVisitsAllOnce(t *testing.T) {
+	const n = 513
+	for _, w := range []int{1, 2, 5, 16} {
+		counts := make([]int32, n)
+		ForEach(n, w, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestForShardIndicesDense(t *testing.T) {
+	seen := make([]int32, len(Shards(40, 4)))
+	For(40, 4, func(s int, r Range) { atomic.AddInt32(&seen[s], 1) })
+	for s, c := range seen {
+		if c != 1 {
+			t.Fatalf("shard %d ran %d times", s, c)
+		}
+	}
+}
+
+func TestForErrorReturnsFirstShardError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Both shards fail; the error from the lower shard index must win
+	// regardless of which goroutine finishes first.
+	for trial := 0; trial < 20; trial++ {
+		err := ForError(8, 4, func(s int, r Range) error {
+			switch s {
+			case 1:
+				return errA
+			case 3:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("trial %d: got %v, want %v", trial, err, errA)
+		}
+	}
+	if err := ForError(8, 4, func(int, Range) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if err := ForError(0, 4, func(int, Range) error { return errA }); err != nil {
+		t.Fatalf("n=0 must not invoke fn, got %v", err)
+	}
+}

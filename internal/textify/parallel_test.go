@@ -1,0 +1,69 @@
+package textify
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestTransformAllWorkersIdentical verifies the parallel textifier
+// returns exactly the sequential per-table transforms at every worker
+// count.
+func TestTransformAllWorkersIdentical(t *testing.T) {
+	users := dataset.NewTable("users", "id", "city", "score")
+	for i := 0; i < 200; i++ {
+		users.AppendRow(
+			dataset.String(fmt.Sprintf("u%d", i)),
+			dataset.String(fmt.Sprintf("city%d", i%9)),
+			dataset.Number(float64(i%37)),
+		)
+	}
+	items := dataset.NewTable("items", "sku", "tags")
+	for i := 0; i < 150; i++ {
+		items.AppendRow(
+			dataset.String(fmt.Sprintf("sku%d", i)),
+			dataset.String(fmt.Sprintf("tag%d,tag%d", i%5, i%3)),
+		)
+	}
+	db := dataset.NewDatabase(users, items)
+	m, err := Fit(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want []*TokenizedTable
+	for _, tab := range db.Tables {
+		tt, err := m.Transform(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tt)
+	}
+	for _, w := range []int{1, 2, 4, 16} {
+		got, err := m.TransformAllWorkers(db, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: tokenized output differs from sequential Transform", w)
+		}
+	}
+}
+
+// TestTransformAllWorkersUnknownTable keeps the error contract of the
+// sequential path.
+func TestTransformAllWorkersUnknownTable(t *testing.T) {
+	known := dataset.NewTable("known", "a")
+	known.AppendRow(dataset.String("x"))
+	m, err := Fit(dataset.NewDatabase(known), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := dataset.NewTable("other", "a")
+	other.AppendRow(dataset.String("y"))
+	if _, err := m.TransformAllWorkers(dataset.NewDatabase(other), 4); err == nil {
+		t.Fatal("expected error for unfitted table")
+	}
+}

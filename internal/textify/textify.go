@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -328,9 +329,23 @@ func (t *TokenizedTable) NumRows() int { return len(t.Cells) }
 // have been present (by name) when the model was fitted; its columns are
 // matched by name, so transforming a row-subset or reordered copy works.
 func (m *Model) Transform(t *dataset.Table) (*TokenizedTable, error) {
+	out, cols, err := m.planTransform(t)
+	if err != nil {
+		return nil, err
+	}
+	for j := range t.Columns {
+		transformColumn(out, t.Columns[j], j, cols[j])
+	}
+	return out, nil
+}
+
+// planTransform allocates the output table and resolves each column's
+// fitted plan, so transforms can fan out with all fallible lookups
+// already done.
+func (m *Model) planTransform(t *dataset.Table) (*TokenizedTable, []*ColumnPlan, error) {
 	plans, ok := m.plans[t.Name]
 	if !ok {
-		return nil, fmt.Errorf("textify: no fitted plan for table %q", t.Name)
+		return nil, nil, fmt.Errorf("textify: no fitted plan for table %q", t.Name)
 	}
 	out := &TokenizedTable{Table: t.Name, Attrs: t.ColumnNames()}
 	n := t.NumRows()
@@ -338,28 +353,62 @@ func (m *Model) Transform(t *dataset.Table) (*TokenizedTable, error) {
 	for i := 0; i < n; i++ {
 		out.Cells[i] = make([][]string, t.NumCols())
 	}
+	cols := make([]*ColumnPlan, len(t.Columns))
 	for j, c := range t.Columns {
 		p, ok := plans[c.Name]
 		if !ok {
-			return nil, fmt.Errorf("textify: table %q has no fitted plan for column %q", t.Name, c.Name)
+			return nil, nil, fmt.Errorf("textify: table %q has no fitted plan for column %q", t.Name, c.Name)
 		}
-		for i, v := range c.Values {
-			out.Cells[i][j] = textifyValue(v, p)
-		}
+		cols[j] = p
 	}
-	return out, nil
+	return out, cols, nil
 }
 
-// TransformAll textifies every table of a database.
+// transformColumn fills column j of the tokenized table. Each column
+// writes a disjoint slot of every row, so distinct columns can be
+// textified concurrently with no synchronization and a bit-identical
+// result at any worker count.
+func transformColumn(out *TokenizedTable, c *dataset.Column, j int, p *ColumnPlan) {
+	for i, v := range c.Values {
+		out.Cells[i][j] = textifyValue(v, p)
+	}
+}
+
+// TransformAll textifies every table of a database, fanning the work
+// out over GOMAXPROCS workers (see TransformAllWorkers).
 func (m *Model) TransformAll(db *dataset.Database) ([]*TokenizedTable, error) {
-	out := make([]*TokenizedTable, 0, len(db.Tables))
-	for _, t := range db.Tables {
-		tt, err := m.Transform(t)
+	return m.TransformAllWorkers(db, 0)
+}
+
+// TransformAllWorkers is TransformAll with an explicit worker count
+// (<= 0 means GOMAXPROCS). Work is sharded at column granularity across
+// all tables, so one wide or long table still saturates the pool. The
+// output is identical to the sequential path at every worker count:
+// fitted plans are read-only and every (table, column) job writes its
+// own cells.
+func (m *Model) TransformAllWorkers(db *dataset.Database, workers int) ([]*TokenizedTable, error) {
+	out := make([]*TokenizedTable, len(db.Tables))
+	type job struct {
+		col  *dataset.Column
+		out  *TokenizedTable
+		j    int
+		plan *ColumnPlan
+	}
+	var jobs []job
+	for ti, t := range db.Tables {
+		tt, cols, err := m.planTransform(t)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, tt)
+		out[ti] = tt
+		for j := range t.Columns {
+			jobs = append(jobs, job{col: t.Columns[j], out: tt, j: j, plan: cols[j]})
+		}
 	}
+	parallel.ForEach(len(jobs), workers, func(k int) {
+		jb := jobs[k]
+		transformColumn(jb.out, jb.col, jb.j, jb.plan)
+	})
 	return out, nil
 }
 

@@ -2,12 +2,11 @@ package walk
 
 import (
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/parallel"
 )
 
 // Options configures corpus generation. Paper defaults: walk length 80,
@@ -44,9 +43,7 @@ func (o Options) withDefaults() Options {
 	if o.WalksPerNode <= 0 {
 		o.WalksPerNode = 10
 	}
-	if o.Workers <= 0 {
-		o.Workers = runtime.GOMAXPROCS(0)
-	}
+	o.Workers = parallel.Workers(o.Workers)
 	return o
 }
 
@@ -56,6 +53,8 @@ func (o Options) secondOrder() bool {
 
 // Corpus is a set of walks, each a sequence of node ids.
 type Corpus struct {
+	// Walks holds the generated node-id sequences, in a fixed
+	// deterministic order (iteration-major, then start node).
 	Walks [][]int32
 	// Visits counts how many times each node was emitted, used by the
 	// balancing diagnostics and tests.
@@ -73,12 +72,14 @@ func Generate(g *graph.Graph, opts Options) *Corpus {
 
 	var aliases []*Alias
 	if g.Weighted {
+		// Alias tables are independent per node; build them across the
+		// worker pool (each slot written by exactly one goroutine).
 		aliases = make([]*Alias, n)
-		for i := 0; i < n; i++ {
+		parallel.ForEach(n, opts.Workers, func(i int) {
 			if w := g.Weights(int32(i)); len(w) > 0 {
 				aliases[i] = NewAlias(w)
 			}
-		}
+		})
 	}
 
 	normalIters := opts.WalksPerNode - opts.RestartIterations
@@ -126,30 +127,20 @@ func leastVisited(visits []int64, k int) []int32 {
 	return idx[:k]
 }
 
-// runIteration walks once from every entry of starts, in parallel.
+// runIteration walks once from every entry of starts, fanning out over
+// the shared worker pool. Each walk owns an RNG stream derived from the
+// seed, the iteration and its start index — never from the worker it
+// landed on — so the corpus is reproducible for a fixed worker count,
+// and fully deterministic at any count when VisitLimit is off (visit
+// limits couple concurrent walks through the shared visit counters).
 func (c *Corpus) runIteration(g *graph.Graph, aliases []*Alias, starts []int32, opts Options, iter int64) {
 	walks := make([][]int32, len(starts))
-	var wg sync.WaitGroup
-	chunk := (len(starts) + opts.Workers - 1) / opts.Workers
-	for w := 0; w < opts.Workers; w++ {
-		lo := w * chunk
-		if lo >= len(starts) {
-			break
+	parallel.For(len(starts), opts.Workers, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			rng := rand.New(rand.NewSource(opts.Seed ^ (iter << 32) ^ int64(i)*0x9e3779b9))
+			walks[i] = c.walkFrom(g, aliases, starts[i], opts, rng)
 		}
-		hi := lo + chunk
-		if hi > len(starts) {
-			hi = len(starts)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				rng := rand.New(rand.NewSource(opts.Seed ^ (iter << 32) ^ int64(i)*0x9e3779b9))
-				walks[i] = c.walkFrom(g, aliases, starts[i], opts, rng)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	for _, w := range walks {
 		if len(w) > 0 {
 			c.Walks = append(c.Walks, w)

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full verification gate: build, vet, race-checked tests.
+# The race run is slow (the experiment suites re-run under -race);
+# expect several minutes on a small machine.
+set -eux
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
