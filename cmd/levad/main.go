@@ -1,0 +1,144 @@
+// Command levad is Leva's embedding-serving daemon: it loads a
+// deployment bundle saved with `leva embed -bundle` (or
+// Result.SaveBundle) and answers online featurization over HTTP, so a
+// relational embedding built once can featurize rows for any number of
+// downstream tasks without retraining.
+//
+//	levad -bundle ./bundle -addr :9090
+//
+// Endpoints:
+//
+//	POST /v1/featurize         rows in, dense feature vectors out
+//	GET  /v1/embedding/{token}  one embedding vector
+//	GET  /healthz              liveness
+//	GET  /metrics              request/latency/cache counters (JSON)
+//
+// The daemon sheds load with 429s past -max-inflight, times out
+// individual requests at -request-timeout, logs one structured JSON
+// record per request to stderr, and on SIGINT/SIGTERM stops accepting
+// connections and drains in-flight requests for up to -drain-timeout
+// before exiting. See docs/SERVING.md.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	leva "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "levad:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main minus the exit code, so tests can drive the full daemon
+// lifecycle — including signal-triggered draining — in process.
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("levad", flag.ContinueOnError)
+	bundle := fs.String("bundle", "", "deployment bundle directory (required; from `leva embed -bundle`)")
+	addr := fs.String("addr", ":9090", "HTTP listen address (use 127.0.0.1:0 for an ephemeral port)")
+	maxInFlight := fs.Int("max-inflight", 64, "concurrent requests admitted before shedding 429s")
+	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request handler budget (503 on expiry)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
+	cacheSize := fs.Int("cache", 4096, "LRU entries for fully-featurized rows (0 disables)")
+	batchWindow := fs.Duration("batch-window", 0, "micro-batch gather window for concurrent lookups (0 disables)")
+	batchMax := fs.Int("batch-max", 64, "max rows per micro-batch")
+	workers := fs.Int("workers", 0, "featurization worker goroutines per batch (0 = all cores)")
+	readyFile := fs.String("ready-file", "", "write the bound address to this file once serving (for scripts)")
+	quiet := fs.Bool("quiet", false, "disable per-request logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bundle == "" {
+		fs.Usage()
+		return fmt.Errorf("-bundle is required")
+	}
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	res, err := leva.LoadBundle(*bundle)
+	if err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		Addr:           *addr,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *reqTimeout,
+		CacheSize:      *cacheSize,
+		BatchWindow:    *batchWindow,
+		BatchMax:       *batchMax,
+		Workers:        *workers,
+	}
+	if *cacheSize <= 0 {
+		cfg.CacheSize = -1
+	}
+	if *reqTimeout <= 0 {
+		cfg.RequestTimeout = -1
+	}
+	if !*quiet {
+		cfg.Logger = logger
+	}
+	srv := serve.New(res, cfg)
+	bound, err := srv.Listen()
+	if err != nil {
+		return err
+	}
+	logger.Info("serving",
+		slog.String("bundle", *bundle),
+		slog.String("addr", bound.String()),
+		slog.Int("vectors", res.Embedding.Len()),
+		slog.Int("dim", res.Embedding.Dim),
+		slog.String("method", string(res.MethodUsed)),
+	)
+	if *readyFile != "" {
+		if err := writeReadyFile(*readyFile, bound.String()); err != nil {
+			return err
+		}
+	}
+
+	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+
+	select {
+	case err := <-errc:
+		// Listener failure before any shutdown request.
+		return err
+	case <-sigCtx.Done():
+		logger.Info("shutdown: draining in-flight requests", slog.Duration("budget", *drainTimeout))
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			return fmt.Errorf("drain incomplete: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		logger.Info("shutdown: drained cleanly")
+		return nil
+	}
+}
+
+// writeReadyFile atomically publishes the bound address: readers polling
+// the path never observe a partial write.
+func writeReadyFile(path, addr string) error {
+	tmp := filepath.Join(filepath.Dir(path), ".levad-ready.tmp")
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+// TestDaemonEndToEnd drives the whole lifecycle in process: build and
+// save a bundle, start the daemon on an ephemeral port, hit /healthz
+// and /v1/featurize, verify the served features match offline
+// featurization byte for byte, then deliver a real SIGTERM and require
+// a clean drained exit.
+func TestDaemonEndToEnd(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 30, Seed: 9})
+	res, err := core.BuildEmbedding(spec.DB, core.Config{Dim: 6, Seed: 9, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	readyFile := filepath.Join(t.TempDir(), "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(), []string{
+			"-bundle", dir,
+			"-addr", "127.0.0.1:0",
+			"-ready-file", readyFile,
+			"-quiet",
+		})
+	}()
+
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(20 * time.Millisecond) {
+		if data, err := os.ReadFile(readyFile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never wrote the ready file")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	base := spec.DB.Table(spec.BaseTable)
+	want, err := res.Featurize(base.SelectRows([]int{0}), spec.BaseTable,
+		[]string{spec.Target}, func(int) int { return -1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := map[string]any{}
+	for _, c := range base.Columns {
+		switch v := c.Values[0]; v.Kind {
+		case 1: // KindString
+			row[c.Name] = v.Str
+		default:
+			row[c.Name] = v.Num
+		}
+	}
+	body, _ := json.Marshal(map[string]any{
+		"table":   spec.BaseTable,
+		"rows":    []any{row},
+		"exclude": []string{spec.Target},
+	})
+	resp, err = http.Post("http://"+addr+"/v1/featurize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Features [][]float64 `json:"features"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("featurize: status %d", resp.StatusCode)
+	}
+	if len(out.Features) != 1 || len(out.Features[0]) != len(want[0]) {
+		t.Fatalf("featurize shape: %d x %d, want 1 x %d", len(out.Features), len(out.Features[0]), len(want[0]))
+	}
+	for j := range want[0] {
+		if out.Features[0][j] != want[0][j] {
+			t.Fatalf("feature %d: served %v != offline %v", j, out.Features[0][j], want[0][j])
+		}
+	}
+
+	// SIGTERM → graceful drain → clean exit. run installed its signal
+	// handler before serving, so the test binary survives the signal.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit within 10s of SIGTERM")
+	}
+}
+
+func TestRunRejectsMissingBundle(t *testing.T) {
+	if err := run(context.Background(), []string{}); err == nil {
+		t.Error("run without -bundle succeeded")
+	}
+	if err := run(context.Background(), []string{"-bundle", filepath.Join(t.TempDir(), "nope")}); err == nil {
+		t.Error("run with nonexistent bundle succeeded")
+	}
+}

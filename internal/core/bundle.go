@@ -23,8 +23,19 @@ const (
 	bundleEmbeddingFile = "embedding.tsv"
 )
 
+// BundleFormatVersion is the on-disk format written by SaveBundle.
+// History:
+//
+//	0 — pre-versioned bundles (no formatVersion field in config.json)
+//	1 — formatVersion recorded; textify model carries column order
+//
+// LoadBundle reads every version up to the current one and rejects
+// anything newer or unrecognized instead of decoding garbage.
+const BundleFormatVersion = 1
+
 // bundleConfig is the subset of Config that affects deployment.
 type bundleConfig struct {
+	FormatVersion      int               `json:"formatVersion"`
 	Dim                int               `json:"dim"`
 	Featurization      FeaturizationMode `json:"featurization"`
 	UnseenFallbackDims int               `json:"unseenFallbackDims"`
@@ -37,6 +48,7 @@ func (r *Result) SaveBundle(dir string) error {
 		return fmt.Errorf("core: save bundle: %w", err)
 	}
 	cfg := bundleConfig{
+		FormatVersion:      BundleFormatVersion,
 		Dim:                r.Embedding.Dim,
 		Featurization:      r.Config.Featurization,
 		UnseenFallbackDims: r.Config.UnseenFallbackDims,
@@ -47,22 +59,23 @@ func (r *Result) SaveBundle(dir string) error {
 		return err
 	}
 	if err := os.WriteFile(filepath.Join(dir, bundleConfigFile), cfgData, 0o644); err != nil {
-		return err
+		return fmt.Errorf("core: save bundle: %w", err)
 	}
 	modelData, err := json.Marshal(r.Textifier)
 	if err != nil {
 		return fmt.Errorf("core: marshal textify model: %w", err)
 	}
 	if err := os.WriteFile(filepath.Join(dir, bundleTextifyFile), modelData, 0o644); err != nil {
-		return err
+		return fmt.Errorf("core: save bundle: %w", err)
 	}
-	f, err := os.Create(filepath.Join(dir, bundleEmbeddingFile))
+	embPath := filepath.Join(dir, bundleEmbeddingFile)
+	f, err := os.Create(embPath)
 	if err != nil {
-		return err
+		return fmt.Errorf("core: save bundle: %w", err)
 	}
 	defer f.Close()
 	if err := r.Embedding.WriteTSV(f); err != nil {
-		return fmt.Errorf("core: write embedding: %w", err)
+		return fmt.Errorf("core: write embedding %s: %w", embPath, err)
 	}
 	return nil
 }
@@ -70,35 +83,43 @@ func (r *Result) SaveBundle(dir string) error {
 // LoadBundle restores a deployment saved by SaveBundle. The returned
 // Result has no Graph (featurization does not need one); Featurize
 // works for both previously-embedded rows (by their row keys) and new
-// rows (composed from value-node vectors with graphRow -1).
+// rows (composed from value-node vectors with graphRow -1). Every error
+// names the bundle file that is missing or corrupt.
 func LoadBundle(dir string) (*Result, error) {
-	cfgData, err := os.ReadFile(filepath.Join(dir, bundleConfigFile))
+	cfgPath := filepath.Join(dir, bundleConfigFile)
+	cfgData, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return nil, fmt.Errorf("core: load bundle: %w", err)
 	}
 	var cfg bundleConfig
 	if err := json.Unmarshal(cfgData, &cfg); err != nil {
-		return nil, fmt.Errorf("core: parse bundle config: %w", err)
+		return nil, fmt.Errorf("core: load bundle: parse %s: %w", cfgPath, err)
 	}
-	modelData, err := os.ReadFile(filepath.Join(dir, bundleTextifyFile))
+	if cfg.FormatVersion < 0 || cfg.FormatVersion > BundleFormatVersion {
+		return nil, fmt.Errorf("core: load bundle: %s has format version %d; this build reads versions 0 through %d (rebuild the bundle or upgrade)",
+			cfgPath, cfg.FormatVersion, BundleFormatVersion)
+	}
+	modelPath := filepath.Join(dir, bundleTextifyFile)
+	modelData, err := os.ReadFile(modelPath)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: load bundle: %w", err)
 	}
 	model := &textify.Model{}
 	if err := json.Unmarshal(modelData, model); err != nil {
-		return nil, fmt.Errorf("core: parse textify model: %w", err)
+		return nil, fmt.Errorf("core: load bundle: parse %s: %w", modelPath, err)
 	}
-	f, err := os.Open(filepath.Join(dir, bundleEmbeddingFile))
+	embPath := filepath.Join(dir, bundleEmbeddingFile)
+	f, err := os.Open(embPath)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: load bundle: %w", err)
 	}
 	defer f.Close()
 	e, err := embed.ReadTSV(f)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: load bundle: parse %s: %w", embPath, err)
 	}
 	if e.Dim != cfg.Dim {
-		return nil, fmt.Errorf("core: bundle dim mismatch: embedding %d, config %d", e.Dim, cfg.Dim)
+		return nil, fmt.Errorf("core: load bundle %s: dim mismatch: embedding %d, config %d", dir, e.Dim, cfg.Dim)
 	}
 	return &Result{
 		Embedding:  e,

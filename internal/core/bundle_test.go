@@ -1,7 +1,9 @@
 package core
 
 import (
-	"math"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/embed"
@@ -31,8 +33,9 @@ func TestBundleRoundTrip(t *testing.T) {
 		t.Errorf("fallback dims = %d", back.Config.UnseenFallbackDims)
 	}
 
-	// Featurization must be bit-identical before and after the round
-	// trip, for train-style and test-style rows alike.
+	// Featurization must be byte-identical before and after the round
+	// trip, for train-style and test-style rows alike (the TSV float
+	// encoding is exact, so equality is ==, not a tolerance).
 	base := spec.DB.Table("expenses")
 	for _, graphRow := range []func(int) int{
 		func(i int) int { return i },
@@ -48,7 +51,7 @@ func TestBundleRoundTrip(t *testing.T) {
 		}
 		for i := range want {
 			for j := range want[i] {
-				if math.Abs(want[i][j]-got[i][j]) > 1e-12 {
+				if got[i][j] != want[i][j] {
 					t.Fatalf("feature [%d][%d] = %v, want %v", i, j, got[i][j], want[i][j])
 				}
 			}
@@ -60,4 +63,86 @@ func TestLoadBundleErrors(t *testing.T) {
 	if _, err := LoadBundle(t.TempDir()); err == nil {
 		t.Error("empty dir loaded")
 	}
+}
+
+// savedBundle builds a minimal deployment and saves it to a fresh dir.
+func savedBundle(t *testing.T) string {
+	t.Helper()
+	spec := synth.Student(synth.StudentOptions{Students: 20, Seed: 3})
+	res, err := BuildEmbedding(spec.DB, Config{Dim: 4, Seed: 3, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestBundleFormatVersion(t *testing.T) {
+	dir := savedBundle(t)
+	cfgPath := filepath.Join(dir, bundleConfigFile)
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"formatVersion": 1`) {
+		t.Fatalf("config.json does not record formatVersion 1:\n%s", data)
+	}
+
+	// A bundle from a future build must be rejected, not mis-decoded.
+	future := strings.Replace(string(data), `"formatVersion": 1`, `"formatVersion": 99`, 1)
+	if err := os.WriteFile(cfgPath, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadBundle(dir)
+	if err == nil {
+		t.Fatal("future-version bundle loaded")
+	}
+	if !strings.Contains(err.Error(), "format version 99") || !strings.Contains(err.Error(), cfgPath) {
+		t.Errorf("version error should name the version and file: %v", err)
+	}
+
+	// Legacy pre-versioned bundles (no formatVersion field) still load.
+	legacy := strings.Replace(string(data), `"formatVersion": 1,`, ``, 1)
+	if err := os.WriteFile(cfgPath, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBundle(dir); err != nil {
+		t.Errorf("legacy bundle without formatVersion rejected: %v", err)
+	}
+}
+
+func TestLoadBundleErrorsNamePath(t *testing.T) {
+	for _, corrupt := range []string{bundleConfigFile, bundleTextifyFile, bundleEmbeddingFile} {
+		t.Run(corrupt, func(t *testing.T) {
+			dir := savedBundle(t)
+			path := filepath.Join(dir, corrupt)
+			if err := os.WriteFile(path, []byte("{{{ not valid"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadBundle(dir)
+			if err == nil {
+				t.Fatalf("bundle with corrupt %s loaded", corrupt)
+			}
+			if !strings.Contains(err.Error(), path) {
+				t.Errorf("error does not name the corrupt file %s: %v", path, err)
+			}
+		})
+	}
+	t.Run("missing-file", func(t *testing.T) {
+		dir := savedBundle(t)
+		path := filepath.Join(dir, bundleEmbeddingFile)
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadBundle(dir)
+		if err == nil {
+			t.Fatal("bundle with missing embedding loaded")
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("error does not name the missing file %s: %v", path, err)
+		}
+	})
 }

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+// TestFeaturizeRowMatchesBatch pins the contract the serving path
+// relies on: FeaturizeRow is bit-identical to the corresponding row of
+// the batch Featurize, for embedded and never-embedded rows, in both
+// featurization modes.
+func TestFeaturizeRowMatchesBatch(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 30, Seed: 5})
+	res, err := BuildEmbedding(spec.DB, Config{
+		Dim: 8, Seed: 5, Method: embed.MethodMF, UnseenFallbackDims: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := spec.DB.Table("expenses")
+	exclude := []string{"total_expenses"}
+	for _, mode := range []FeaturizationMode{RowPlusValue, RowOnly} {
+		for _, graphRow := range []func(int) int{
+			func(i int) int { return i },
+			func(int) int { return -1 },
+		} {
+			batch, err := res.FeaturizeWithMode(base, "expenses", exclude, graphRow, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(batch[0]) != res.FeatureWidth(mode) {
+				t.Fatalf("FeatureWidth(%v) = %d, batch width %d", mode, res.FeatureWidth(mode), len(batch[0]))
+			}
+			for i := 0; i < base.NumRows(); i += 7 {
+				single, err := res.FeaturizeRow(base, "expenses", exclude, i, graphRow(i), mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(single) != len(batch[i]) {
+					t.Fatalf("row %d: width %d != %d", i, len(single), len(batch[i]))
+				}
+				for j := range single {
+					if single[j] != batch[i][j] {
+						t.Fatalf("mode %v row %d feature %d: single %v != batch %v",
+							mode, i, j, single[j], batch[i][j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -220,40 +220,14 @@ func (r *Result) FeaturizeWithMode(t *dataset.Table, tableName string, exclude [
 	for _, e := range exclude {
 		skip[e] = true
 	}
-	dim := r.Embedding.Dim
-	width := dim
-	if mode == RowPlusValue {
-		width = 2 * dim
-	}
-	fallback := r.Config.UnseenFallbackDims
 	out := make([][]float64, t.NumRows())
 	for i := range out {
-		out[i] = make([]float64, width+fallback)
+		out[i] = make([]float64, r.FeatureWidth(mode))
 	}
 	err := parallel.ForError(t.NumRows(), r.Config.Workers, func(_ int, pr parallel.Range) error {
 		for i := pr.Lo; i < pr.Hi; i++ {
-			tokens, err := r.rowTokens(t, tableName, i, skip)
-			if err != nil {
+			if err := r.featurizeRowInto(out[i], t, tableName, i, skip, graphRow(i), mode); err != nil {
 				return err
-			}
-			valueVec, _ := r.Embedding.MeanVector(tokens)
-
-			rowVec := valueVec
-			if gr := graphRow(i); gr >= 0 {
-				if v, ok := r.Embedding.Vector(embed.RowKey(tableName, gr)); ok {
-					rowVec = v
-				}
-			}
-			copy(out[i][:dim], rowVec)
-			if mode == RowPlusValue {
-				copy(out[i][dim:width], valueVec)
-			}
-			if fallback > 0 {
-				for _, tok := range tokens {
-					if !r.Embedding.Has(tok) {
-						out[i][width+hashToken(tok)%fallback] = 1
-					}
-				}
 			}
 		}
 		return nil
@@ -262,6 +236,69 @@ func (r *Result) FeaturizeWithMode(t *dataset.Table, tableName string, exclude [
 		return nil, err
 	}
 	return out, nil
+}
+
+// FeatureWidth returns the length of the feature vectors Featurize
+// produces under mode, including the unseen-token fallback slots.
+func (r *Result) FeatureWidth(mode FeaturizationMode) int {
+	width := r.Embedding.Dim
+	if mode == RowPlusValue {
+		width *= 2
+	}
+	return width + r.Config.UnseenFallbackDims
+}
+
+// FeaturizeRow featurizes row i of t into a freshly allocated vector of
+// FeatureWidth(mode) entries — the online serving path (internal/serve),
+// which receives rows one at a time instead of as a table scan. The
+// output is bit-identical to row i of FeaturizeWithMode over the same
+// table. graphRow is the row's index at embedding time, or -1 for rows
+// that were never embedded (composed purely from value-node vectors).
+func (r *Result) FeaturizeRow(t *dataset.Table, tableName string, exclude []string, i, graphRow int, mode FeaturizationMode) ([]float64, error) {
+	skip := make(map[string]bool, len(exclude))
+	for _, e := range exclude {
+		skip[e] = true
+	}
+	out := make([]float64, r.FeatureWidth(mode))
+	if err := r.featurizeRowInto(out, t, tableName, i, skip, graphRow, mode); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// featurizeRowInto is the shared one-row kernel behind FeaturizeWithMode
+// and FeaturizeRow. dst must have FeatureWidth(mode) entries and is
+// written in full except for fallback slots left at zero.
+func (r *Result) featurizeRowInto(dst []float64, t *dataset.Table, tableName string, i int, skip map[string]bool, graphRow int, mode FeaturizationMode) error {
+	dim := r.Embedding.Dim
+	width := dim
+	if mode == RowPlusValue {
+		width = 2 * dim
+	}
+	tokens, err := r.rowTokens(t, tableName, i, skip)
+	if err != nil {
+		return err
+	}
+	valueVec, _ := r.Embedding.MeanVector(tokens)
+
+	rowVec := valueVec
+	if graphRow >= 0 {
+		if v, ok := r.Embedding.Vector(embed.RowKey(tableName, graphRow)); ok {
+			rowVec = v
+		}
+	}
+	copy(dst[:dim], rowVec)
+	if mode == RowPlusValue {
+		copy(dst[dim:width], valueVec)
+	}
+	if fallback := r.Config.UnseenFallbackDims; fallback > 0 {
+		for _, tok := range tokens {
+			if !r.Embedding.Has(tok) {
+				dst[width+hashToken(tok)%fallback] = 1
+			}
+		}
+	}
+	return nil
 }
 
 // hashToken maps a token to a non-negative bucket for the one-hot

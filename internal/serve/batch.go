@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// featJob is one row in flight through the micro-batcher; done closes
+// once out/err are set on the underlying rowJob.
+type featJob struct {
+	job  *rowJob
+	err  error
+	done chan struct{}
+}
+
+// batcher coalesces featurize work arriving from concurrent requests.
+// A single gather goroutine pulls the first job, keeps gathering until
+// the window elapses or the batch is full, and hands the batch to run.
+// Micro-batching trades a bounded latency floor (the window) for fewer,
+// larger parallel fan-outs when many clients send single rows at once.
+type batcher struct {
+	jobs     chan *featJob
+	window   time.Duration
+	maxBatch int
+	run      func([]*featJob)
+	stop     chan struct{}
+	stopped  chan struct{}
+}
+
+func newBatcher(window time.Duration, maxBatch int, run func([]*featJob)) *batcher {
+	b := &batcher{
+		jobs:     make(chan *featJob, maxBatch),
+		window:   window,
+		maxBatch: maxBatch,
+		run:      run,
+		stop:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+func (b *batcher) loop() {
+	defer close(b.stopped)
+	for {
+		select {
+		case first := <-b.jobs:
+			batch := append(make([]*featJob, 0, b.maxBatch), first)
+			timer := time.NewTimer(b.window)
+		gather:
+			for len(batch) < b.maxBatch {
+				select {
+				case j := <-b.jobs:
+					batch = append(batch, j)
+				case <-timer.C:
+					break gather
+				}
+			}
+			timer.Stop()
+			b.run(batch)
+		case <-b.stop:
+			// Drain anything that raced past the stop signal so no
+			// submitter is left waiting on done forever.
+			for {
+				select {
+				case j := <-b.jobs:
+					b.run([]*featJob{j})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// close stops the gather loop and waits for it to finish.
+func (b *batcher) close() {
+	close(b.stop)
+	<-b.stopped
+}
+
+// doAll submits every job and waits for all of them (or ctx). A job
+// whose context expires while queued may still be computed by the
+// gather loop; its result is simply discarded.
+func (b *batcher) doAll(ctx context.Context, jobs []*rowJob) error {
+	fjs := make([]*featJob, len(jobs))
+	for i, j := range jobs {
+		fj := &featJob{job: j, done: make(chan struct{})}
+		fjs[i] = fj
+		select {
+		case b.jobs <- fj:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	var firstErr error
+	for _, fj := range fjs {
+		select {
+		case <-fj.done:
+			if fj.err != nil && firstErr == nil {
+				firstErr = fj.err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return firstErr
+}

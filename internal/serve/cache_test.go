@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []float64{1})
+	c.put("b", []float64{2})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before capacity exceeded")
+	}
+	// a was just touched, so inserting c must evict b.
+	c.put("c", []float64{3})
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction; LRU order not respected")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently-used a was evicted")
+	}
+	if v, ok := c.get("c"); !ok || v[0] != 3 {
+		t.Error("newest entry c missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", []float64{1})
+	c.put("a", []float64{9})
+	if v, _ := c.get("a"); v[0] != 9 {
+		t.Errorf("update not applied: %v", v)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d after double put, want 1", c.len())
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := newLRU(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%100)
+				if v, ok := c.get(key); ok && v[0] != float64((w*31+i)%100) {
+					t.Errorf("key %s holds %v", key, v)
+					return
+				}
+				c.put(key, []float64{float64((w*31 + i) % 100)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > 64 {
+		t.Errorf("len = %d exceeds capacity", c.len())
+	}
+}

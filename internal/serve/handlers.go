@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// featurizeRequest is the POST /v1/featurize body. Rows are JSON
+// objects mapping column names (as fitted at embedding time) to string,
+// number, boolean, or null values; column order inside an object does
+// not matter — the store tokenizes in the fitted column order, so the
+// response is bit-identical to offline featurization of the same rows.
+type featurizeRequest struct {
+	Table string           `json:"table"`
+	Rows  []map[string]any `json:"rows"`
+	// Exclude lists columns to drop from featurization (typically the
+	// target, when present in the rows).
+	Exclude []string `json:"exclude"`
+	// GraphRows optionally maps each row to its row index at embedding
+	// time (the "table:rowIdx" embedding key); -1 or absent means the
+	// row was never embedded and is composed from value-node vectors.
+	GraphRows []int `json:"graphRows"`
+	// Mode overrides the bundle's featurization mode: "row" or
+	// "row+value". Empty uses the bundle default.
+	Mode string `json:"mode"`
+}
+
+type featurizeResponse struct {
+	Table     string      `json:"table"`
+	Rows      int         `json:"rows"`
+	Dim       int         `json:"dim"`
+	CacheHits int         `json:"cacheHits"`
+	Features  [][]float64 `json:"features"`
+}
+
+type embeddingResponse struct {
+	Token  string    `json:"token"`
+	Dim    int       `json:"dim"`
+	Vector []float64 `json:"vector"`
+}
+
+// writeJSON marshals v with status code; encoding errors at this point
+// can only be I/O (client gone), so they are ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleFeaturize(w http.ResponseWriter, r *http.Request) {
+	if s.testHookFeaturize != nil {
+		s.testHookFeaturize()
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var req featurizeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "malformed request: %v", err)
+		return
+	}
+	if req.Table == "" {
+		writeError(w, http.StatusBadRequest, "missing table")
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "no rows")
+		return
+	}
+	if len(req.Rows) > s.cfg.MaxRowsPerRequest {
+		writeError(w, http.StatusRequestEntityTooLarge, "%d rows exceeds the per-request limit of %d", len(req.Rows), s.cfg.MaxRowsPerRequest)
+		return
+	}
+	if req.GraphRows != nil && len(req.GraphRows) != len(req.Rows) {
+		writeError(w, http.StatusBadRequest, "graphRows has %d entries for %d rows", len(req.GraphRows), len(req.Rows))
+		return
+	}
+	mode := s.store.res.Config.Featurization
+	switch req.Mode {
+	case "":
+	case "row":
+		mode = core.RowOnly
+	case "row+value":
+		mode = core.RowPlusValue
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (want \"row\" or \"row+value\")", req.Mode)
+		return
+	}
+	cols := s.store.columns(req.Table)
+	if cols == nil {
+		writeError(w, http.StatusBadRequest, "unknown table %q (bundle knows: %v)", req.Table, s.store.res.Textifier.Tables())
+		return
+	}
+	colSet := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		colSet[c] = true
+	}
+
+	jobs := make([]*rowJob, len(req.Rows))
+	for i, row := range req.Rows {
+		for _, k := range sortedKeys(row) {
+			if !colSet[k] {
+				writeError(w, http.StatusBadRequest, "row %d: unknown column %q in table %q", i, k, req.Table)
+				return
+			}
+		}
+		// One-row table with the provided columns in fitted order, so
+		// token order — and therefore floating-point feature sums —
+		// match the offline table scan exactly.
+		t := &dataset.Table{Name: req.Table}
+		for _, c := range cols {
+			raw, ok := row[c]
+			if !ok {
+				continue
+			}
+			v, err := toValue(raw)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "row %d, column %q: %v", i, c, err)
+				return
+			}
+			t.Columns = append(t.Columns, &dataset.Column{Name: c, Values: []dataset.Value{v}})
+		}
+		graphRow := -1
+		if req.GraphRows != nil {
+			graphRow = req.GraphRows[i]
+		}
+		j := &rowJob{t: t, table: req.Table, exclude: req.Exclude, graphRow: graphRow, mode: mode}
+		j.key = cacheKey(j)
+		jobs[i] = j
+	}
+
+	hits, err := s.store.featurizeRows(r.Context(), jobs)
+	if err != nil {
+		if r.Context().Err() != nil {
+			writeError(w, http.StatusServiceUnavailable, "request canceled: %v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "featurize: %v", err)
+		return
+	}
+	features := make([][]float64, len(jobs))
+	for i, j := range jobs {
+		features[i] = j.out
+	}
+	writeJSON(w, http.StatusOK, featurizeResponse{
+		Table:     req.Table,
+		Rows:      len(features),
+		Dim:       s.store.featureWidth(mode),
+		CacheHits: hits,
+		Features:  features,
+	})
+}
+
+func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
+	token := r.PathValue("token")
+	vec, ok := s.store.vector(token)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown token %q", token)
+		return
+	}
+	writeJSON(w, http.StatusOK, embeddingResponse{Token: token, Dim: len(vec), Vector: vec})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"vectors": s.store.res.Embedding.Len(),
+		"dim":     s.store.res.Embedding.Dim,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+}
+
+// toValue maps a decoded JSON value to a relational cell. Booleans
+// become their textual form (CSV-loaded data never contains a bool
+// kind); arrays and objects are rejected.
+func toValue(x any) (dataset.Value, error) {
+	switch v := x.(type) {
+	case nil:
+		return dataset.Null(), nil
+	case string:
+		return dataset.String(v), nil
+	case float64:
+		return dataset.Number(v), nil
+	case bool:
+		return dataset.String(strconv.FormatBool(v)), nil
+	default:
+		return dataset.Value{}, fmt.Errorf("unsupported JSON value of type %T (use string, number, boolean, or null)", x)
+	}
+}
+
+// sortedKeys returns a row object's keys in lexical order so validation
+// errors are deterministic.
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsNs are the upper bounds (nanoseconds) of the fixed
+// log-spaced latency histogram buckets; one overflow bucket follows.
+var latencyBoundsNs = []int64{
+	int64(50 * time.Microsecond),
+	int64(100 * time.Microsecond),
+	int64(250 * time.Microsecond),
+	int64(500 * time.Microsecond),
+	int64(time.Millisecond),
+	int64(2500 * time.Microsecond),
+	int64(5 * time.Millisecond),
+	int64(10 * time.Millisecond),
+	int64(25 * time.Millisecond),
+	int64(50 * time.Millisecond),
+	int64(100 * time.Millisecond),
+	int64(250 * time.Millisecond),
+	int64(500 * time.Millisecond),
+	int64(time.Second),
+	int64(2500 * time.Millisecond),
+	int64(5 * time.Second),
+	int64(10 * time.Second),
+}
+
+// trackedStatuses are the response codes counted individually; anything
+// else lands in the trailing "other" slot.
+var trackedStatuses = []int{200, 400, 404, 413, 429, 500, 503}
+
+// endpointMetrics accumulates per-endpoint counters. All fields are
+// atomics so the hot path never takes a lock.
+type endpointMetrics struct {
+	count      atomic.Int64
+	errors     atomic.Int64   // responses with status >= 400
+	latencySum atomic.Int64   // nanoseconds
+	buckets    []atomic.Int64 // len(latencyBoundsNs)+1, last = overflow
+}
+
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{buckets: make([]atomic.Int64, len(latencyBoundsNs)+1)}
+}
+
+func (e *endpointMetrics) observe(d time.Duration, status int) {
+	e.count.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	e.latencySum.Add(ns)
+	i := 0
+	for i < len(latencyBoundsNs) && ns > latencyBoundsNs[i] {
+		i++
+	}
+	e.buckets[i].Add(1)
+}
+
+// quantile estimates the q-th latency quantile (0 < q < 1) from the
+// histogram, reporting the upper bound of the bucket holding that rank
+// (the overflow bucket reports the largest bound). Zero with no data.
+func (e *endpointMetrics) quantile(q float64) time.Duration {
+	total := int64(0)
+	for i := range e.buckets {
+		total += e.buckets[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total)) + 1
+	cum := int64(0)
+	for i := range e.buckets {
+		cum += e.buckets[i].Load()
+		if cum >= rank {
+			if i < len(latencyBoundsNs) {
+				return time.Duration(latencyBoundsNs[i])
+			}
+			return time.Duration(latencyBoundsNs[len(latencyBoundsNs)-1])
+		}
+	}
+	return time.Duration(latencyBoundsNs[len(latencyBoundsNs)-1])
+}
+
+// metrics is the daemon-wide counter set behind GET /metrics. Hand
+// rolled on sync/atomic: no dependencies, one cache line of cost per
+// request, snapshotted without stopping the world.
+type metrics struct {
+	start          time.Time
+	inFlight       atomic.Int64
+	shed           atomic.Int64
+	statusCounts   []atomic.Int64              // len(trackedStatuses)+1, last = other
+	endpoints      map[string]*endpointMetrics // fixed keys, read-only map
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	cacheLen       func() int
+	cacheCapacity  int
+	rowsFeaturized atomic.Int64
+	batches        atomic.Int64
+	batchedRows    atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:        time.Now(),
+		statusCounts: make([]atomic.Int64, len(trackedStatuses)+1),
+		endpoints: map[string]*endpointMetrics{
+			"featurize": newEndpointMetrics(),
+			"embedding": newEndpointMetrics(),
+			"healthz":   newEndpointMetrics(),
+			"metrics":   newEndpointMetrics(),
+		},
+	}
+}
+
+func (m *metrics) observe(endpoint string, status int, d time.Duration) {
+	i := 0
+	for ; i < len(trackedStatuses); i++ {
+		if trackedStatuses[i] == status {
+			break
+		}
+	}
+	m.statusCounts[i].Add(1)
+	if e, ok := m.endpoints[endpoint]; ok {
+		e.observe(d, status)
+	}
+}
+
+// endpointSnapshot is the wire form of one endpoint's counters.
+type endpointSnapshot struct {
+	Count        int64   `json:"count"`
+	Errors       int64   `json:"errors"`
+	LatencyMs    float64 `json:"latencyMeanMs"`
+	LatencyP50Ms float64 `json:"latencyP50Ms"`
+	LatencyP90Ms float64 `json:"latencyP90Ms"`
+	LatencyP99Ms float64 `json:"latencyP99Ms"`
+}
+
+// cacheSnapshot is the wire form of the row-cache counters.
+type cacheSnapshot struct {
+	Enabled  bool    `json:"enabled"`
+	Size     int     `json:"size"`
+	Capacity int     `json:"capacity"`
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRate  float64 `json:"hitRate"`
+}
+
+// metricsSnapshot is the GET /metrics response body.
+type metricsSnapshot struct {
+	UptimeSeconds       float64                     `json:"uptimeSeconds"`
+	InFlight            int64                       `json:"inFlight"`
+	ShedTotal           int64                       `json:"shedTotal"`
+	Requests            map[string]endpointSnapshot `json:"requests"`
+	ResponsesByStatus   map[string]int64            `json:"responsesByStatus"`
+	Cache               cacheSnapshot               `json:"cache"`
+	RowsFeaturizedTotal int64                       `json:"rowsFeaturizedTotal"`
+	BatchesTotal        int64                       `json:"batchesTotal"`
+	BatchedRowsTotal    int64                       `json:"batchedRowsTotal"`
+}
+
+func (m *metrics) snapshot() metricsSnapshot {
+	snap := metricsSnapshot{
+		UptimeSeconds:       time.Since(m.start).Seconds(),
+		InFlight:            m.inFlight.Load(),
+		ShedTotal:           m.shed.Load(),
+		Requests:            make(map[string]endpointSnapshot, len(m.endpoints)),
+		ResponsesByStatus:   make(map[string]int64),
+		RowsFeaturizedTotal: m.rowsFeaturized.Load(),
+		BatchesTotal:        m.batches.Load(),
+		BatchedRowsTotal:    m.batchedRows.Load(),
+	}
+	for name, e := range m.endpoints {
+		es := endpointSnapshot{Count: e.count.Load(), Errors: e.errors.Load()}
+		if es.Count > 0 {
+			es.LatencyMs = float64(e.latencySum.Load()) / float64(es.Count) / 1e6
+			es.LatencyP50Ms = float64(e.quantile(0.50)) / 1e6
+			es.LatencyP90Ms = float64(e.quantile(0.90)) / 1e6
+			es.LatencyP99Ms = float64(e.quantile(0.99)) / 1e6
+		}
+		snap.Requests[name] = es
+	}
+	for i, code := range trackedStatuses {
+		if n := m.statusCounts[i].Load(); n > 0 {
+			snap.ResponsesByStatus[strconv.Itoa(code)] = n
+		}
+	}
+	if n := m.statusCounts[len(trackedStatuses)].Load(); n > 0 {
+		snap.ResponsesByStatus["other"] = n
+	}
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	snap.Cache = cacheSnapshot{
+		Enabled:  m.cacheCapacity > 0,
+		Capacity: m.cacheCapacity,
+		Hits:     hits,
+		Misses:   misses,
+	}
+	if m.cacheLen != nil {
+		snap.Cache.Size = m.cacheLen()
+	}
+	if hits+misses > 0 {
+		snap.Cache.HitRate = float64(hits) / float64(hits+misses)
+	}
+	return snap
+}

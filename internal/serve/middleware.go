@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// statusRecorder captures the response status and size for metrics and
+// request logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with the serving middleware stack, from
+// the outside in: metrics + structured logging, then (for limited
+// endpoints) the per-request timeout, then the concurrency limiter.
+// The limiter sits inside the timeout handler so a timed-out request's
+// admission slot is released only when its work actually finishes —
+// otherwise abandoned handlers could stack up past MaxInFlight.
+func (s *Server) instrument(name string, limited bool, h http.Handler) http.Handler {
+	if limited {
+		h = s.limit(h)
+		if s.cfg.RequestTimeout > 0 {
+			// TimeoutHandler answers 503 and cancels the request
+			// context, which the store checks between rows.
+			h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+		}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		s.metrics.observe(name, rec.status, elapsed)
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("endpoint", name),
+				slog.Int("status", rec.status),
+				slog.Int("bytes", rec.bytes),
+				slog.Duration("duration", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// limit admits at most MaxInFlight concurrent requests; the rest shed
+// immediately with 429 so saturation degrades into fast, explicit
+// rejections instead of unbounded queueing.
+func (s *Server) limit(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			h.ServeHTTP(w, r)
+		default:
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server saturated: %d requests already in flight", s.cfg.MaxInFlight)
+		}
+	})
+}

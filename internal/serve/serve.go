@@ -1,0 +1,165 @@
+// Package serve is Leva's online serving subsystem: a long-lived
+// featurization service in front of a saved deployment bundle (paper
+// Section 2's "build the embedding once, featurize any downstream
+// task"). It wraps a loaded core.Result in a read-optimized,
+// concurrency-safe store — token→vector lookups straight off the
+// embedding index, an LRU cache of fully-featurized rows, and an
+// optional micro-batcher that coalesces concurrent single-row requests
+// — and exposes it over HTTP:
+//
+//	POST /v1/featurize        rows in, dense feature vectors out
+//	GET  /v1/embedding/{token} one embedding vector
+//	GET  /healthz             liveness
+//	GET  /metrics             request/latency/cache counters (JSON)
+//
+// The HTTP layer carries the production plumbing: a concurrency
+// limiter that sheds excess load with 429s, per-request timeouts,
+// structured request logging, and graceful shutdown that drains
+// in-flight requests. cmd/levad is the daemon around this package.
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config tunes the serving daemon. The zero value gets sensible
+// production defaults; fields set to a negative value disable the
+// corresponding feature where noted.
+type Config struct {
+	// Addr is the listen address. Default ":9090".
+	Addr string
+	// MaxInFlight bounds concurrently admitted featurize/embedding
+	// requests; excess requests are shed with 429. Default 64.
+	MaxInFlight int
+	// RequestTimeout bounds one request's handler time; timed-out
+	// requests get 503. Default 10s; negative disables.
+	RequestTimeout time.Duration
+	// CacheSize is the LRU capacity (fully-featurized rows). Default
+	// 4096 entries; negative disables the cache.
+	CacheSize int
+	// BatchWindow, when positive, enables micro-batching: cache-miss
+	// rows wait up to this long to be grouped with rows from
+	// concurrent requests before featurizing. Off by default.
+	BatchWindow time.Duration
+	// BatchMax caps rows per micro-batch. Default 64.
+	BatchMax int
+	// MaxRowsPerRequest bounds one featurize call. Default 1024.
+	MaxRowsPerRequest int
+	// MaxBodyBytes bounds the request body. Default 8 MiB.
+	MaxBodyBytes int64
+	// Workers caps the goroutines featurizing one batch. 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Logger receives one structured record per request. Nil disables
+	// request logging.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":9090"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	if c.MaxRowsPerRequest <= 0 {
+		c.MaxRowsPerRequest = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server serves one loaded bundle over HTTP.
+type Server struct {
+	cfg     Config
+	store   *store
+	metrics *metrics
+	logger  *slog.Logger
+	sem     chan struct{}
+	httpSrv *http.Server
+	ln      net.Listener
+
+	// testHookFeaturize, when set, runs inside the featurize handler
+	// after admission (limiter slot held) — the seam the saturation
+	// and drain tests use to hold a request in flight.
+	testHookFeaturize func()
+}
+
+// New wraps a built or bundle-loaded Result in a Server. The Result's
+// embedding and tokenizer are treated as immutable from here on.
+func New(res *core.Result, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := newMetrics()
+	s := &Server{
+		cfg:     cfg,
+		store:   newStore(res, cfg, m),
+		metrics: m,
+		logger:  cfg.Logger,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the fully middleware-wrapped route table, usable
+// directly in tests or behind an outer mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/featurize", s.instrument("featurize", true, http.HandlerFunc(s.handleFeaturize)))
+	mux.Handle("GET /v1/embedding/{token}", s.instrument("embedding", true, http.HandlerFunc(s.handleEmbedding)))
+	mux.Handle("GET /healthz", s.instrument("healthz", false, http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /metrics", s.instrument("metrics", false, http.HandlerFunc(s.handleMetrics)))
+	return mux
+}
+
+// Listen binds the configured address and returns the bound address
+// (which resolves ":0" to the chosen port). Idempotent.
+func (s *Server) Listen() (net.Addr, error) {
+	if s.ln != nil {
+		return s.ln.Addr(), nil
+	}
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until Shutdown; it returns
+// http.ErrServerClosed after a clean shutdown, like net/http.
+func (s *Server) Serve() error {
+	if _, err := s.Listen(); err != nil {
+		return err
+	}
+	return s.httpSrv.Serve(s.ln)
+}
+
+// Shutdown stops accepting new connections and drains in-flight
+// requests until they finish or ctx expires, then stops the
+// micro-batcher.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	s.store.close()
+	return err
+}

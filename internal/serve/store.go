@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"context"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+)
+
+// store is the read path between the HTTP handlers and the loaded
+// embedding: concurrency-safe token→vector lookups (the embedding index
+// is immutable after load, so reads need no locking), an LRU cache of
+// fully-featurized rows keyed by row content, and an optional
+// micro-batcher that groups cache misses from concurrent requests into
+// one parallel featurize pass.
+type store struct {
+	res     *core.Result
+	cache   *lruCache
+	batcher *batcher
+	metrics *metrics
+	workers int
+}
+
+func newStore(res *core.Result, cfg Config, m *metrics) *store {
+	s := &store{res: res, metrics: m, workers: cfg.Workers}
+	if cfg.CacheSize > 0 {
+		s.cache = newLRU(cfg.CacheSize)
+		m.cacheCapacity = cfg.CacheSize
+		m.cacheLen = s.cache.len
+	}
+	if cfg.BatchWindow > 0 {
+		s.batcher = newBatcher(cfg.BatchWindow, cfg.BatchMax, s.runBatch)
+	}
+	return s
+}
+
+// close stops the batcher's gather loop, if one is running.
+func (s *store) close() {
+	if s.batcher != nil {
+		s.batcher.close()
+	}
+}
+
+// vector returns the embedding vector for an entity key (a token, or
+// "table:rowIdx" for rows). The slice is shared and must not be
+// mutated.
+func (s *store) vector(token string) ([]float64, bool) {
+	return s.res.Embedding.Vector(token)
+}
+
+// columns returns the fitted column order for table, or nil if the
+// bundle's tokenizer has never seen it.
+func (s *store) columns(table string) []string {
+	return s.res.Textifier.Columns(table)
+}
+
+// featureWidth is the response vector length under mode.
+func (s *store) featureWidth(mode core.FeaturizationMode) int {
+	return s.res.FeatureWidth(mode)
+}
+
+// rowJob is one row awaiting featurization. t is a one-row table whose
+// columns are in the fitted order; out is filled by featurizeRows.
+type rowJob struct {
+	t        *dataset.Table
+	table    string
+	exclude  []string
+	graphRow int
+	mode     core.FeaturizationMode
+	key      string
+	out      []float64
+}
+
+// cacheKey renders a canonical identity for a row's featurization:
+// table, mode, graph row, excluded columns, and every (column, value)
+// pair in fitted column order. Two requests with the same key are
+// guaranteed the same feature vector, so cached vectors can be shared.
+func cacheKey(j *rowJob) string {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(j.table)
+	b.WriteByte(0x1e)
+	b.WriteByte(byte('0' + j.mode))
+	b.WriteByte(0x1e)
+	b.WriteString(strconv.Itoa(j.graphRow))
+	for _, e := range j.exclude {
+		b.WriteByte(0x1e)
+		b.WriteString(e)
+	}
+	for _, c := range j.t.Columns {
+		b.WriteByte(0x1f)
+		b.WriteString(c.Name)
+		b.WriteByte(0x1e)
+		b.WriteByte(byte('0' + c.Values[0].Kind))
+		b.WriteString(c.Values[0].Text())
+	}
+	return b.String()
+}
+
+// featurizeRows fills every job's out vector, serving from the cache
+// where possible, and reports the number of cache hits. Returned
+// vectors may be shared with the cache; callers must not mutate them.
+func (s *store) featurizeRows(ctx context.Context, jobs []*rowJob) (int, error) {
+	hits := 0
+	misses := jobs
+	if s.cache != nil {
+		misses = misses[:0:0]
+		for _, j := range jobs {
+			if v, ok := s.cache.get(j.key); ok {
+				j.out = v
+				hits++
+				continue
+			}
+			misses = append(misses, j)
+		}
+		s.metrics.cacheHits.Add(int64(hits))
+		s.metrics.cacheMisses.Add(int64(len(misses)))
+	}
+	if len(misses) > 0 {
+		var err error
+		if s.batcher != nil {
+			err = s.batcher.doAll(ctx, misses)
+		} else {
+			err = s.compute(ctx, misses)
+		}
+		if err != nil {
+			return hits, err
+		}
+		if s.cache != nil {
+			for _, j := range misses {
+				s.cache.put(j.key, j.out)
+			}
+		}
+	}
+	s.metrics.rowsFeaturized.Add(int64(len(jobs)))
+	return hits, nil
+}
+
+// compute featurizes jobs inline, fanning out across s.workers
+// goroutines; each job writes only its own out slot.
+func (s *store) compute(ctx context.Context, jobs []*rowJob) error {
+	return parallel.ForError(len(jobs), s.workers, func(_ int, pr parallel.Range) error {
+		for i := pr.Lo; i < pr.Hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			j := jobs[i]
+			out, err := s.res.FeaturizeRow(j.t, j.table, j.exclude, 0, j.graphRow, j.mode)
+			if err != nil {
+				return err
+			}
+			j.out = out
+		}
+		return nil
+	})
+}
+
+// runBatch is the batcher's executor: one gathered batch, featurized in
+// parallel, each job's error delivered individually.
+func (s *store) runBatch(batch []*featJob) {
+	s.metrics.batches.Add(1)
+	s.metrics.batchedRows.Add(int64(len(batch)))
+	parallel.For(len(batch), s.workers, func(_ int, pr parallel.Range) {
+		for i := pr.Lo; i < pr.Hi; i++ {
+			fj := batch[i]
+			j := fj.job
+			j.out, fj.err = s.res.FeaturizeRow(j.t, j.table, j.exclude, 0, j.graphRow, j.mode)
+			close(fj.done)
+		}
+	})
+}

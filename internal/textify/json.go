@@ -9,13 +9,18 @@ import (
 type modelJSON struct {
 	Options Options                           `json:"options"`
 	Tables  map[string]map[string]*ColumnPlan `json:"tables"`
+	// ColumnOrder preserves each table's fitted column order, which
+	// the online serving path needs to tokenize unordered row maps
+	// exactly like the offline table scan. Absent in models written
+	// before it existed; Columns falls back to lexical order then.
+	ColumnOrder map[string][]string `json:"columnOrder,omitempty"`
 }
 
 // MarshalJSON serializes the fitted textification model (column types,
-// separators, and histograms) so a deployment can tokenize new data
-// identically after a reload.
+// separators, histograms, and column order) so a deployment can
+// tokenize new data identically after a reload.
 func (m *Model) MarshalJSON() ([]byte, error) {
-	return json.Marshal(modelJSON{Options: m.opts, Tables: m.plans})
+	return json.Marshal(modelJSON{Options: m.opts, Tables: m.plans, ColumnOrder: m.order})
 }
 
 // UnmarshalJSON restores a model written by MarshalJSON.
@@ -29,6 +34,7 @@ func (m *Model) UnmarshalJSON(data []byte) error {
 	}
 	m.opts = in.Options
 	m.plans = in.Tables
+	m.order = in.ColumnOrder
 	return nil
 }
 

@@ -14,6 +14,7 @@ package textify
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -131,24 +132,64 @@ type ColumnPlan struct {
 type Model struct {
 	opts  Options
 	plans map[string]map[string]*ColumnPlan // table -> column -> plan
+	order map[string][]string               // table -> fitted column order
 }
 
 // Fit classifies every column of db and fits histograms where needed.
 func Fit(db *dataset.Database, opts Options) (*Model, error) {
 	opts = opts.withDefaults()
-	m := &Model{opts: opts, plans: make(map[string]map[string]*ColumnPlan)}
+	m := &Model{
+		opts:  opts,
+		plans: make(map[string]map[string]*ColumnPlan),
+		order: make(map[string][]string),
+	}
 	for _, t := range db.Tables {
 		cols := make(map[string]*ColumnPlan, t.NumCols())
+		names := make([]string, 0, t.NumCols())
 		for _, c := range t.Columns {
 			p, err := planColumn(t.Name, c, opts)
 			if err != nil {
 				return nil, err
 			}
 			cols[c.Name] = p
+			names = append(names, c.Name)
 		}
 		m.plans[t.Name] = cols
+		m.order[t.Name] = names
 	}
 	return m, nil
+}
+
+// Columns returns the fitted column order for table, or nil if the
+// table is unknown to the model. Serving-time callers that receive rows
+// as unordered key/value maps use this to tokenize columns in the same
+// order as the fitted table scan, which keeps floating-point feature
+// sums bit-identical to the offline path. Models decoded from bundles
+// written before the order was recorded fall back to lexical order.
+func (m *Model) Columns(table string) []string {
+	if names, ok := m.order[table]; ok {
+		return names
+	}
+	cols, ok := m.plans[table]
+	if !ok {
+		return nil
+	}
+	names := make([]string, 0, len(cols))
+	for n := range cols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Tables returns the fitted table names in lexical order.
+func (m *Model) Tables() []string {
+	names := make([]string, 0, len(m.plans))
+	for n := range m.plans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Plan returns the fitted plan for a column, or nil if unknown.

@@ -21,6 +21,11 @@
 //	        DB: db, BaseTable: "orders", Target: "label",
 //	}, leva.DefaultConfig())
 //
+// A built Result can be saved as a deployment bundle (Result.SaveBundle)
+// and served online by the levad daemon (cmd/levad, internal/serve),
+// which answers featurization requests over HTTP against the loaded
+// embedding — see docs/SERVING.md.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured results.
 package leva
@@ -137,9 +142,17 @@ func PrepareRegression(task Task, cfg Config) (*SupervisedData, error) {
 	return core.PrepareRegression(task, cfg)
 }
 
+// BundleFormatVersion is the on-disk format written by
+// Result.SaveBundle. LoadBundle reads every version up to the current
+// one and rejects newer or unrecognized versions with a clear error.
+const BundleFormatVersion = core.BundleFormatVersion
+
 // LoadBundle restores a deployment saved with Result.SaveBundle: the
 // fitted tokenizer, the embedding, and the deployment config, ready to
-// featurize new rows without retraining.
+// featurize new rows without retraining. The returned Result exposes
+// both the batch path (Featurize) and the single-row serving path
+// (FeaturizeRow, used by internal/serve and the levad daemon — see
+// docs/SERVING.md).
 func LoadBundle(dir string) (*Result, error) { return core.LoadBundle(dir) }
 
 // AutoTuneOptions bounds the automatic configuration search.

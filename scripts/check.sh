@@ -1,5 +1,7 @@
 #!/bin/sh
-# Full verification gate: build, vet, race-checked tests.
+# Full verification gate: build, vet, race-checked tests, and an HTTP
+# smoke test of the levad serving daemon end to end (generate data,
+# build a bundle, serve it, featurize over the wire, drain on SIGTERM).
 # The race run is slow (the experiment suites re-run under -race);
 # expect several minutes on a small machine.
 set -eux
@@ -8,3 +10,46 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test -race ./...
+
+# --- levad smoke test -------------------------------------------------
+# Exercises the real binaries, not the in-process test harness: a
+# levagen-generated dataset goes through `leva embed -bundle`, levad
+# serves the bundle on an ephemeral port, and curl drives the API.
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+
+go build -o "$SMOKE/bin/" ./cmd/leva ./cmd/levad ./cmd/levagen
+
+"$SMOKE/bin/levagen" -dataset student -scale 0.05 -seed 7 -out "$SMOKE/csv"
+"$SMOKE/bin/leva" embed -data "$SMOKE/csv" -dim 8 -seed 7 \
+    -out "$SMOKE/embedding.tsv" -bundle "$SMOKE/bundle"
+
+"$SMOKE/bin/levad" -bundle "$SMOKE/bundle" -addr 127.0.0.1:0 \
+    -ready-file "$SMOKE/addr" 2>"$SMOKE/levad.log" &
+LEVAD_PID=$!
+
+# Wait for the daemon to publish its bound address.
+i=0
+while [ ! -s "$SMOKE/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "levad never became ready" >&2
+        cat "$SMOKE/levad.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE/addr")
+
+curl -fsS "http://$ADDR/healthz"
+curl -fsS -X POST "http://$ADDR/v1/featurize" \
+    -H 'Content-Type: application/json' \
+    -d '{"table":"expenses","rows":[{"name":"student_00001","gender":"female","school_name":"school_1"}],"exclude":["total_expenses"]}' \
+    | grep -q '"features"'
+curl -fsS "http://$ADDR/metrics" | grep -q '"requests"'
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$LEVAD_PID"
+wait "$LEVAD_PID"
+
+echo "levad smoke test passed"
