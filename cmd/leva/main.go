@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	leva "repro"
+	"repro/internal/durable"
 )
 
 func main() {
@@ -100,12 +102,11 @@ func runEmbed(args []string) error {
 		res.Timings.GraphBuild.Round(time.Millisecond),
 		res.Timings.Embed.Round(time.Millisecond))
 
-	f, err := os.Create(*out)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := res.Embedding.WriteTSV(&buf); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := res.Embedding.WriteTSV(f); err != nil {
+	if err := durable.WriteFile(durable.OS(), *out, buf.Bytes()); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
@@ -152,20 +153,19 @@ func runApply(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
+	var buf bytes.Buffer
 	for i, row := range x {
-		fmt.Fprintf(f, "%d\t", i)
+		fmt.Fprintf(&buf, "%d\t", i)
 		for j, v := range row {
 			if j > 0 {
-				fmt.Fprint(f, " ")
+				buf.WriteByte(' ')
 			}
-			fmt.Fprintf(f, "%g", v)
+			fmt.Fprintf(&buf, "%g", v)
 		}
-		fmt.Fprintln(f)
+		buf.WriteByte('\n')
+	}
+	if err := durable.WriteFile(durable.OS(), *out, buf.Bytes()); err != nil {
+		return err
 	}
 	fmt.Printf("wrote %d rows x %d features to %s\n", len(x), len(x[0]), *out)
 	return nil

@@ -10,14 +10,18 @@
 //
 //	POST /v1/featurize         rows in, dense feature vectors out
 //	GET  /v1/embedding/{token}  one embedding vector
-//	GET  /healthz              liveness
-//	GET  /metrics              request/latency/cache counters (JSON)
+//	GET  /healthz              liveness (+ serving bundle generation)
+//	GET  /metrics              request/latency/cache/reload counters (JSON)
+//	POST /admin/reload         hot-reload the bundle directory
 //
 // The daemon sheds load with 429s past -max-inflight, times out
 // individual requests at -request-timeout, logs one structured JSON
 // record per request to stderr, and on SIGINT/SIGTERM stops accepting
 // connections and drains in-flight requests for up to -drain-timeout
-// before exiting. See docs/SERVING.md.
+// before exiting. SIGHUP (or POST /admin/reload) re-reads the bundle
+// directory and swaps it in without dropping in-flight requests; a
+// bundle that fails validation is rejected and the current one keeps
+// serving. See docs/SERVING.md.
 package main
 
 import (
@@ -68,7 +72,8 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
-	res, err := leva.LoadBundle(*bundle)
+	warn := func(msg string) { logger.Warn("bundle", slog.String("warning", msg)) }
+	res, err := leva.LoadBundleWarn(*bundle, warn)
 	if err != nil {
 		return err
 	}
@@ -91,6 +96,12 @@ func run(ctx context.Context, args []string) error {
 	if !*quiet {
 		cfg.Logger = logger
 	}
+	// Hot reload re-reads the same bundle directory, so a deployer can
+	// atomically publish a new bundle in place (SaveBundle's rename
+	// protocol) and SIGHUP the daemon without dropping a request.
+	cfg.Loader = func() (*leva.Result, error) {
+		return leva.LoadBundleWarn(*bundle, warn)
+	}
 	srv := serve.New(res, cfg)
 	bound, err := srv.Listen()
 	if err != nil {
@@ -111,6 +122,24 @@ func run(ctx context.Context, args []string) error {
 
 	sigCtx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP triggers a zero-downtime reload of the bundle directory.
+	// Reloads serialize inside the server, so a burst of signals runs
+	// one at a time; a failed reload logs the reason and keeps the
+	// current bundle serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				logger.Error("reload failed; keeping current bundle", slog.String("error", err.Error()))
+			} else {
+				logger.Info("reload complete", slog.String("bundle", *bundle))
+			}
+		}
+	}()
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve() }()
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -123,6 +124,156 @@ func TestDaemonEndToEnd(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not exit within 10s of SIGTERM")
+	}
+}
+
+// TestDaemonHotReloadOnSIGHUP republishes the bundle directory in place
+// (SaveBundle's atomic swap), delivers a real SIGHUP, and requires the
+// daemon to serve the new embedding without restarting.
+func TestDaemonHotReloadOnSIGHUP(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 30, Seed: 9})
+	resA, err := core.BuildEmbedding(spec.DB, core.Config{Dim: 6, Seed: 9, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := core.BuildEmbedding(spec.DB, core.Config{Dim: 6, Seed: 10, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := resA.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	readyFile := filepath.Join(t.TempDir(), "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(), []string{
+			"-bundle", dir, "-addr", "127.0.0.1:0", "-ready-file", readyFile, "-quiet",
+		})
+	}()
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(20 * time.Millisecond) {
+		if data, err := os.ReadFile(readyFile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never wrote the ready file")
+	}
+
+	featurize := func() []float64 {
+		base := spec.DB.Table(spec.BaseTable)
+		row := map[string]any{}
+		for _, c := range base.Columns {
+			switch v := c.Values[0]; v.Kind {
+			case 1: // KindString
+				row[c.Name] = v.Str
+			default:
+				row[c.Name] = v.Num
+			}
+		}
+		body, _ := json.Marshal(map[string]any{
+			"table": spec.BaseTable, "rows": []any{row}, "exclude": []string{spec.Target},
+		})
+		resp, err := http.Post("http://"+addr+"/v1/featurize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			Features [][]float64 `json:"features"`
+		}
+		if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&out) != nil {
+			t.Fatalf("featurize: status %d", resp.StatusCode)
+		}
+		return out.Features[0]
+	}
+	offline := func(res *core.Result) []float64 {
+		base := spec.DB.Table(spec.BaseTable)
+		want, err := res.Featurize(base.SelectRows([]int{0}), spec.BaseTable,
+			[]string{spec.Target}, func(int) int { return -1 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return want[0]
+	}
+	eq := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	if !eq(featurize(), offline(resA)) {
+		t.Fatal("pre-reload serving does not match bundle A")
+	}
+	// Publish bundle B into the same directory (atomic directory swap),
+	// then signal the running daemon.
+	if err := resB.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	wantB := offline(resB)
+	swapped := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(20 * time.Millisecond) {
+		if eq(featurize(), wantB) {
+			swapped = true
+			break
+		}
+	}
+	if !swapped {
+		t.Fatal("daemon never served bundle B after SIGHUP")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit within 10s of SIGTERM")
+	}
+}
+
+// TestRunRefusesCorruptBundle flips one byte of the embedding file and
+// requires startup to fail with an error naming it.
+func TestRunRefusesCorruptBundle(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 20, Seed: 7})
+	res, err := core.BuildEmbedding(spec.DB, core.Config{Dim: 4, Seed: 7, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "embedding.tsv")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run(context.Background(), []string{"-bundle", dir, "-addr", "127.0.0.1:0", "-quiet"})
+	if err == nil {
+		t.Fatal("daemon started on a corrupt bundle")
+	}
+	if !strings.Contains(err.Error(), "embedding.tsv") {
+		t.Errorf("startup error does not name the corrupt file: %v", err)
 	}
 }
 

@@ -8,12 +8,14 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
 	"repro/internal/dataset"
+	"repro/internal/durable"
 	"repro/internal/synth"
 )
 
@@ -71,15 +73,13 @@ func writeCSVDir(db *dataset.Database, dir string) error {
 		return err
 	}
 	for _, t := range db.Tables {
-		f, err := os.Create(filepath.Join(dir, t.Name+".csv"))
-		if err != nil {
-			return err
+		var buf bytes.Buffer
+		if err := dataset.WriteCSV(t, &buf); err != nil {
+			return fmt.Errorf("write %s: %w", t.Name, err)
 		}
-		err = dataset.WriteCSV(t, f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		// Atomic publish: a crash mid-generation leaves no half-written
+		// CSV for a later `leva embed` run to silently train on.
+		if err := durable.WriteFile(durable.OS(), filepath.Join(dir, t.Name+".csv"), buf.Bytes()); err != nil {
 			return fmt.Errorf("write %s: %w", t.Name, err)
 		}
 	}

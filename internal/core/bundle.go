@@ -1,21 +1,34 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"repro/internal/durable"
 	"repro/internal/embed"
 	"repro/internal/textify"
 )
 
 // Bundle persistence: a built Result is saved as a directory holding
-// the fitted textification model, the embedding vectors, and the
-// deployment-relevant configuration. A reloaded bundle featurizes new
-// rows exactly like the original — which is what shipping a Leva
-// deployment to an inference service needs. The graph itself is not
-// persisted; featurization only requires the embedding and tokenizer.
+// the fitted textification model, the embedding vectors, the
+// deployment-relevant configuration, and a MANIFEST.json integrity
+// record. A reloaded bundle featurizes new rows exactly like the
+// original — which is what shipping a Leva deployment to an inference
+// service needs. The graph itself is not persisted; featurization only
+// requires the embedding and tokenizer.
+//
+// The bundle is the durable product of the whole pipeline, so its
+// lifecycle is crash-safe: SaveBundle stages every file (plus the
+// manifest, written last) in a sibling directory and publishes the
+// stage with one rename, and LoadBundle verifies every file against
+// the manifest before decoding anything. A crash at any point leaves
+// either the previous complete bundle or the new complete bundle on
+// disk — never a hybrid — and any later corruption (torn write, bit
+// rot, truncation) surfaces as an error naming the damaged file.
 
 const (
 	bundleConfigFile    = "config.json"
@@ -28,10 +41,16 @@ const (
 //
 //	0 — pre-versioned bundles (no formatVersion field in config.json)
 //	1 — formatVersion recorded; textify model carries column order
+//	2 — MANIFEST.json integrity record (per-file SHA-256 and sizes);
+//	    payload file formats are unchanged, so version-1 readers of the
+//	    three payload files would still decode them — the bump records
+//	    that writes are now staged and manifest-sealed
 //
 // LoadBundle reads every version up to the current one and rejects
-// anything newer or unrecognized instead of decoding garbage.
-const BundleFormatVersion = 1
+// anything newer or unrecognized instead of decoding garbage. Bundles
+// without a manifest (versions 0 and 1) still load, reported through
+// the warning hook.
+const BundleFormatVersion = 2
 
 // bundleConfig is the subset of Config that affects deployment.
 type bundleConfig struct {
@@ -42,11 +61,22 @@ type bundleConfig struct {
 	MethodUsed         embed.Method      `json:"methodUsed"`
 }
 
-// SaveBundle writes the deployment to dir (created if needed).
+// SaveBundle writes the deployment to dir (created if needed),
+// crash-safely: the whole bundle is staged in a sibling directory —
+// each file written atomically, the manifest last — and published with
+// one rename. If dir already holds a bundle, readers observe the old
+// complete bundle until the instant the new one replaces it.
 func (r *Result) SaveBundle(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("core: save bundle: %w", err)
-	}
+	return r.saveBundle(durable.OS(), dir)
+}
+
+// saveBundle is SaveBundle over an injectable filesystem — the seam the
+// fault-injection suite uses to prove crash safety.
+func (r *Result) saveBundle(fsys durable.FS, dir string) error {
+	dir = filepath.Clean(dir)
+
+	// Marshal every payload up front: a serialization failure must not
+	// touch the disk at all.
 	cfg := bundleConfig{
 		FormatVersion:      BundleFormatVersion,
 		Dim:                r.Embedding.Dim,
@@ -56,26 +86,52 @@ func (r *Result) SaveBundle(dir string) error {
 	}
 	cfgData, err := json.MarshalIndent(cfg, "", "  ")
 	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(dir, bundleConfigFile), cfgData, 0o644); err != nil {
-		return fmt.Errorf("core: save bundle: %w", err)
+		return fmt.Errorf("core: marshal bundle config: %w", err)
 	}
 	modelData, err := json.Marshal(r.Textifier)
 	if err != nil {
 		return fmt.Errorf("core: marshal textify model: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, bundleTextifyFile), modelData, 0o644); err != nil {
+	var embBuf bytes.Buffer
+	if err := r.Embedding.WriteTSV(&embBuf); err != nil {
+		return fmt.Errorf("core: serialize embedding: %w", err)
+	}
+
+	// If a previous publish crashed between its two renames, restore
+	// the old bundle first so "replace the existing bundle" below has a
+	// consistent starting point.
+	if _, err := durable.RecoverDir(fsys, dir); err != nil {
 		return fmt.Errorf("core: save bundle: %w", err)
 	}
-	embPath := filepath.Join(dir, bundleEmbeddingFile)
-	f, err := os.Create(embPath)
-	if err != nil {
+
+	staging := dir + durable.StagingSuffix
+	if err := fsys.RemoveAll(staging); err != nil {
+		return fmt.Errorf("core: save bundle: clear staging: %w", err)
+	}
+	if err := fsys.MkdirAll(staging, 0o755); err != nil {
 		return fmt.Errorf("core: save bundle: %w", err)
 	}
-	defer f.Close()
-	if err := r.Embedding.WriteTSV(f); err != nil {
-		return fmt.Errorf("core: write embedding %s: %w", embPath, err)
+	manifest := &durable.Manifest{FormatVersion: BundleFormatVersion}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{bundleConfigFile, cfgData},
+		{bundleTextifyFile, modelData},
+		{bundleEmbeddingFile, embBuf.Bytes()},
+	} {
+		if err := durable.WriteFile(fsys, filepath.Join(staging, f.name), f.data); err != nil {
+			return fmt.Errorf("core: save bundle: %w", err)
+		}
+		manifest.Add(f.name, f.data)
+	}
+	// The manifest seals the stage: it exists only once every payload
+	// file is durably in place.
+	if err := durable.WriteManifest(fsys, staging, manifest); err != nil {
+		return fmt.Errorf("core: save bundle: %w", err)
+	}
+	if err := durable.SwapDir(fsys, staging, dir); err != nil {
+		return fmt.Errorf("core: save bundle: %w", err)
 	}
 	return nil
 }
@@ -85,7 +141,47 @@ func (r *Result) SaveBundle(dir string) error {
 // works for both previously-embedded rows (by their row keys) and new
 // rows (composed from value-node vectors with graphRow -1). Every error
 // names the bundle file that is missing or corrupt.
+//
+// Every file is verified against the bundle's MANIFEST.json before
+// decoding, and a publish interrupted between its two renames is
+// repaired on the way in. Non-fatal conditions (legacy manifest-less
+// bundle, repaired publish) are silently tolerated here; use
+// LoadBundleWarn to observe them.
 func LoadBundle(dir string) (*Result, error) {
+	return LoadBundleWarn(dir, nil)
+}
+
+// LoadBundleWarn is LoadBundle with a hook receiving human-readable
+// warnings for conditions that do not prevent loading: a legacy bundle
+// with no integrity manifest, or a crashed publish that was rolled back
+// to the previous complete bundle. warn may be nil.
+func LoadBundleWarn(dir string, warn func(msg string)) (*Result, error) {
+	if warn == nil {
+		warn = func(string) {}
+	}
+	dir = filepath.Clean(dir)
+	if recovered, err := durable.RecoverDir(durable.OS(), dir); err == nil && recovered {
+		warn(fmt.Sprintf("core: load bundle: %s was missing after an interrupted save; restored the previous complete bundle from %s%s", dir, dir, durable.OldSuffix))
+	}
+	manifest, err := durable.VerifyDir(dir)
+	switch {
+	case errors.Is(err, durable.ErrNoManifest):
+		warn(fmt.Sprintf("core: load bundle: %s has no %s (legacy pre-durability bundle); loading without integrity verification", dir, durable.ManifestName))
+	case err != nil:
+		return nil, fmt.Errorf("core: load bundle: %w", err)
+	default:
+		if manifest.FormatVersion < 0 || manifest.FormatVersion > BundleFormatVersion {
+			return nil, fmt.Errorf("core: load bundle: %s records format version %d; this build reads versions 0 through %d (rebuild the bundle or upgrade)",
+				filepath.Join(dir, durable.ManifestName), manifest.FormatVersion, BundleFormatVersion)
+		}
+		for _, name := range []string{bundleConfigFile, bundleTextifyFile, bundleEmbeddingFile} {
+			if manifest.Entry(name) == nil {
+				return nil, fmt.Errorf("core: load bundle: %s does not list %s; the bundle is incomplete",
+					filepath.Join(dir, durable.ManifestName), name)
+			}
+		}
+	}
+
 	cfgPath := filepath.Join(dir, bundleConfigFile)
 	cfgData, err := os.ReadFile(cfgPath)
 	if err != nil {

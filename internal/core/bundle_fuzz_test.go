@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+// fuzzBundle lazily builds one small bundle whose payload files seed
+// and host the decoder fuzzing below.
+var (
+	fuzzBundleOnce sync.Once
+	fuzzBundleDir  string
+	fuzzBundleErr  error
+)
+
+func fuzzBundle(t testing.TB) string {
+	t.Helper()
+	fuzzBundleOnce.Do(func() {
+		spec := synth.Student(synth.StudentOptions{Students: 15, Seed: 5})
+		res, err := BuildEmbedding(spec.DB, Config{Dim: 3, Seed: 5, Method: embed.MethodMF})
+		if err != nil {
+			fuzzBundleErr = err
+			return
+		}
+		fuzzBundleDir, fuzzBundleErr = os.MkdirTemp("", "leva-fuzz-bundle-*")
+		if fuzzBundleErr != nil {
+			return
+		}
+		fuzzBundleErr = res.SaveBundle(fuzzBundleDir)
+	})
+	if fuzzBundleErr != nil {
+		t.Fatal(fuzzBundleErr)
+	}
+	return fuzzBundleDir
+}
+
+// cloneBundleWithout copies the fuzz bundle's payload files into a
+// fresh dir, dropping MANIFEST.json so corrupted bytes reach the
+// decoders instead of being screened out by the integrity check — the
+// decoders themselves must be panic-free on arbitrary input, because
+// legacy bundles have no manifest protecting them.
+func cloneBundleWithout(t *testing.T, replace string, data []byte) string {
+	t.Helper()
+	src := fuzzBundle(t)
+	dst := t.TempDir()
+	for _, name := range []string{bundleConfigFile, bundleTextifyFile, bundleEmbeddingFile} {
+		content := data
+		if name != replace {
+			var err error
+			content, err = os.ReadFile(filepath.Join(src, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dst, name), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// fuzzBundleFile is the shared property: feeding arbitrary bytes into
+// one bundle file must never panic, and any invalid JSON must be
+// rejected with an error naming that file.
+func fuzzBundleFile(t *testing.T, name string, data []byte) {
+	dir := cloneBundleWithout(t, name, data)
+	_, err := LoadBundle(dir)
+	if err == nil {
+		return // decodable and consistent — fine
+	}
+	if !strings.Contains(err.Error(), dir) {
+		t.Errorf("error does not locate the bundle %s: %v", dir, err)
+	}
+	if !json.Valid(data) && !strings.Contains(err.Error(), name) {
+		t.Errorf("invalid JSON in %s produced an error naming some other file: %v", name, err)
+	}
+}
+
+func FuzzLoadBundleConfig(f *testing.F) {
+	seed, err := os.ReadFile(filepath.Join(fuzzBundle(f), bundleConfigFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"formatVersion": 99}`))
+	f.Add([]byte(`{"dim": -1, "formatVersion": 1}`))
+	f.Add([]byte(`nonsense`))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFE, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzBundleFile(t, bundleConfigFile, data)
+	})
+}
+
+func FuzzLoadBundleTextify(f *testing.F) {
+	seed, err := os.ReadFile(filepath.Join(fuzzBundle(f), bundleTextifyFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/3])
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"tables": {"t": {"c": {"type": 999}}}}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzBundleFile(t, bundleTextifyFile, data)
+	})
+}
+
+// FuzzLoadBundleEmbedding rounds out the trio: arbitrary bytes in
+// embedding.tsv (not JSON — the TSV reader has its own parser) must
+// never panic LoadBundle, and parse failures must name the file.
+func FuzzLoadBundleEmbedding(f *testing.F) {
+	seed, err := os.ReadFile(filepath.Join(fuzzBundle(f), bundleEmbeddingFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte("a\t1 2\nb\t3\n"))
+	f.Add([]byte("no-tab-here\n"))
+	f.Add([]byte("x\tnot-a-number\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := cloneBundleWithout(t, bundleEmbeddingFile, data)
+		if _, err := LoadBundle(dir); err != nil {
+			if !strings.Contains(err.Error(), dir) {
+				t.Errorf("error does not locate the bundle %s: %v", dir, err)
+			}
+		}
+	})
+}
+
+// TestManifestScreensBeforeDecoding confirms the layering the fuzz
+// tests sidestep: with a manifest present, corrupted payload bytes are
+// rejected by the integrity check before any decoder runs.
+func TestManifestScreensBeforeDecoding(t *testing.T) {
+	dir := savedBundle(t)
+	path := filepath.Join(dir, bundleTextifyFile)
+	if err := os.WriteFile(path, []byte(`{"tables": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadBundle(dir)
+	if err == nil || !strings.Contains(err.Error(), durable.ManifestName) {
+		t.Fatalf("manifest did not screen the corrupted payload: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/durable"
 	"repro/internal/embed"
 	"repro/internal/synth"
 )
@@ -87,12 +88,19 @@ func TestBundleFormatVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"formatVersion": 1`) {
-		t.Fatalf("config.json does not record formatVersion 1:\n%s", data)
+	if !strings.Contains(string(data), `"formatVersion": 2`) {
+		t.Fatalf("config.json does not record formatVersion 2:\n%s", data)
+	}
+
+	// Hand-editing a payload file invalidates the manifest, so these
+	// scenarios model legacy (pre-manifest) bundles: drop MANIFEST.json
+	// and let the config.json version check do its own work.
+	if err := os.Remove(filepath.Join(dir, durable.ManifestName)); err != nil {
+		t.Fatal(err)
 	}
 
 	// A bundle from a future build must be rejected, not mis-decoded.
-	future := strings.Replace(string(data), `"formatVersion": 1`, `"formatVersion": 99`, 1)
+	future := strings.Replace(string(data), `"formatVersion": 2`, `"formatVersion": 99`, 1)
 	if err := os.WriteFile(cfgPath, []byte(future), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -104,13 +112,41 @@ func TestBundleFormatVersion(t *testing.T) {
 		t.Errorf("version error should name the version and file: %v", err)
 	}
 
-	// Legacy pre-versioned bundles (no formatVersion field) still load.
-	legacy := strings.Replace(string(data), `"formatVersion": 1,`, ``, 1)
+	// Legacy pre-versioned bundles (no formatVersion field) still load,
+	// and the warning hook reports the missing manifest.
+	legacy := strings.Replace(string(data), `"formatVersion": 2,`, ``, 1)
 	if err := os.WriteFile(cfgPath, []byte(legacy), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := LoadBundle(dir); err != nil {
+	var warnings []string
+	if _, err := LoadBundleWarn(dir, func(msg string) { warnings = append(warnings, msg) }); err != nil {
 		t.Errorf("legacy bundle without formatVersion rejected: %v", err)
+	}
+	if len(warnings) == 0 || !strings.Contains(warnings[0], durable.ManifestName) {
+		t.Errorf("legacy bundle load did not warn about the missing manifest: %v", warnings)
+	}
+}
+
+// TestFutureManifestVersionRejected covers the manifest-level version
+// gate: a bundle whose MANIFEST.json claims a newer format is rejected
+// before any payload decoding.
+func TestFutureManifestVersionRejected(t *testing.T) {
+	dir := savedBundle(t)
+	manPath := filepath.Join(dir, durable.ManifestName)
+	data, err := os.ReadFile(manPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	future := strings.Replace(string(data), `"formatVersion": 2`, `"formatVersion": 99`, 1)
+	if future == string(data) {
+		t.Fatalf("manifest does not record formatVersion 2:\n%s", data)
+	}
+	if err := os.WriteFile(manPath, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadBundle(dir)
+	if err == nil || !strings.Contains(err.Error(), "format version 99") {
+		t.Errorf("future manifest version not rejected by name: %v", err)
 	}
 }
 

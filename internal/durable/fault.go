@@ -1,0 +1,209 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// Injection errors. ErrInjected is the fault itself; ErrCrashed is what
+// every operation after a crash-mode fault returns, modeling a process
+// that died at the fault point and never ran its cleanup code.
+var (
+	ErrInjected = errors.New("durable: injected fault")
+	ErrCrashed  = errors.New("durable: filesystem crashed (simulated)")
+)
+
+// Op names one class of filesystem operation for fault targeting.
+type Op string
+
+const (
+	OpCreate  Op = "create"
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpClose   Op = "close"
+	OpRename  Op = "rename"
+	OpMkdir   Op = "mkdir"
+	OpRemove  Op = "remove"
+	OpSyncDir Op = "syncdir"
+)
+
+// Ops lists every injectable operation class, in the order a crash-point
+// sweep should enumerate them.
+var Ops = []Op{OpCreate, OpWrite, OpSync, OpClose, OpRename, OpMkdir, OpRemove, OpSyncDir}
+
+// FaultFS wraps an FS and injects one fault at the Nth occurrence of a
+// chosen operation class. Three knobs:
+//
+//   - FailAt(op, n): the nth op errors with ErrInjected; later
+//     operations proceed normally (a transient error — the caller's
+//     error path runs).
+//   - CrashAt(op, n): the nth op errors, and every operation after it
+//     returns ErrCrashed (a process death — no cleanup code gets to
+//     touch the disk, so tests observe the exact crash-point state).
+//   - ShortWrites(): paired with FailAt/CrashAt on OpWrite, the failing
+//     write first writes half of its buffer through to the underlying
+//     file — a torn write, not a clean failure.
+//
+// A FaultFS with no fault configured is a pass-through that counts
+// operations; Counts() drives exhaustive crash-point sweeps.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	counts  map[Op]int
+	failOp  Op
+	failAt  int
+	crash   bool
+	short   bool
+	fired   bool
+	crashed bool
+}
+
+// NewFaultFS wraps inner (typically OS()) with fault injection.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, counts: make(map[Op]int)}
+}
+
+// FailAt makes the nth (1-based) operation of class op return
+// ErrInjected, once.
+func (f *FaultFS) FailAt(op Op, n int) { f.failOp, f.failAt, f.crash = op, n, false }
+
+// CrashAt makes the nth (1-based) operation of class op return
+// ErrInjected and every later operation return ErrCrashed.
+func (f *FaultFS) CrashAt(op Op, n int) { f.failOp, f.failAt, f.crash = op, n, true }
+
+// ShortWrites makes the injected OpWrite fault a torn write: half the
+// buffer reaches the file before the error.
+func (f *FaultFS) ShortWrites() { f.short = true }
+
+// Counts reports how many operations of each class have been attempted
+// (including the faulted one; excluding ops rejected by crash mode).
+func (f *FaultFS) Counts() map[Op]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Op]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Fired reports whether the configured fault has triggered.
+func (f *FaultFS) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// step accounts one operation and decides its fate: nil to proceed,
+// ErrInjected at the fault point, ErrCrashed after a crash.
+func (f *FaultFS) step(op Op) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.counts[op]++
+	if op == f.failOp && f.counts[op] == f.failAt {
+		f.fired = true
+		if f.crash {
+			f.crashed = true
+		}
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.step(OpCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.step(OpRename); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.step(OpMkdir); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if err := f.step(OpRemove); err != nil {
+		return err
+	}
+	return f.inner.RemoveAll(path)
+}
+
+// Stat is a read: it never faults (crash-point sweeps target writes),
+// but it does respect crash mode so a "dead" process cannot observe the
+// disk either.
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	f.mu.Lock()
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return nil, ErrCrashed
+	}
+	return f.inner.Stat(name)
+}
+
+func (f *FaultFS) SyncDir(path string) error {
+	if err := f.step(OpSyncDir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(path)
+}
+
+// faultFile threads a file's Write/Sync/Close through the owning
+// FaultFS's fault schedule.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if err := ff.fs.step(OpWrite); err != nil {
+		if err == ErrInjected && ff.fs.short && len(p) > 1 {
+			// Torn write: half the buffer lands before the failure.
+			n, werr := ff.inner.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.step(OpSync); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	if err := ff.fs.step(OpClose); err != nil {
+		// The underlying descriptor still gets closed — a crashed
+		// process's fds are closed by the kernel — but the caller sees
+		// the injected error, as if close reported a deferred I/O
+		// failure.
+		ff.inner.Close()
+		return err
+	}
+	return ff.inner.Close()
+}

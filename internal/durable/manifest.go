@@ -1,0 +1,117 @@
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the integrity record written alongside a published
+// directory's payload files. Its presence marks the directory as
+// complete: the publish protocol writes it last, so a directory that
+// has a manifest has every payload file the manifest lists.
+const ManifestName = "MANIFEST.json"
+
+// ErrNoManifest reports a directory with no MANIFEST.json — either a
+// legacy artifact from before integrity records existed, or a directory
+// that was never a published artifact at all. Callers decide whether
+// that is fatal.
+var ErrNoManifest = errors.New("durable: no " + ManifestName)
+
+// ManifestEntry records one payload file's identity.
+type ManifestEntry struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the decoded MANIFEST.json: a format version plus one
+// entry per payload file (the manifest itself is not listed).
+type Manifest struct {
+	FormatVersion int             `json:"formatVersion"`
+	Files         []ManifestEntry `json:"files"`
+}
+
+// Add appends an entry computed from data under the given name.
+func (m *Manifest) Add(name string, data []byte) {
+	sum := sha256.Sum256(data)
+	m.Files = append(m.Files, ManifestEntry{
+		Name:   name,
+		Size:   int64(len(data)),
+		SHA256: hex.EncodeToString(sum[:]),
+	})
+}
+
+// Entry returns the entry for name, or nil if the manifest has none.
+func (m *Manifest) Entry(name string) *ManifestEntry {
+	for i := range m.Files {
+		if m.Files[i].Name == name {
+			return &m.Files[i]
+		}
+	}
+	return nil
+}
+
+// WriteManifest atomically writes m as dir/MANIFEST.json. Publish
+// protocols call it after every payload file is durably in place.
+func WriteManifest(fsys FS, dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("durable: marshal manifest: %w", err)
+	}
+	return WriteFile(fsys, filepath.Join(dir, ManifestName), append(data, '\n'))
+}
+
+// ReadManifest parses dir/MANIFEST.json, returning ErrNoManifest when
+// the file does not exist.
+func ReadManifest(dir string) (*Manifest, error) {
+	path := filepath.Join(dir, ManifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w in %s", ErrNoManifest, dir)
+		}
+		return nil, fmt.Errorf("durable: read %s: %w", path, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("durable: parse %s: %w (manifest corrupt; the artifact cannot be trusted)", path, err)
+	}
+	return &m, nil
+}
+
+// VerifyDir checks every file listed in dir's manifest against its
+// recorded size and SHA-256 and returns the parsed manifest. Any
+// mismatch comes back as an error naming the offending file, so a torn
+// write or flipped bit is an actionable message, not garbage data
+// downstream. Returns ErrNoManifest (wrapped) for legacy directories.
+func VerifyDir(dir string) (*Manifest, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range m.Files {
+		path := filepath.Join(dir, e.Name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil, fmt.Errorf("durable: %s is listed in %s but missing", path, ManifestName)
+			}
+			return nil, fmt.Errorf("durable: read %s: %w", path, err)
+		}
+		if int64(len(data)) != e.Size {
+			return nil, fmt.Errorf("durable: %s is %d bytes but %s records %d (truncated or torn write)",
+				path, len(data), ManifestName, e.Size)
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != e.SHA256 {
+			return nil, fmt.Errorf("durable: %s fails its SHA-256 check against %s (file or manifest corrupt)",
+				path, ManifestName)
+		}
+	}
+	return m, nil
+}

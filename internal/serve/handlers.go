@@ -59,9 +59,15 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-func (s *Server) handleFeaturize(w http.ResponseWriter, r *http.Request) {
+// handleFeaturize computes features against st — the store pinned at
+// request entry, so a concurrent hot reload can neither drop this
+// request nor mix bundle versions inside one response.
+func (s *Server) handleFeaturize(st *store, w http.ResponseWriter, r *http.Request) {
 	if s.testHookFeaturize != nil {
 		s.testHookFeaturize()
+	}
+	if s.testHookPanic != nil {
+		s.testHookPanic()
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req featurizeRequest
@@ -92,7 +98,7 @@ func (s *Server) handleFeaturize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "graphRows has %d entries for %d rows", len(req.GraphRows), len(req.Rows))
 		return
 	}
-	mode := s.store.res.Config.Featurization
+	mode := st.res.Config.Featurization
 	switch req.Mode {
 	case "":
 	case "row":
@@ -103,9 +109,9 @@ func (s *Server) handleFeaturize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "unknown mode %q (want \"row\" or \"row+value\")", req.Mode)
 		return
 	}
-	cols := s.store.columns(req.Table)
+	cols := st.columns(req.Table)
 	if cols == nil {
-		writeError(w, http.StatusBadRequest, "unknown table %q (bundle knows: %v)", req.Table, s.store.res.Textifier.Tables())
+		writeError(w, http.StatusBadRequest, "unknown table %q (bundle knows: %v)", req.Table, st.res.Textifier.Tables())
 		return
 	}
 	colSet := make(map[string]bool, len(cols))
@@ -146,7 +152,7 @@ func (s *Server) handleFeaturize(w http.ResponseWriter, r *http.Request) {
 		jobs[i] = j
 	}
 
-	hits, err := s.store.featurizeRows(r.Context(), jobs)
+	hits, err := st.featurizeRows(r.Context(), jobs)
 	if err != nil {
 		if r.Context().Err() != nil {
 			writeError(w, http.StatusServiceUnavailable, "request canceled: %v", err)
@@ -162,15 +168,15 @@ func (s *Server) handleFeaturize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, featurizeResponse{
 		Table:     req.Table,
 		Rows:      len(features),
-		Dim:       s.store.featureWidth(mode),
+		Dim:       st.featureWidth(mode),
 		CacheHits: hits,
 		Features:  features,
 	})
 }
 
-func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEmbedding(st *store, w http.ResponseWriter, r *http.Request) {
 	token := r.PathValue("token")
-	vec, ok := s.store.vector(token)
+	vec, ok := st.vector(token)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown token %q", token)
 		return
@@ -178,11 +184,12 @@ func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, embeddingResponse{Token: token, Dim: len(vec), Vector: vec})
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(st *store, w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"vectors": s.store.res.Embedding.Len(),
-		"dim":     s.store.res.Embedding.Dim,
+		"status":     "ok",
+		"vectors":    st.res.Embedding.Len(),
+		"dim":        st.res.Embedding.Dim,
+		"generation": st.gen,
 	})
 }
 

@@ -91,6 +91,7 @@ type metrics struct {
 	start          time.Time
 	inFlight       atomic.Int64
 	shed           atomic.Int64
+	panics         atomic.Int64
 	statusCounts   []atomic.Int64              // len(trackedStatuses)+1, last = other
 	endpoints      map[string]*endpointMetrics // fixed keys, read-only map
 	cacheHits      atomic.Int64
@@ -100,6 +101,17 @@ type metrics struct {
 	rowsFeaturized atomic.Int64
 	batches        atomic.Int64
 	batchedRows    atomic.Int64
+
+	// Hot-reload observability: the serving bundle generation (1 at
+	// startup, +1 per successful swap) plus outcome counters and the
+	// last attempt's duration/time, so operators can see both "did my
+	// SIGHUP take" and "how long was the staging window".
+	generation      atomic.Int64
+	reloads         atomic.Int64
+	reloadFailures  atomic.Int64
+	lastReloadNs    atomic.Int64
+	lastReloadUnix  atomic.Int64
+	lastReloadError atomic.Value // string
 }
 
 func newMetrics() *metrics {
@@ -111,8 +123,25 @@ func newMetrics() *metrics {
 			"embedding": newEndpointMetrics(),
 			"healthz":   newEndpointMetrics(),
 			"metrics":   newEndpointMetrics(),
+			"reload":    newEndpointMetrics(),
 		},
 	}
+}
+
+// recordReload accounts one reload attempt. gen is the new generation
+// on success (ignored on failure — the serving generation is
+// unchanged).
+func (m *metrics) recordReload(d time.Duration, gen int64, err error) {
+	m.reloads.Add(1)
+	m.lastReloadNs.Store(d.Nanoseconds())
+	m.lastReloadUnix.Store(time.Now().Unix())
+	if err != nil {
+		m.reloadFailures.Add(1)
+		m.lastReloadError.Store(err.Error())
+		return
+	}
+	m.lastReloadError.Store("")
+	_ = gen // generation itself is stored by the swapper while holding the reload lock
 }
 
 func (m *metrics) observe(endpoint string, status int, d time.Duration) {
@@ -148,14 +177,26 @@ type cacheSnapshot struct {
 	HitRate  float64 `json:"hitRate"`
 }
 
+// reloadSnapshot is the wire form of the hot-reload counters.
+type reloadSnapshot struct {
+	Generation     int64   `json:"generation"`
+	Total          int64   `json:"total"`
+	Failures       int64   `json:"failures"`
+	LastDurationMs float64 `json:"lastDurationMs"`
+	LastUnix       int64   `json:"lastUnix"`
+	LastError      string  `json:"lastError,omitempty"`
+}
+
 // metricsSnapshot is the GET /metrics response body.
 type metricsSnapshot struct {
 	UptimeSeconds       float64                     `json:"uptimeSeconds"`
 	InFlight            int64                       `json:"inFlight"`
 	ShedTotal           int64                       `json:"shedTotal"`
+	PanicsTotal         int64                       `json:"panicsTotal"`
 	Requests            map[string]endpointSnapshot `json:"requests"`
 	ResponsesByStatus   map[string]int64            `json:"responsesByStatus"`
 	Cache               cacheSnapshot               `json:"cache"`
+	Reload              reloadSnapshot              `json:"reload"`
 	RowsFeaturizedTotal int64                       `json:"rowsFeaturizedTotal"`
 	BatchesTotal        int64                       `json:"batchesTotal"`
 	BatchedRowsTotal    int64                       `json:"batchedRowsTotal"`
@@ -166,11 +207,22 @@ func (m *metrics) snapshot() metricsSnapshot {
 		UptimeSeconds:       time.Since(m.start).Seconds(),
 		InFlight:            m.inFlight.Load(),
 		ShedTotal:           m.shed.Load(),
+		PanicsTotal:         m.panics.Load(),
 		Requests:            make(map[string]endpointSnapshot, len(m.endpoints)),
 		ResponsesByStatus:   make(map[string]int64),
 		RowsFeaturizedTotal: m.rowsFeaturized.Load(),
 		BatchesTotal:        m.batches.Load(),
 		BatchedRowsTotal:    m.batchedRows.Load(),
+		Reload: reloadSnapshot{
+			Generation:     m.generation.Load(),
+			Total:          m.reloads.Load(),
+			Failures:       m.reloadFailures.Load(),
+			LastDurationMs: float64(m.lastReloadNs.Load()) / 1e6,
+			LastUnix:       m.lastReloadUnix.Load(),
+		},
+	}
+	if e, ok := m.lastReloadError.Load().(string); ok {
+		snap.Reload.LastError = e
 	}
 	for name, e := range m.endpoints {
 		es := endpointSnapshot{Count: e.count.Load(), Errors: e.errors.Load()}

@@ -3,34 +3,43 @@ package serve
 import (
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"time"
 )
 
 // statusRecorder captures the response status and size for metrics and
-// request logging.
+// request logging, and whether anything was written — the panic
+// recovery path only sends its 500 when the handler died before
+// responding.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(status int) {
 	r.status = status
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(status)
 }
 
 func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += n
 	return n, err
 }
 
 // instrument wraps a handler with the serving middleware stack, from
-// the outside in: metrics + structured logging, then (for limited
-// endpoints) the per-request timeout, then the concurrency limiter.
-// The limiter sits inside the timeout handler so a timed-out request's
-// admission slot is released only when its work actually finishes —
-// otherwise abandoned handlers could stack up past MaxInFlight.
+// the outside in: metrics + structured logging, then panic recovery,
+// then (for limited endpoints) the per-request timeout, then the
+// concurrency limiter. The limiter sits inside the timeout handler so
+// a timed-out request's admission slot is released only when its work
+// actually finishes — otherwise abandoned handlers could stack up past
+// MaxInFlight. Panic recovery sits outside the timeout handler because
+// http.TimeoutHandler re-panics its handler's panics on the caller's
+// goroutine.
 func (s *Server) instrument(name string, limited bool, h http.Handler) http.Handler {
 	if limited {
 		h = s.limit(h)
@@ -40,12 +49,13 @@ func (s *Server) instrument(name string, limited bool, h http.Handler) http.Hand
 			h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
 		}
 	}
+	inner := h
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		h.ServeHTTP(rec, r)
+		s.serveRecovered(name, inner, rec, r)
 		elapsed := time.Since(start)
 		s.metrics.observe(name, rec.status, elapsed)
 		if s.logger != nil {
@@ -60,6 +70,38 @@ func (s *Server) instrument(name string, limited bool, h http.Handler) http.Hand
 			)
 		}
 	})
+}
+
+// serveRecovered runs the handler under a panic guard: a panicking
+// request becomes a counted 500 (when nothing was written yet) instead
+// of a dead daemon — one bad row must not take down every client's
+// featurization. http.ErrAbortHandler keeps its net/http meaning and is
+// re-raised.
+func (s *Server) serveRecovered(name string, h http.Handler, rec *statusRecorder, r *http.Request) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		if v == http.ErrAbortHandler {
+			panic(v)
+		}
+		s.metrics.panics.Add(1)
+		if s.logger != nil {
+			s.logger.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+				slog.String("endpoint", name),
+				slog.String("path", r.URL.Path),
+				slog.Any("panic", v),
+				slog.String("stack", string(debug.Stack())),
+			)
+		}
+		if !rec.wrote {
+			writeError(rec, http.StatusInternalServerError, "internal error")
+		} else {
+			rec.status = http.StatusInternalServerError
+		}
+	}()
+	h.ServeHTTP(rec, r)
 }
 
 // limit admits at most MaxInFlight concurrent requests; the rest shed

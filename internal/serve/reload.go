@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// ErrReloadDisabled reports a reload attempt on a Server configured
+// without a bundle Loader.
+var ErrReloadDisabled = errors.New("serve: hot reload disabled: no bundle loader configured")
+
+// Reload swaps the serving bundle with zero downtime: the candidate is
+// loaded (manifest-verified by the loader), validated against the
+// running store — embedding dimension, feature width, and featurization
+// mode must match, and a canary row must featurize cleanly — and only
+// then atomically swapped in. In-flight requests keep the store they
+// started with; new requests see the new store. Any failure leaves the
+// current store serving, untouched, and the returned error says why.
+//
+// Reloads are serialized: concurrent calls (a double SIGHUP, an admin
+// request racing a signal) run one after another, each against the
+// then-current store. Every outcome and its duration is recorded in
+// /metrics.
+func (s *Server) Reload() error {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	start := time.Now()
+	gen, err := s.reloadLocked()
+	s.metrics.recordReload(time.Since(start), gen, err)
+	return err
+}
+
+func (s *Server) reloadLocked() (int64, error) {
+	if s.closed {
+		return 0, errors.New("serve: reload refused: server is shut down")
+	}
+	if s.cfg.Loader == nil {
+		return 0, ErrReloadDisabled
+	}
+	res, err := s.cfg.Loader()
+	if err != nil {
+		return 0, fmt.Errorf("serve: reload: load candidate bundle: %w", err)
+	}
+	cur := s.st.Load()
+	if err := validateCandidate(cur.res, res); err != nil {
+		return 0, fmt.Errorf("serve: reload rejected, still serving generation %d: %w", cur.gen, err)
+	}
+	next := newStore(res, s.cfg, s.metrics)
+	next.gen = cur.gen + 1
+	s.st.Store(next)
+	s.metrics.generation.Store(next.gen)
+	// Drop the serving reference of the replaced store; its batcher
+	// stops once the last in-flight request using it finishes.
+	cur.release()
+	return next.gen, nil
+}
+
+// validateCandidate checks a candidate bundle against the serving one.
+// Downstream models were trained on feature vectors of a fixed shape,
+// so a hot swap must preserve that shape exactly; a re-fit with a
+// different dimension is a deliberate redeploy, not a reload.
+func validateCandidate(cur, cand *core.Result) error {
+	if cand.Embedding == nil || cand.Embedding.Len() == 0 {
+		return errors.New("candidate bundle has an empty embedding")
+	}
+	if cand.Embedding.Dim != cur.Embedding.Dim {
+		return fmt.Errorf("candidate embedding dim %d != serving dim %d", cand.Embedding.Dim, cur.Embedding.Dim)
+	}
+	if cand.Config.Featurization != cur.Config.Featurization {
+		return fmt.Errorf("candidate featurization mode %d != serving mode %d",
+			cand.Config.Featurization, cur.Config.Featurization)
+	}
+	curW := cur.FeatureWidth(cur.Config.Featurization)
+	candW := cand.FeatureWidth(cand.Config.Featurization)
+	if curW != candW {
+		return fmt.Errorf("candidate feature width %d != serving width %d (downstream models would break)", candW, curW)
+	}
+	return canaryProbe(cand)
+}
+
+// canaryProbe featurizes one synthetic row through the candidate bundle
+// — every fitted column of its first table, all nulls — so a bundle
+// that loads but cannot featurize (corrupt tokenizer state, broken
+// fallback config) is rejected before it ever sees traffic.
+func canaryProbe(cand *core.Result) error {
+	tables := cand.Textifier.Tables()
+	if len(tables) == 0 {
+		return errors.New("canary probe: candidate tokenizer knows no tables")
+	}
+	table := tables[0]
+	cols := cand.Textifier.Columns(table)
+	if len(cols) == 0 {
+		return fmt.Errorf("canary probe: candidate table %q has no fitted columns", table)
+	}
+	t := &dataset.Table{Name: table}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, &dataset.Column{Name: c, Values: []dataset.Value{dataset.Null()}})
+	}
+	mode := cand.Config.Featurization
+	out, err := cand.FeaturizeRow(t, table, nil, 0, -1, mode)
+	if err != nil {
+		return fmt.Errorf("canary probe: featurize one row of %q: %w", table, err)
+	}
+	if want := cand.FeatureWidth(mode); len(out) != want {
+		return fmt.Errorf("canary probe: got %d features, want %d", len(out), want)
+	}
+	return nil
+}
+
+// handleReload is POST /admin/reload: a synchronous reload with the
+// outcome in the response. 200 with the new generation on success; 503
+// when reload is not configured; 500 with the reason when the candidate
+// was rejected (the previous bundle keeps serving either way).
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if err := s.Reload(); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrReloadDisabled) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "reloaded",
+		"generation": s.st.Load().gen,
+		"durationMs": float64(time.Since(start)) / 1e6,
+	})
+}

@@ -23,6 +23,8 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -59,6 +61,11 @@ type Config struct {
 	// Logger receives one structured record per request. Nil disables
 	// request logging.
 	Logger *slog.Logger
+	// Loader reloads the serving bundle for hot reload (SIGHUP in
+	// levad, POST /admin/reload). It is called with no request in
+	// flight blocked on it — the old store keeps serving while the
+	// candidate loads and validates. Nil disables hot reload.
+	Loader func() (*core.Result, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -86,20 +93,33 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves one loaded bundle over HTTP.
+// Server serves one loaded bundle over HTTP. The bundle can be swapped
+// at runtime — see Reload — without dropping a request: handlers pin
+// the store they start with, so every response is computed against
+// exactly one bundle version.
 type Server struct {
 	cfg     Config
-	store   *store
+	st      atomic.Pointer[store]
 	metrics *metrics
 	logger  *slog.Logger
 	sem     chan struct{}
 	httpSrv *http.Server
 	ln      net.Listener
 
+	// reloadMu serializes reloads (and the shutdown/reload handoff):
+	// overlapping SIGHUPs queue behind each other instead of
+	// interleaving their validate-then-swap sequences.
+	reloadMu sync.Mutex
+	closed   bool
+
 	// testHookFeaturize, when set, runs inside the featurize handler
-	// after admission (limiter slot held) — the seam the saturation
-	// and drain tests use to hold a request in flight.
+	// after admission (limiter slot held, store pinned) — the seam the
+	// saturation, drain, and reload tests use to hold a request in
+	// flight.
 	testHookFeaturize func()
+	// testHookPanic, when set, is invoked inside the featurize handler
+	// and may panic — the seam the panic-recovery test uses.
+	testHookPanic func()
 }
 
 // New wraps a built or bundle-loaded Result in a Server. The Result's
@@ -109,11 +129,14 @@ func New(res *core.Result, cfg Config) *Server {
 	m := newMetrics()
 	s := &Server{
 		cfg:     cfg,
-		store:   newStore(res, cfg, m),
 		metrics: m,
 		logger:  cfg.Logger,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
+	first := newStore(res, cfg, m)
+	first.gen = 1
+	s.st.Store(first)
+	m.generation.Store(1)
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -125,11 +148,42 @@ func New(res *core.Result, cfg Config) *Server {
 // directly in tests or behind an outer mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("POST /v1/featurize", s.instrument("featurize", true, http.HandlerFunc(s.handleFeaturize)))
-	mux.Handle("GET /v1/embedding/{token}", s.instrument("embedding", true, http.HandlerFunc(s.handleEmbedding)))
-	mux.Handle("GET /healthz", s.instrument("healthz", false, http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("POST /v1/featurize", s.instrument("featurize", true, s.withStore(s.handleFeaturize)))
+	mux.Handle("GET /v1/embedding/{token}", s.instrument("embedding", true, s.withStore(s.handleEmbedding)))
+	mux.Handle("GET /healthz", s.instrument("healthz", false, s.withStore(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("metrics", false, http.HandlerFunc(s.handleMetrics)))
+	mux.Handle("POST /admin/reload", s.instrument("reload", false, http.HandlerFunc(s.handleReload)))
 	return mux
+}
+
+// curStore returns the currently serving store without pinning it —
+// for tests and metrics; request paths use acquireStore.
+func (s *Server) curStore() *store { return s.st.Load() }
+
+// acquireStore pins the serving store for one request: the returned
+// store stays fully usable (batcher included) until release, even if a
+// reload swaps it out mid-request. The re-check loop closes the race
+// where a swap lands between Load and the ref increment — if the store
+// we grabbed is no longer current it may already be retired, so drop
+// it and take the new one.
+func (s *Server) acquireStore() *store {
+	for {
+		st := s.st.Load()
+		st.refs.Add(1)
+		if s.st.Load() == st {
+			return st
+		}
+		st.release()
+	}
+}
+
+// withStore adapts a store-pinned handler to http.Handler.
+func (s *Server) withStore(h func(*store, http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := s.acquireStore()
+		defer st.release()
+		h(st, w, r)
+	})
 }
 
 // Listen binds the configured address and returns the bound address
@@ -156,10 +210,16 @@ func (s *Server) Serve() error {
 }
 
 // Shutdown stops accepting new connections and drains in-flight
-// requests until they finish or ctx expires, then stops the
-// micro-batcher.
+// requests until they finish or ctx expires, then retires the serving
+// store (its micro-batcher stops once the last drained request lets go
+// of it). Further reloads are refused.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
-	s.store.close()
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if !s.closed {
+		s.closed = true
+		s.st.Load().release()
+	}
 	return err
 }

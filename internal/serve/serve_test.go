@@ -445,7 +445,7 @@ func TestMicroBatchingCoalesces(t *testing.T) {
 	_, loaded, spec := fixture(t)
 	// Cache off so every request reaches the batcher.
 	srv := New(loaded, Config{CacheSize: -1, BatchWindow: 5 * time.Millisecond, BatchMax: 64})
-	defer srv.store.close()
+	defer srv.Shutdown(context.Background())
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

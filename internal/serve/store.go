@@ -4,6 +4,8 @@ import (
 	"context"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -16,16 +18,32 @@ import (
 // fully-featurized rows keyed by row content, and an optional
 // micro-batcher that groups cache misses from concurrent requests into
 // one parallel featurize pass.
+//
+// Stores are immutable snapshots: a hot reload builds a whole new store
+// (fresh cache, fresh batcher) around the new bundle and swaps it in
+// atomically, so one request only ever sees one bundle version. The
+// refs counter retires a replaced store — its batcher shuts down when
+// the last in-flight request using it finishes, never under one.
 type store struct {
 	res     *core.Result
 	cache   *lruCache
 	batcher *batcher
 	metrics *metrics
 	workers int
+
+	// gen is the bundle generation this store serves: 1 for the store
+	// loaded at startup, +1 per successful reload.
+	gen int64
+	// refs counts the serving reference (held by the Server until this
+	// store is swapped out or shut down) plus one per in-flight request
+	// that captured this store. See Server.acquireStore.
+	refs      atomic.Int64
+	closeOnce sync.Once
 }
 
 func newStore(res *core.Result, cfg Config, m *metrics) *store {
 	s := &store{res: res, metrics: m, workers: cfg.Workers}
+	s.refs.Store(1) // the serving reference
 	if cfg.CacheSize > 0 {
 		s.cache = newLRU(cfg.CacheSize)
 		m.cacheCapacity = cfg.CacheSize
@@ -37,10 +55,16 @@ func newStore(res *core.Result, cfg Config, m *metrics) *store {
 	return s
 }
 
-// close stops the batcher's gather loop, if one is running.
-func (s *store) close() {
-	if s.batcher != nil {
-		s.batcher.close()
+// release drops one reference; the last drop stops the batcher's gather
+// loop. Idempotence of the close is guarded so the acquire/swap race
+// (see Server.acquireStore) cannot close twice.
+func (s *store) release() {
+	if s.refs.Add(-1) <= 0 {
+		s.closeOnce.Do(func() {
+			if s.batcher != nil {
+				s.batcher.close()
+			}
+		})
 	}
 }
 

@@ -155,6 +155,16 @@ const BundleFormatVersion = core.BundleFormatVersion
 // docs/SERVING.md).
 func LoadBundle(dir string) (*Result, error) { return core.LoadBundle(dir) }
 
+// LoadBundleWarn is LoadBundle with a hook for non-fatal conditions:
+// warn is called (when non-nil) with a human-readable message for
+// recoverable states such as a bundle predating integrity manifests or
+// a crash-interrupted save that was rolled back to its previous
+// complete version. Corruption — checksum mismatches, truncated or
+// missing files — is always a hard error naming the offending file.
+func LoadBundleWarn(dir string, warn func(msg string)) (*Result, error) {
+	return core.LoadBundleWarn(dir, warn)
+}
+
 // AutoTuneOptions bounds the automatic configuration search.
 type AutoTuneOptions = core.AutoTuneOptions
 

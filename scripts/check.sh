@@ -53,3 +53,105 @@ kill -TERM "$LEVAD_PID"
 wait "$LEVAD_PID"
 
 echo "levad smoke test passed"
+
+# --- corruption smoke test --------------------------------------------
+# A single flipped byte in a published bundle must be refused — by the
+# daemon at startup and by `leva apply` — with an error that names the
+# integrity check, never silently served.
+cp -r "$SMOKE/bundle" "$SMOKE/bundle_corrupt"
+printf '\000' | dd of="$SMOKE/bundle_corrupt/embedding.tsv" \
+    bs=1 count=1 seek=12 conv=notrunc 2>/dev/null
+
+if "$SMOKE/bin/leva" apply -bundle "$SMOKE/bundle_corrupt" -data "$SMOKE/csv" \
+    -table expenses -out "$SMOKE/never.tsv" 2>"$SMOKE/apply_corrupt.log"; then
+    echo "leva apply accepted a corrupt bundle" >&2
+    exit 1
+fi
+grep -q 'embedding.tsv' "$SMOKE/apply_corrupt.log"
+grep -qi 'MANIFEST\|SHA-256' "$SMOKE/apply_corrupt.log"
+
+if "$SMOKE/bin/levad" -bundle "$SMOKE/bundle_corrupt" -addr 127.0.0.1:0 \
+    2>"$SMOKE/levad_corrupt.log"; then
+    echo "levad served a corrupt bundle" >&2
+    exit 1
+fi
+grep -q 'embedding.tsv' "$SMOKE/levad_corrupt.log"
+
+echo "corruption smoke test passed"
+
+# --- live hot-reload smoke test ---------------------------------------
+# Republish the bundle (new seed, same dim) while the daemon serves
+# continuous traffic, SIGHUP it, and require: zero non-200 responses
+# across the swap, the new embedding actually served, and a reload
+# recorded on /metrics.
+rm -f "$SMOKE/addr"
+"$SMOKE/bin/levad" -bundle "$SMOKE/bundle" -addr 127.0.0.1:0 \
+    -ready-file "$SMOKE/addr" 2>"$SMOKE/levad_reload.log" &
+LEVAD_PID=$!
+i=0
+while [ ! -s "$SMOKE/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "levad (reload run) never became ready" >&2
+        cat "$SMOKE/levad_reload.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE/addr")
+
+FEAT_BODY='{"table":"expenses","rows":[{"name":"student_00001","gender":"female","school_name":"school_1"}],"exclude":["total_expenses"]}'
+BEFORE=$(curl -fsS -X POST "http://$ADDR/v1/featurize" \
+    -H 'Content-Type: application/json' -d "$FEAT_BODY")
+
+: > "$SMOKE/codes"
+(
+    while [ ! -f "$SMOKE/stop_traffic" ]; do
+        curl -s -o /dev/null -w '%{http_code}\n' -X POST "http://$ADDR/v1/featurize" \
+            -H 'Content-Type: application/json' -d "$FEAT_BODY" >> "$SMOKE/codes" || true
+    done
+) &
+TRAFFIC_PID=$!
+
+# Atomically publish a different embedding (new seed, same dim) into
+# the same directory, then hot-reload under the concurrent traffic.
+"$SMOKE/bin/leva" embed -data "$SMOKE/csv" -dim 8 -seed 8 \
+    -out "$SMOKE/embedding2.tsv" -bundle "$SMOKE/bundle"
+kill -HUP "$LEVAD_PID"
+
+i=0
+until curl -fsS "http://$ADDR/healthz" | grep -q '"generation":2'; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "reload never completed" >&2
+        cat "$SMOKE/levad_reload.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+touch "$SMOKE/stop_traffic"
+wait "$TRAFFIC_PID"
+
+# Zero dropped or failed requests across the swap.
+test -s "$SMOKE/codes"
+if grep -qv '^200$' "$SMOKE/codes"; then
+    echo "non-200 responses during hot reload:" >&2
+    sort "$SMOKE/codes" | uniq -c >&2
+    exit 1
+fi
+
+# The new embedding is actually serving (seed changed, so features
+# must differ), and /metrics shows the reload.
+AFTER=$(curl -fsS -X POST "http://$ADDR/v1/featurize" \
+    -H 'Content-Type: application/json' -d "$FEAT_BODY")
+if [ "$BEFORE" = "$AFTER" ]; then
+    echo "featurization unchanged after reload" >&2
+    exit 1
+fi
+curl -fsS "http://$ADDR/metrics" | grep -q '"reload"'
+
+kill -TERM "$LEVAD_PID"
+wait "$LEVAD_PID"
+
+echo "hot-reload smoke test passed"
