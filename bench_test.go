@@ -202,3 +202,39 @@ func BenchmarkScalabilityPoint(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPipelineIncremental measures the content-addressed stage
+// cache: a cold build populates the cache, a warm no-op rebuild
+// (identical inputs) loads all three stage artifacts instead of
+// recomputing. The warm/cold ratio is the incremental-rebuild win.
+func BenchmarkPipelineIncremental(b *testing.B) {
+	spec := synth.Student(synth.StudentOptions{Students: 300, Seed: 1})
+	cfg := core.Config{Dim: 32, Seed: 1, Method: embed.MethodMF}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cfg.CacheDir = b.TempDir() // empty cache every iteration
+			b.StartTimer()
+			if _, err := core.BuildEmbedding(spec.DB, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		cfg.CacheDir = b.TempDir()
+		if _, err := core.BuildEmbedding(spec.DB, cfg); err != nil {
+			b.Fatal(err) // populate
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.BuildEmbedding(spec.DB, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Timings.Cache.Embed != core.StageCached {
+				b.Fatal("warm build missed the cache")
+			}
+		}
+	})
+}

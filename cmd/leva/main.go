@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -49,35 +50,67 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  leva embed -data <csv dir> [-out emb.tsv] [-bundle dir] [-dim N] [-method auto|mf|rw] [-bins N] [-seed N] [-workers N]
-  leva train -data <csv dir> -base <table> -target <column> [-dim N] [-method ...] [-seed N] [-workers N]
+  leva embed -data <csv dir> [-out emb.tsv] [-bundle dir] [-dim N] [-method auto|mf|rw] [-bins N] [-seed N] [-workers N] [-cache DIR | -no-cache]
+  leva train -data <csv dir> -base <table> -target <column> [-dim N] [-method ...] [-seed N] [-workers N] [-cache DIR | -no-cache]
   leva apply -bundle <dir> -data <csv dir> -table <name> [-out features.tsv] [-exclude col1,col2]
   leva inspect -data <csv dir>`)
 }
 
-func pipelineFlags(fs *flag.FlagSet) (data *string, dim *int, method *string, bins *int, seed *int64, workers *int) {
+func pipelineFlags(fs *flag.FlagSet) (data *string, dim *int, method *string, bins *int, seed *int64, workers *int, cache *string, noCache *bool) {
 	data = fs.String("data", "", "directory of CSV files (one table per file)")
 	dim = fs.Int("dim", 100, "embedding dimension")
 	method = fs.String("method", "auto", "embedding method: auto, mf, rw")
 	bins = fs.Int("bins", 50, "numeric histogram bins")
 	seed = fs.Int64("seed", 1, "random seed")
 	workers = fs.Int("workers", 0, "pipeline worker goroutines (0 = all cores, 1 = sequential)")
+	cache = fs.String("cache", "", "stage cache directory (default: .leva-cache inside -data)")
+	noCache = fs.Bool("no-cache", false, "disable the stage cache and rebuild every stage")
 	return
 }
 
-func buildConfig(dim, bins int, method string, seed int64, workers int) leva.Config {
+// resolveCacheDir implements the -cache/-no-cache flag pair: caching is
+// on by default, rooted next to the data it fingerprints.
+func resolveCacheDir(data, cache string, noCache bool) string {
+	switch {
+	case noCache:
+		return ""
+	case cache != "":
+		return cache
+	default:
+		return filepath.Join(data, ".leva-cache")
+	}
+}
+
+func buildConfig(dim, bins int, method string, seed int64, workers int, cacheDir string) leva.Config {
 	cfg := leva.DefaultConfig()
 	cfg.Dim = dim
 	cfg.Seed = seed
 	cfg.Textify.BinCount = bins
 	cfg.Method = leva.Method(method)
 	cfg.Workers = workers
+	cfg.CacheDir = cacheDir
 	return cfg
+}
+
+// printCacheReport writes the per-stage hit/miss line of a cached build
+// plus any decisions worth surfacing.
+func printCacheReport(res *leva.Result) {
+	c := res.Timings.Cache
+	if c.Enabled {
+		fmt.Printf("cache: textify=%s tables=%d/%d graph=%s embed=%s\n",
+			c.Textify, c.TablesReused, c.TablesReused+c.TablesRebuilt, c.Graph, c.Embed)
+		if c.StoreErrors > 0 {
+			fmt.Fprintf(os.Stderr, "leva: warning: %d cache writes failed (build unaffected)\n", c.StoreErrors)
+		}
+	}
+	if res.UnweightedFallback {
+		fmt.Println("graph: fell back to unweighted (alias tables exceeded memory budget)")
+	}
 }
 
 func runEmbed(args []string) error {
 	fs := flag.NewFlagSet("embed", flag.ExitOnError)
-	data, dim, method, bins, seed, workers := pipelineFlags(fs)
+	data, dim, method, bins, seed, workers, cache, noCache := pipelineFlags(fs)
 	out := fs.String("out", "embedding.tsv", "output TSV path")
 	bundle := fs.String("bundle", "", "also save a reusable deployment bundle to this directory")
 	fs.Parse(args)
@@ -90,7 +123,8 @@ func runEmbed(args []string) error {
 		return err
 	}
 	start := time.Now()
-	res, err := leva.Build(db, buildConfig(*dim, *bins, *method, *seed, *workers))
+	res, err := leva.Build(db, buildConfig(*dim, *bins, *method, *seed, *workers,
+		resolveCacheDir(*data, *cache, *noCache)))
 	if err != nil {
 		return err
 	}
@@ -101,6 +135,7 @@ func runEmbed(args []string) error {
 		res.Timings.Textify.Round(time.Millisecond),
 		res.Timings.GraphBuild.Round(time.Millisecond),
 		res.Timings.Embed.Round(time.Millisecond))
+	printCacheReport(res)
 
 	var buf bytes.Buffer
 	if err := res.Embedding.WriteTSV(&buf); err != nil {
@@ -173,7 +208,7 @@ func runApply(args []string) error {
 
 func runTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
-	data, dim, method, bins, seed, workers := pipelineFlags(fs)
+	data, dim, method, bins, seed, workers, cache, noCache := pipelineFlags(fs)
 	base := fs.String("base", "", "base table (holds the target column)")
 	target := fs.String("target", "", "target column")
 	fs.Parse(args)
@@ -195,7 +230,8 @@ func runTrain(args []string) error {
 	}
 
 	task := leva.Task{DB: db, BaseTable: *base, Target: *target, Seed: *seed}
-	cfg := buildConfig(*dim, *bins, *method, *seed, *workers)
+	cfg := buildConfig(*dim, *bins, *method, *seed, *workers,
+		resolveCacheDir(*data, *cache, *noCache))
 
 	// Numeric targets with many distinct values run as regression,
 	// everything else as classification.

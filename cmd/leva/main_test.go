@@ -121,3 +121,60 @@ func TestRunTrainErrors(t *testing.T) {
 		t.Error("missing flags accepted")
 	}
 }
+
+// TestRunEmbedCacheWarm runs embed twice against one cache directory
+// and checks the warm output is byte-identical, plus -no-cache still
+// works.
+func TestRunEmbedCacheWarm(t *testing.T) {
+	dir := writeTestCSVs(t)
+	tmp := t.TempDir()
+	cache := filepath.Join(tmp, "cache")
+	cold := filepath.Join(tmp, "cold.tsv")
+	warm := filepath.Join(tmp, "warm.tsv")
+	args := []string{"-data", dir, "-dim", "8", "-method", "mf", "-cache", cache}
+	if err := runEmbed(append([]string{"-out", cold}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := runEmbed(append([]string{"-out", warm}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("warm cached embed differs from cold embed")
+	}
+	if _, err := os.Stat(filepath.Join(cache, "embed")); err != nil {
+		t.Errorf("cache has no embed stage entries: %v", err)
+	}
+
+	off := filepath.Join(tmp, "off.tsv")
+	if err := runEmbed(append([]string{"-out", off, "-no-cache"}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := os.ReadFile(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Fatal("-no-cache embed differs from cached embed")
+	}
+}
+
+// TestResolveCacheDir pins the -cache/-no-cache resolution rules.
+func TestResolveCacheDir(t *testing.T) {
+	if got := resolveCacheDir("d", "", false); got != filepath.Join("d", ".leva-cache") {
+		t.Errorf("default = %q", got)
+	}
+	if got := resolveCacheDir("d", "elsewhere", false); got != "elsewhere" {
+		t.Errorf("explicit = %q", got)
+	}
+	if got := resolveCacheDir("d", "elsewhere", true); got != "" {
+		t.Errorf("-no-cache = %q", got)
+	}
+}

@@ -5,45 +5,121 @@
 //	leva train -data ./genes_csv -base genes -target localization
 //
 // Datasets: student, genes, kraken, ftp, financial, restbase, bio.
+//
+// With -cache DIR, generated CSVs are kept in a content-addressed cache
+// keyed by (dataset, scale, seed); re-running the same generation
+// serves the files from the cache without regenerating, and files
+// already on disk with identical bytes are left untouched.
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/durable"
+	"repro/internal/fingerprint"
 	"repro/internal/synth"
 )
+
+// genFPDomain fingerprints one generation request; generators are
+// seed-deterministic, so (dataset, scale, seed) fully determines the
+// CSV bytes.
+const genFPDomain = "leva/levagen/v1"
+
+const genStage = "generate"
+
+// genMeta is the cached summary printed on a hit.
+type genMeta struct {
+	Task      string `json:"task"`
+	BaseTable string `json:"baseTable"`
+	Target    string `json:"target"`
+	Tables    int    `json:"tables"`
+	Rows      int    `json:"rows"`
+}
 
 func main() {
 	name := flag.String("dataset", "", "dataset to generate: student, genes, kraken, ftp, financial, restbase, bio")
 	scale := flag.Float64("scale", 0.15, "scale factor (1.0 = paper-sized)")
 	seed := flag.Int64("seed", 42, "random seed")
 	out := flag.String("out", "", "output directory (one CSV per table)")
+	cache := flag.String("cache", "", "content-addressed cache directory for generated CSVs (off unless set)")
+	noCache := flag.Bool("no-cache", false, "disable the generation cache")
 	flag.Parse()
 	if *name == "" || *out == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	spec, err := generate(*name, *scale, *seed)
-	if err != nil {
+	cacheDir := *cache
+	if *noCache {
+		cacheDir = ""
+	}
+	if err := run(*name, *scale, *seed, *out, cacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, "levagen:", err)
 		os.Exit(1)
 	}
-	if err := writeCSVDir(spec.DB, *out); err != nil {
-		fmt.Fprintln(os.Stderr, "levagen:", err)
-		os.Exit(1)
+}
+
+func run(name string, scale float64, seed int64, out, cacheDir string) error {
+	var c *core.Cache
+	var key string
+	if cacheDir != "" {
+		c = core.NewCache(cacheDir)
+		key = fingerprint.Combine(genFPDomain, name,
+			strconv.FormatFloat(scale, 'g', -1, 64), strconv.FormatInt(seed, 10))
+		if files, ok := c.Load(genStage, key); ok {
+			var meta genMeta
+			if err := json.Unmarshal(files["meta.json"], &meta); err == nil {
+				delete(files, "meta.json")
+				if err := writeFiles(out, files); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %d tables (%d rows) to %s (cached)\n", meta.Tables, meta.Rows, out)
+				fmt.Printf("task: %s of %s.%s\n", meta.Task, meta.BaseTable, meta.Target)
+				return nil
+			}
+			// Undecodable meta: treat as a miss and regenerate.
+		}
+	}
+
+	spec, err := generate(name, scale, seed)
+	if err != nil {
+		return err
+	}
+	files, err := encodeCSVDir(spec.DB)
+	if err != nil {
+		return err
+	}
+	if err := writeFiles(out, files); err != nil {
+		return err
 	}
 	task := "regression"
 	if spec.Classification {
 		task = "classification"
 	}
-	fmt.Printf("wrote %d tables (%d rows) to %s\n", len(spec.DB.Tables), spec.DB.TotalRows(), *out)
+	if c != nil {
+		meta, err := json.Marshal(genMeta{
+			Task: task, BaseTable: spec.BaseTable, Target: spec.Target,
+			Tables: len(spec.DB.Tables), Rows: spec.DB.TotalRows(),
+		})
+		if err == nil {
+			files["meta.json"] = meta
+			// Best effort: a failed cache write must not fail generation.
+			if err := c.Store(genStage, key, files); err != nil {
+				fmt.Fprintln(os.Stderr, "levagen: warning: cache write failed:", err)
+			}
+		}
+	}
+	fmt.Printf("wrote %d tables (%d rows) to %s\n", len(spec.DB.Tables), spec.DB.TotalRows(), out)
 	fmt.Printf("task: %s of %s.%s\n", task, spec.BaseTable, spec.Target)
+	return nil
 }
 
 func generate(name string, scale float64, seed int64) (*synth.Spec, error) {
@@ -68,19 +144,39 @@ func generate(name string, scale float64, seed int64) (*synth.Spec, error) {
 	}
 }
 
-func writeCSVDir(db *dataset.Database, dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
+// encodeCSVDir renders every table to its CSV bytes, keyed by file name.
+func encodeCSVDir(db *dataset.Database) (map[string][]byte, error) {
+	files := make(map[string][]byte, len(db.Tables))
 	for _, t := range db.Tables {
 		var buf bytes.Buffer
 		if err := dataset.WriteCSV(t, &buf); err != nil {
-			return fmt.Errorf("write %s: %w", t.Name, err)
+			return nil, fmt.Errorf("write %s: %w", t.Name, err)
+		}
+		files[t.Name+".csv"] = buf.Bytes()
+	}
+	return files, nil
+}
+
+// writeFiles publishes the CSVs into dir, atomically per file, skipping
+// files whose on-disk bytes are already identical.
+func writeFiles(dir string, files map[string][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		if existing, err := os.ReadFile(path); err == nil && bytes.Equal(existing, files[name]) {
+			continue
 		}
 		// Atomic publish: a crash mid-generation leaves no half-written
 		// CSV for a later `leva embed` run to silently train on.
-		if err := durable.WriteFile(durable.OS(), filepath.Join(dir, t.Name+".csv"), buf.Bytes()); err != nil {
-			return fmt.Errorf("write %s: %w", t.Name, err)
+		if err := durable.WriteFile(durable.OS(), path, files[name]); err != nil {
+			return fmt.Errorf("write %s: %w", name, err)
 		}
 	}
 	return nil

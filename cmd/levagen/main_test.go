@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -28,8 +29,12 @@ func TestWriteCSVDirRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	files, err := encodeCSVDir(spec.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
 	dir := filepath.Join(t.TempDir(), "out")
-	if err := writeCSVDir(spec.DB, dir); err != nil {
+	if err := writeFiles(dir, files); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -45,5 +50,75 @@ func TestWriteCSVDirRoundTrip(t *testing.T) {
 	}
 	if back.TotalRows() != spec.DB.TotalRows() {
 		t.Errorf("rows %d != %d", back.TotalRows(), spec.DB.TotalRows())
+	}
+}
+
+// TestRunCached proves a cached generation writes byte-identical CSVs
+// without regenerating, and that a different seed misses.
+func TestRunCached(t *testing.T) {
+	tmp := t.TempDir()
+	cacheDir := filepath.Join(tmp, "cache")
+	out1 := filepath.Join(tmp, "out1")
+	out2 := filepath.Join(tmp, "out2")
+
+	if err := run("student", 0.02, 5, out1, cacheDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("student", 0.02, 5, out2, cacheDir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no CSVs written")
+	}
+	for _, e := range entries {
+		a, err := os.ReadFile(filepath.Join(out1, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(out2, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: cached generation differs from fresh", e.Name())
+		}
+	}
+
+	// Re-running over an up-to-date directory leaves mtimes untouched
+	// (identical files are skipped).
+	before, err := os.Stat(filepath.Join(out1, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("student", 0.02, 5, out1, cacheDir); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(filepath.Join(out1, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Error("identical cached file was rewritten")
+	}
+
+	// A different seed is a different fingerprint: fresh generation.
+	out3 := filepath.Join(tmp, "out3")
+	if err := run("student", 0.02, 6, out3, cacheDir); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(out1, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(out3, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("different seed produced identical CSV (suspicious cache hit)")
 	}
 }

@@ -45,20 +45,33 @@ const (
 //	    payload file formats are unchanged, so version-1 readers of the
 //	    three payload files would still decode them — the bump records
 //	    that writes are now staged and manifest-sealed
+//	3 — config.json records build provenance: the stage-cache outcomes
+//	    of the build (stageCache) and whether the unweighted-graph
+//	    fallback fired (unweightedFallback); older readers that ignore
+//	    unknown fields would still decode everything else
 //
 // LoadBundle reads every version up to the current one and rejects
 // anything newer or unrecognized instead of decoding garbage. Bundles
 // without a manifest (versions 0 and 1) still load, reported through
 // the warning hook.
-const BundleFormatVersion = 2
+const BundleFormatVersion = 3
 
-// bundleConfig is the subset of Config that affects deployment.
+// bundleConfig is the subset of Config that affects deployment, plus
+// build provenance.
 type bundleConfig struct {
 	FormatVersion      int               `json:"formatVersion"`
 	Dim                int               `json:"dim"`
 	Featurization      FeaturizationMode `json:"featurization"`
 	UnseenFallbackDims int               `json:"unseenFallbackDims"`
 	MethodUsed         embed.Method      `json:"methodUsed"`
+	// StageCache preserves how the build that produced this bundle was
+	// satisfied (per-stage cached/partial/rebuilt), so serving
+	// infrastructure can report what a refreshed bundle actually
+	// recomputed. Absent in bundles older than version 3.
+	StageCache *CacheStats `json:"stageCache,omitempty"`
+	// UnweightedFallback records the build's memory-budget graph
+	// decision (paper Section 3.2).
+	UnweightedFallback bool `json:"unweightedFallback,omitempty"`
 }
 
 // SaveBundle writes the deployment to dir (created if needed),
@@ -77,12 +90,15 @@ func (r *Result) saveBundle(fsys durable.FS, dir string) error {
 
 	// Marshal every payload up front: a serialization failure must not
 	// touch the disk at all.
+	stageCache := r.Timings.Cache
 	cfg := bundleConfig{
 		FormatVersion:      BundleFormatVersion,
 		Dim:                r.Embedding.Dim,
 		Featurization:      r.Config.Featurization,
 		UnseenFallbackDims: r.Config.UnseenFallbackDims,
 		MethodUsed:         r.MethodUsed,
+		StageCache:         &stageCache,
+		UnweightedFallback: r.UnweightedFallback,
 	}
 	cfgData, err := json.MarshalIndent(cfg, "", "  ")
 	if err != nil {
@@ -217,15 +233,20 @@ func LoadBundleWarn(dir string, warn func(msg string)) (*Result, error) {
 	if e.Dim != cfg.Dim {
 		return nil, fmt.Errorf("core: load bundle %s: dim mismatch: embedding %d, config %d", dir, e.Dim, cfg.Dim)
 	}
-	return &Result{
-		Embedding:  e,
-		Textifier:  model,
-		MethodUsed: cfg.MethodUsed,
+	res := &Result{
+		Embedding:          e,
+		Textifier:          model,
+		MethodUsed:         cfg.MethodUsed,
+		UnweightedFallback: cfg.UnweightedFallback,
 		Config: Config{
 			Dim:                cfg.Dim,
 			Featurization:      cfg.Featurization,
 			UnseenFallbackDims: cfg.UnseenFallbackDims,
 			Method:             cfg.MethodUsed,
 		},
-	}, nil
+	}
+	if cfg.StageCache != nil {
+		res.Timings.Cache = *cfg.StageCache
+	}
+	return res, nil
 }

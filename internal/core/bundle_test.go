@@ -88,8 +88,8 @@ func TestBundleFormatVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"formatVersion": 2`) {
-		t.Fatalf("config.json does not record formatVersion 2:\n%s", data)
+	if !strings.Contains(string(data), `"formatVersion": 3`) {
+		t.Fatalf("config.json does not record formatVersion 3:\n%s", data)
 	}
 
 	// Hand-editing a payload file invalidates the manifest, so these
@@ -100,7 +100,7 @@ func TestBundleFormatVersion(t *testing.T) {
 	}
 
 	// A bundle from a future build must be rejected, not mis-decoded.
-	future := strings.Replace(string(data), `"formatVersion": 2`, `"formatVersion": 99`, 1)
+	future := strings.Replace(string(data), `"formatVersion": 3`, `"formatVersion": 99`, 1)
 	if err := os.WriteFile(cfgPath, []byte(future), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestBundleFormatVersion(t *testing.T) {
 
 	// Legacy pre-versioned bundles (no formatVersion field) still load,
 	// and the warning hook reports the missing manifest.
-	legacy := strings.Replace(string(data), `"formatVersion": 2,`, ``, 1)
+	legacy := strings.Replace(string(data), `"formatVersion": 3,`, ``, 1)
 	if err := os.WriteFile(cfgPath, []byte(legacy), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -137,9 +137,9 @@ func TestFutureManifestVersionRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	future := strings.Replace(string(data), `"formatVersion": 2`, `"formatVersion": 99`, 1)
+	future := strings.Replace(string(data), `"formatVersion": 3`, `"formatVersion": 99`, 1)
 	if future == string(data) {
-		t.Fatalf("manifest does not record formatVersion 2:\n%s", data)
+		t.Fatalf("manifest does not record formatVersion 3:\n%s", data)
 	}
 	if err := os.WriteFile(manPath, []byte(future), 0o644); err != nil {
 		t.Fatal(err)
@@ -181,4 +181,37 @@ func TestLoadBundleErrorsNamePath(t *testing.T) {
 			t.Errorf("error does not name the missing file %s: %v", path, err)
 		}
 	})
+}
+
+// TestBundleCarriesBuildProvenance checks version-3 bundles preserve
+// the stage-cache outcomes and the unweighted-fallback decision of the
+// build that produced them.
+func TestBundleCarriesBuildProvenance(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 20, Seed: 3})
+	cfg := Config{Dim: 4, Seed: 3, Method: embed.MethodMF, CacheDir: t.TempDir()}
+	if _, err := BuildEmbedding(spec.DB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := BuildEmbedding(spec.DB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := warm.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Timings.Cache != warm.Timings.Cache {
+		t.Errorf("stage cache provenance lost: saved %+v, loaded %+v",
+			warm.Timings.Cache, back.Timings.Cache)
+	}
+	if back.Timings.Cache.Embed != StageCached {
+		t.Errorf("warm build provenance not recorded: %+v", back.Timings.Cache)
+	}
+	if back.UnweightedFallback != warm.UnweightedFallback {
+		t.Error("fallback decision lost")
+	}
 }

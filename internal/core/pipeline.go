@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/dataset"
@@ -68,6 +69,14 @@ type Config struct {
 	UnseenFallbackDims int
 	// Seed drives all randomized stages.
 	Seed int64
+	// CacheDir, when non-empty, enables the content-addressed stage
+	// cache rooted there (conventionally ".leva-cache"): each stage's
+	// artifact is persisted under its fingerprint, and rebuilds load
+	// matching artifacts instead of recomputing. Cached builds are
+	// bit-identical to from-scratch builds wherever the stage itself is
+	// deterministic (see Workers). Cache write failures never fail a
+	// build; they are counted in Timings.Cache.StoreErrors.
+	CacheDir string
 	// Workers caps the parallelism of every pipeline hot path:
 	// textification, graph construction, the MF matmuls, RW walk
 	// generation and SGNS training, and featurization. 0 means
@@ -104,15 +113,59 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Timings records wall-clock per pipeline stage (Fig. 6b/6c).
+// StageOutcome describes how a pipeline stage was satisfied on one
+// build.
+type StageOutcome string
+
+const (
+	// StageRebuilt means the stage recomputed its output from scratch.
+	StageRebuilt StageOutcome = "rebuilt"
+	// StagePartial means the stage reused some cached work and
+	// recomputed the rest (textify with a subset of changed tables).
+	StagePartial StageOutcome = "partial"
+	// StageCached means the stage's entire output was loaded from the
+	// cache.
+	StageCached StageOutcome = "cached"
+)
+
+// CacheStats reports per-stage cache behaviour of one build.
+type CacheStats struct {
+	// Enabled records whether a cache was attached (Config.CacheDir).
+	// Without one, every outcome below is StageRebuilt.
+	Enabled bool `json:"enabled"`
+	// Textify, Graph and Embed are the per-stage outcomes.
+	Textify StageOutcome `json:"textify,omitempty"`
+	Graph   StageOutcome `json:"graph,omitempty"`
+	Embed   StageOutcome `json:"embed,omitempty"`
+	// TablesReused/TablesRebuilt split the textify stage's per-table
+	// granularity: reused tables loaded their tokenization from cache.
+	TablesReused  int `json:"tablesReused,omitempty"`
+	TablesRebuilt int `json:"tablesRebuilt,omitempty"`
+	// StoreErrors counts failed best-effort cache writes (full disk,
+	// permissions). The build itself still succeeded.
+	StoreErrors int `json:"storeErrors,omitempty"`
+}
+
+// Timings records wall-clock per pipeline stage (Fig. 6b/6c) plus how
+// the stage cache behaved.
 type Timings struct {
 	Textify    time.Duration
 	GraphBuild time.Duration
 	Embed      time.Duration
+	// Featurize accumulates deployment time across every Featurize /
+	// FeaturizeWithMode call on the Result, completing the end-to-end
+	// profile of Fig. 6 (FeaturizeRow, the online serving path, is
+	// intentionally not instrumented).
+	Featurize time.Duration
+	// Cache reports how each stage was satisfied on this build.
+	Cache CacheStats
 }
 
-// Total returns the summed stage time.
-func (t Timings) Total() time.Duration { return t.Textify + t.GraphBuild + t.Embed }
+// Total returns the summed stage time, including deployment
+// (featurization) time accrued so far.
+func (t Timings) Total() time.Duration {
+	return t.Textify + t.GraphBuild + t.Embed + t.Featurize
+}
 
 // Result is a built relational embedding plus everything needed to
 // deploy it.
@@ -122,74 +175,134 @@ type Result struct {
 	GraphStats graph.Stats
 	Textifier  *textify.Model
 	MethodUsed embed.Method
-	Timings    Timings
-	Config     Config
+	// UnweightedFallback records that the weighted graph's estimated
+	// alias-table memory exceeded MemoryBudgetBytes, so the build fell
+	// back to the unweighted graph (paper Section 3.2).
+	UnweightedFallback bool
+	Timings            Timings
+	Config             Config
+
+	// mu guards Timings.Featurize accrual from concurrent
+	// FeaturizeWithMode calls.
+	mu sync.Mutex
 }
 
 // BuildEmbedding runs textification, graph construction/refinement and
-// embedding construction over the database. The caller is responsible
-// for excluding test rows and the target column beforehand (paper
-// Section 2.4: test data is not part of Leva's input).
+// embedding construction over the database, as a driver over the
+// TextifyStage → GraphStage → EmbedStage DAG (see stages.go). With
+// Config.CacheDir set, stages whose fingerprints match sealed cache
+// entries load their artifacts instead of recomputing; the result is
+// bit-identical either way wherever the stage is deterministic. The
+// caller is responsible for excluding test rows and the target column
+// beforehand (paper Section 2.4: test data is not part of Leva's
+// input).
 func BuildEmbedding(db *dataset.Database, cfg Config) (*Result, error) {
+	var cache *Cache
+	if cfg.CacheDir != "" {
+		cache = NewCache(cfg.CacheDir)
+	}
+	return buildWithCache(db, cfg, cache)
+}
+
+// buildWithCache is BuildEmbedding with an explicit (possibly nil)
+// cache — the seam fault-injection tests use to run builds against a
+// crashing cache filesystem.
+func buildWithCache(db *dataset.Database, cfg Config, cache *Cache) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := db.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid database: %w", err)
 	}
 	res := &Result{Config: cfg}
+	res.Timings.Cache.Enabled = cache != nil
 
 	start := time.Now()
-	model, err := textify.Fit(db, cfg.Textify)
+	ts := &TextifyStage{DB: db, Opts: cfg.Textify, Workers: cfg.Workers, Cache: cache}
+	model, tokenized, reused, rebuilt, err := ts.Run()
 	if err != nil {
 		return nil, fmt.Errorf("core: textify: %w", err)
 	}
-	tokenized, err := model.TransformAllWorkers(db, cfg.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("core: textify transform: %w", err)
-	}
 	res.Textifier = model
 	res.Timings.Textify = time.Since(start)
+	res.Timings.Cache.Textify = tableOutcome(reused, rebuilt)
+	res.Timings.Cache.TablesReused = reused
+	res.Timings.Cache.TablesRebuilt = rebuilt
 
 	start = time.Now()
-	g, stats := graph.Build(tokenized, cfg.Graph)
-	// Section 3.2: weighted graphs are the default unless the alias
-	// tables weighted random walks need would blow the memory budget;
-	// in that case Leva falls back to the unweighted graph. Only the
-	// RW path pays for alias tables, so the check is gated on it.
-	if g.Weighted && cfg.MemoryBudgetBytes > 0 &&
-		embed.Select(cfg.Method, g, cfg.Dim, cfg.MemoryBudgetBytes) == embed.MethodRW &&
-		g.EstimateRWMemoryBytes(cfg.RW.WalkLength, cfg.RW.WalksPerNode) > cfg.MemoryBudgetBytes {
-		unweighted := cfg.Graph
-		unweighted.Unweighted = true
-		g, stats = graph.Build(tokenized, unweighted)
+	gs := &GraphStage{
+		Tokenized:         tokenized,
+		Opts:              cfg.Graph,
+		Method:            cfg.Method,
+		Dim:               cfg.Dim,
+		MemoryBudgetBytes: cfg.MemoryBudgetBytes,
+		WalkLength:        cfg.RW.WalkLength,
+		WalksPerNode:      cfg.RW.WalksPerNode,
+		Cache:             cache,
+	}
+	if cache != nil {
+		gs.InputFP = ts.Fingerprint()
+	}
+	g, stats, fellBack, graphCached, err := gs.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: graph: %w", err)
 	}
 	res.Graph = g
 	res.GraphStats = stats
+	res.UnweightedFallback = fellBack
 	res.Timings.GraphBuild = time.Since(start)
+	res.Timings.Cache.Graph = hitOutcome(graphCached)
 
 	start = time.Now()
-	method := embed.Select(cfg.Method, g, cfg.Dim, cfg.MemoryBudgetBytes)
-	res.MethodUsed = method
-	switch method {
-	case embed.MethodMF:
-		opts := cfg.MF
-		opts.Dim = cfg.Dim
-		opts.Seed = cfg.Seed
-		res.Embedding = embed.MF(g, opts)
-	case embed.MethodRW:
-		opts := cfg.RW
-		opts.Dim = cfg.Dim
-		opts.Seed = cfg.Seed
-		res.Embedding = embed.RW(g, opts)
-	case embed.MethodGloVe:
-		opts := cfg.GloVe
-		opts.Dim = cfg.Dim
-		opts.Seed = cfg.Seed
-		res.Embedding = embed.GloVe(g, opts)
-	default:
-		return nil, fmt.Errorf("core: unknown embedding method %q", method)
+	es := &EmbedStage{Graph: g, Cfg: cfg, Cache: cache}
+	if cache != nil {
+		es.InputFP = gs.Fingerprint()
 	}
+	emb, method, embedCached, err := es.Run()
+	if err != nil {
+		return nil, err
+	}
+	res.Embedding = emb
+	res.MethodUsed = method
 	res.Timings.Embed = time.Since(start)
+	res.Timings.Cache.Embed = hitOutcome(embedCached)
+	if cache != nil {
+		res.Timings.Cache.StoreErrors = cache.StoreErrors()
+	}
 	return res, nil
+}
+
+func tableOutcome(reused, rebuilt int) StageOutcome {
+	switch {
+	case reused > 0 && rebuilt == 0:
+		return StageCached
+	case reused > 0:
+		return StagePartial
+	default:
+		return StageRebuilt
+	}
+}
+
+func hitOutcome(cached bool) StageOutcome {
+	if cached {
+		return StageCached
+	}
+	return StageRebuilt
+}
+
+// WithEmbedding returns a copy of r that deploys a different embedding
+// — e.g. a dimension-reduced projection — while sharing the graph,
+// stats and textifier. Accrued featurization time starts at zero on the
+// copy.
+func (r *Result) WithEmbedding(e *embed.Embedding) *Result {
+	return &Result{
+		Embedding:          e,
+		Graph:              r.Graph,
+		GraphStats:         r.GraphStats,
+		Textifier:          r.Textifier,
+		MethodUsed:         r.MethodUsed,
+		UnweightedFallback: r.UnweightedFallback,
+		Timings:            r.Timings,
+		Config:             r.Config,
+	}
 }
 
 // Featurize converts base-table rows into feature vectors using the
@@ -216,6 +329,12 @@ func (r *Result) Featurize(t *dataset.Table, tableName string, exclude []string,
 // graphRow must therefore be safe for concurrent calls — pure index
 // arithmetic, the common case, always is.
 func (r *Result) FeaturizeWithMode(t *dataset.Table, tableName string, exclude []string, graphRow func(i int) int, mode FeaturizationMode) ([][]float64, error) {
+	start := time.Now()
+	defer func() {
+		r.mu.Lock()
+		r.Timings.Featurize += time.Since(start)
+		r.mu.Unlock()
+	}()
 	skip := make(map[string]bool, len(exclude))
 	for _, e := range exclude {
 		skip[e] = true

@@ -75,6 +75,9 @@ func TestWeightedGraphFallsBackUnderBudget(t *testing.T) {
 	if res.Graph.Weighted {
 		t.Error("tiny budget kept the weighted graph")
 	}
+	if !res.UnweightedFallback {
+		t.Error("fallback decision not recorded in Result")
+	}
 	// With a generous budget the default stays weighted.
 	res2, err := BuildEmbedding(spec.DB, Config{
 		Dim: 8, Seed: 6, Method: embed.MethodRW, MemoryBudgetBytes: 1 << 30,
@@ -85,6 +88,9 @@ func TestWeightedGraphFallsBackUnderBudget(t *testing.T) {
 	}
 	if !res2.Graph.Weighted {
 		t.Error("generous budget dropped the weighted graph")
+	}
+	if res2.UnweightedFallback {
+		t.Error("fallback recorded despite generous budget")
 	}
 }
 

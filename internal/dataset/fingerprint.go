@@ -1,0 +1,57 @@
+package dataset
+
+import (
+	"repro/internal/fingerprint"
+)
+
+// Fingerprint domains. Bump the version suffix whenever the encoding
+// below changes, so stale cache entries can never alias new ones.
+const (
+	tableFPDomain    = "leva/dataset-table/v1"
+	databaseFPDomain = "leva/dataset-db/v1"
+)
+
+// Fingerprint returns a deterministic content hash of the table: its
+// name, column names in order, and every cell value. Two tables with
+// equal fingerprints textify and embed identically, which is what the
+// staged pipeline's cache keys rely on.
+//
+// Ground-truth schema metadata (Keys, ForeignKeys) is deliberately
+// excluded: Leva's pipeline never reads it, so it cannot affect any
+// stage output.
+func (t *Table) Fingerprint() string {
+	h := fingerprint.New(tableFPDomain)
+	t.fingerprintInto(h)
+	return h.Sum()
+}
+
+func (t *Table) fingerprintInto(h *fingerprint.Hasher) {
+	h.String(t.Name)
+	h.Int(int64(len(t.Columns)))
+	for _, c := range t.Columns {
+		h.String(c.Name)
+		h.Int(int64(len(c.Values)))
+		for _, v := range c.Values {
+			h.Uint(uint64(v.Kind))
+			switch v.Kind {
+			case KindString:
+				h.String(v.Str)
+			case KindNumber, KindTime:
+				h.Float(v.Num)
+			}
+		}
+	}
+}
+
+// Fingerprint returns a content hash of the whole database: every
+// table's fingerprint, in table order. Table order matters — graph
+// construction interns row nodes in table order — so a reordered
+// database fingerprints differently.
+func (d *Database) Fingerprint() string {
+	h := fingerprint.New(databaseFPDomain)
+	h.Int(int64(len(d.Tables)))
+	for _, t := range d.Tables {
+		t.fingerprintInto(h)
+	}
+	return h.Sum()
+}

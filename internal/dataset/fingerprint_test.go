@@ -1,0 +1,65 @@
+package dataset
+
+import "testing"
+
+func fpTable() *Table {
+	t := NewTable("orders", "id", "amount", "note")
+	t.AppendRow(String("a"), Number(1.5), String("x"))
+	t.AppendRow(String("b"), Number(2), Null())
+	return t
+}
+
+func TestTableFingerprintStable(t *testing.T) {
+	a, b := fpTable(), fpTable()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical tables fingerprint differently")
+	}
+	if a.Fingerprint() != a.Clone().Fingerprint() {
+		t.Error("clone fingerprints differently")
+	}
+}
+
+func TestTableFingerprintSensitivity(t *testing.T) {
+	base := fpTable().Fingerprint()
+	mutations := map[string]func(*Table){
+		"cell value":     func(tb *Table) { tb.Columns[1].Values[0] = Number(1.6) },
+		"cell kind":      func(tb *Table) { tb.Columns[0].Values[0] = Number(0) },
+		"null vs empty":  func(tb *Table) { tb.Columns[2].Values[1] = String("") },
+		"column name":    func(tb *Table) { tb.Columns[2].Name = "memo" },
+		"table name":     func(tb *Table) { tb.Name = "orders2" },
+		"appended row":   func(tb *Table) { tb.AppendRow(String("c"), Number(3), String("y")) },
+		"column swapped": func(tb *Table) { tb.Columns[0], tb.Columns[1] = tb.Columns[1], tb.Columns[0] },
+	}
+	for name, mutate := range mutations {
+		tb := fpTable()
+		mutate(tb)
+		if tb.Fingerprint() == base {
+			t.Errorf("%s: fingerprint unchanged", name)
+		}
+	}
+}
+
+func TestTableFingerprintIgnoresHiddenMetadata(t *testing.T) {
+	// Keys and foreign keys are invisible to the pipeline, so they must
+	// not invalidate cache entries.
+	a := fpTable()
+	b := fpTable()
+	b.SetKeys("id")
+	b.AddForeignKey("id", "customers", "id")
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("ground-truth metadata changed the fingerprint")
+	}
+}
+
+func TestDatabaseFingerprintOrderSensitive(t *testing.T) {
+	t1, t2 := fpTable(), fpTable()
+	t2.Name = "other"
+	a := NewDatabase(t1, t2)
+	b := NewDatabase(t2, t1)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("table order does not affect the database fingerprint")
+	}
+	if a.Fingerprint() != NewDatabase(t1.Clone(), t2.Clone()).Fingerprint() {
+		t.Error("equal databases fingerprint differently")
+	}
+}

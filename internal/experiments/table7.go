@@ -58,9 +58,7 @@ func Table7(opts Options) (*Table7Result, error) {
 			}
 			r := built
 			if red < orig {
-				reduced := *built
-				reduced.Embedding = built.Embedding.ReduceDim(red)
-				r = &reduced
+				r = built.WithEmbedding(built.Embedding.ReduceDim(red))
 			}
 			xTrain, err := r.Featurize(trainBase, spec.BaseTable, nil, func(i int) int { return i })
 			if err != nil {

@@ -1,0 +1,99 @@
+// Package fingerprint computes deterministic content hashes for the
+// staged pipeline's content-addressed artifact cache. Every pipeline
+// stage keys its cached artifact by a fingerprint of its inputs: table
+// contents, stage options, and upstream stage fingerprints. Two inputs
+// hash equal iff a stage run over them is guaranteed to produce the
+// same output, so fingerprints double as cache keys and as equivalence
+// proofs.
+//
+// Hashes are SHA-256, rendered as lowercase hex. Every hash is
+// domain-separated by a caller-chosen label (which should embed a
+// format version, e.g. "leva/textify-table/v1") so that encoding
+// changes in one stage can never alias entries of another.
+package fingerprint
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+)
+
+// Hasher accumulates typed fields into one SHA-256 fingerprint. All
+// writes are length- or width-prefixed, so field boundaries are
+// unambiguous: ("a", "bc") and ("ab", "c") hash differently.
+type Hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// New starts a fingerprint in the given domain. The domain string
+// should name the artifact kind and its encoding version.
+func New(domain string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.String(domain)
+	return h
+}
+
+// String appends a length-prefixed string.
+func (h *Hasher) String(s string) {
+	h.Uint(uint64(len(s)))
+	h.h.Write([]byte(s))
+}
+
+// Uint appends a fixed-width unsigned integer.
+func (h *Hasher) Uint(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[:], v)
+	h.h.Write(h.buf[:])
+}
+
+// Int appends a fixed-width signed integer.
+func (h *Hasher) Int(v int64) { h.Uint(uint64(v)) }
+
+// Float appends a float64 by its exact bit pattern, so fingerprints
+// distinguish every representable value (including -0 from +0).
+func (h *Hasher) Float(f float64) { h.Uint(math.Float64bits(f)) }
+
+// Bool appends a boolean.
+func (h *Hasher) Bool(b bool) {
+	if b {
+		h.Uint(1)
+	} else {
+		h.Uint(0)
+	}
+}
+
+// Sum finalizes the fingerprint as lowercase hex. The hasher remains
+// usable; later writes extend the input as if Sum had not been called.
+func (h *Hasher) Sum() string {
+	return hex.EncodeToString(h.h.Sum(nil))
+}
+
+// JSON fingerprints an options struct through its canonical JSON
+// encoding (encoding/json is deterministic: struct fields in
+// declaration order, map keys sorted). Callers should pass a
+// fully-defaulted copy of the struct so that an explicit default and an
+// unset zero value hash equal. It panics on unmarshalable values, which
+// for option structs is a programming error, not input.
+func JSON(domain string, v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("fingerprint: marshal %T: %v", v, err))
+	}
+	h := New(domain)
+	h.String(string(data))
+	return h.Sum()
+}
+
+// Combine hashes an ordered list of sub-fingerprints (or any strings)
+// into one.
+func Combine(domain string, parts ...string) string {
+	h := New(domain)
+	for _, p := range parts {
+		h.String(p)
+	}
+	return h.Sum()
+}

@@ -1,0 +1,17 @@
+package graph
+
+import "repro/internal/fingerprint"
+
+// optionsFPDomain versions the Options fingerprint encoding. Bump when
+// Options gains a field that changes the constructed graph.
+const optionsFPDomain = "leva/graph-options/v1"
+
+// Fingerprint returns a canonical content hash of the options after
+// defaulting. Workers is excluded: Build is bit-identical at every
+// worker count, so the worker knob cannot change the artifact a cached
+// build would reproduce.
+func (o Options) Fingerprint() string {
+	o = o.withDefaults()
+	o.Workers = 0
+	return fingerprint.JSON(optionsFPDomain, o)
+}

@@ -1,0 +1,280 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// graphMagic heads the binary graph format; the trailing digit is the
+// format version. The encoding is fully deterministic — the same graph
+// always serializes to the same bytes — which is what lets the staged
+// pipeline content-address and equality-check cached graph artifacts.
+const graphMagic = "LEVAGRAPH1\n"
+
+// WriteBinary serializes the graph: node kinds, value/column tokens,
+// row references (with interned table names), adjacency lists, and —
+// for weighted graphs — exact float64 edge weights. ReadBinary restores
+// a graph that is indistinguishable from the original: same node ids,
+// same edge order, same weights, same index lookups.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(graphMagic); err != nil {
+		return fmt.Errorf("graph: write header: %w", err)
+	}
+	writeBool(bw, g.Weighted)
+
+	n := len(g.kinds)
+	writeUvarint(bw, uint64(n))
+	for _, k := range g.kinds {
+		bw.WriteByte(byte(k))
+	}
+
+	// Tokens for value/column nodes ("" for row nodes compresses to a
+	// single zero-length prefix).
+	for i := 0; i < n; i++ {
+		writeString(bw, g.tokens[i])
+	}
+
+	// Row references: intern table names first (in first-seen node
+	// order, which is deterministic), then one (table, row) pair per
+	// row node.
+	tables := make([]string, 0, 8)
+	tableIdx := make(map[string]int, 8)
+	for i := 0; i < n; i++ {
+		if g.kinds[i] != RowNode {
+			continue
+		}
+		if _, ok := tableIdx[g.rows[i].Table]; !ok {
+			tableIdx[g.rows[i].Table] = len(tables)
+			tables = append(tables, g.rows[i].Table)
+		}
+	}
+	writeUvarint(bw, uint64(len(tables)))
+	for _, t := range tables {
+		writeString(bw, t)
+	}
+	for i := 0; i < n; i++ {
+		if g.kinds[i] != RowNode {
+			continue
+		}
+		writeUvarint(bw, uint64(tableIdx[g.rows[i].Table]))
+		writeUvarint(bw, uint64(g.rows[i].Row))
+	}
+
+	// Adjacency (and weights, bit-exact) per node.
+	for i := 0; i < n; i++ {
+		writeUvarint(bw, uint64(len(g.adj[i])))
+		for _, j := range g.adj[i] {
+			writeUvarint(bw, uint64(j))
+		}
+		if g.Weighted {
+			for _, wt := range g.w[i] {
+				var buf [8]byte
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(wt))
+				bw.Write(buf[:])
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: write: %w", err)
+	}
+	return nil
+}
+
+// ReadBinary restores a graph written by WriteBinary. Every error names
+// what is malformed; a truncated or corrupt stream never yields a
+// partially-populated graph.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(graphMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("graph: read header: %w", err)
+	}
+	if string(head) != graphMagic {
+		return nil, fmt.Errorf("graph: bad magic %q (not a serialized graph, or an incompatible version)", head)
+	}
+	weighted, err := readBool(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read weighted flag: %w", err)
+	}
+	n64, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read node count: %w", err)
+	}
+	if n64 > uint64(math.MaxInt32) {
+		return nil, fmt.Errorf("graph: node count %d exceeds int32", n64)
+	}
+	n := int(n64)
+
+	g := New(weighted)
+	g.kinds = make([]NodeKind, n)
+	for i := 0; i < n; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("graph: read kind of node %d: %w", i, err)
+		}
+		if b > byte(ColumnNode) {
+			return nil, fmt.Errorf("graph: node %d has unknown kind %d", i, b)
+		}
+		g.kinds[i] = NodeKind(b)
+	}
+
+	g.tokens = make([]string, n)
+	for i := 0; i < n; i++ {
+		s, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: read token of node %d: %w", i, err)
+		}
+		g.tokens[i] = s
+	}
+
+	nt, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: read table count: %w", err)
+	}
+	tables := make([]string, nt)
+	for i := range tables {
+		if tables[i], err = readString(br); err != nil {
+			return nil, fmt.Errorf("graph: read table name %d: %w", i, err)
+		}
+	}
+	g.rows = make([]RowRef, n)
+	for i := 0; i < n; i++ {
+		if g.kinds[i] != RowNode {
+			continue
+		}
+		ti, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: read table of row node %d: %w", i, err)
+		}
+		if ti >= uint64(len(tables)) {
+			return nil, fmt.Errorf("graph: row node %d references table %d of %d", i, ti, len(tables))
+		}
+		ri, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: read row of row node %d: %w", i, err)
+		}
+		g.rows[i] = RowRef{Table: tables[ti], Row: int32(ri)}
+	}
+
+	g.adj = make([][]int32, n)
+	if weighted {
+		g.w = make([][]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		deg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: read degree of node %d: %w", i, err)
+		}
+		if deg == 0 {
+			continue
+		}
+		adj := make([]int32, deg)
+		for k := range adj {
+			j, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("graph: read edge %d of node %d: %w", k, i, err)
+			}
+			if j >= n64 {
+				return nil, fmt.Errorf("graph: node %d has edge to %d of %d nodes", i, j, n)
+			}
+			adj[k] = int32(j)
+		}
+		g.adj[i] = adj
+		if weighted {
+			ws := make([]float64, deg)
+			var buf [8]byte
+			for k := range ws {
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					return nil, fmt.Errorf("graph: read weight %d of node %d: %w", k, i, err)
+				}
+				ws[k] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+			}
+			g.w[i] = ws
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("graph: trailing bytes after serialized graph")
+	}
+
+	// Rebuild the lookup indexes the builder maintained incrementally.
+	for i := 0; i < n; i++ {
+		switch g.kinds[i] {
+		case RowNode:
+			g.rowIndex[g.rows[i]] = int32(i)
+		case ValueNode:
+			g.valueIndex[g.tokens[i]] = int32(i)
+		case ColumnNode:
+			g.valueIndex["\x00col\x00"+g.tokens[i]] = int32(i)
+		}
+	}
+	return g, nil
+}
+
+// StripWeights returns an unweighted graph sharing g's node and
+// adjacency storage. Build constructs identical nodes and edges whether
+// or not Options.Unweighted is set — weighting only attaches the w
+// slices — so stripping the weights of a weighted graph is equivalent
+// to (and far cheaper than) rebuilding it unweighted from the tokenized
+// tables. The pipeline's memory-budget fallback uses this to avoid a
+// second full construction pass. The shared storage is read-only after
+// construction; neither graph may be mutated afterwards.
+func (g *Graph) StripWeights() *Graph {
+	if !g.Weighted {
+		return g
+	}
+	return &Graph{
+		kinds:      g.kinds,
+		tokens:     g.tokens,
+		rows:       g.rows,
+		adj:        g.adj,
+		w:          nil,
+		rowIndex:   g.rowIndex,
+		valueIndex: g.valueIndex,
+		Weighted:   false,
+	}
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	bw.Write(buf[:binary.PutUvarint(buf[:], v)])
+}
+
+func writeString(bw *bufio.Writer, s string) {
+	writeUvarint(bw, uint64(len(s)))
+	bw.WriteString(s)
+}
+
+func writeBool(bw *bufio.Writer, b bool) {
+	if b {
+		bw.WriteByte(1)
+	} else {
+		bw.WriteByte(0)
+	}
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("string length %d implausible", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readBool(br *bufio.Reader) (bool, error) {
+	b, err := br.ReadByte()
+	if err != nil {
+		return false, err
+	}
+	return b != 0, nil
+}

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/textify"
+)
+
+// ioTestDB is a two-table joinable database big enough to produce a
+// graph with shared value nodes, histogram-binned numerics and
+// weighted edges.
+func ioTestDB() *dataset.Database {
+	orders := dataset.NewTable("expenses", "name", "city", "amount")
+	people := dataset.NewTable("people", "name", "city")
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("p%02d", i%20)
+		city := fmt.Sprintf("city_%d", i%5)
+		orders.AppendRow(dataset.String(name), dataset.String(city), dataset.Number(float64(10+i%7)))
+		if i < 20 {
+			people.AppendRow(dataset.String(name), dataset.String(city))
+		}
+	}
+	return dataset.NewDatabase(orders, people)
+}
+
+func buildTestGraph(t *testing.T, opts Options) (*Graph, Stats) {
+	t.Helper()
+	db := ioTestDB()
+	model, err := textify.Fit(db, textify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := model.TransformAll(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, stats := Build(tok, opts)
+	return g, stats
+}
+
+func TestGraphBinaryRoundTrip(t *testing.T) {
+	for _, weighted := range []bool{true, false} {
+		g, _ := buildTestGraph(t, Options{Unweighted: !weighted})
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, g) {
+			t.Fatalf("weighted=%v: round-tripped graph differs", weighted)
+		}
+		// Deterministic bytes: the restored graph re-serializes
+		// identically, which is what content-addressing relies on.
+		var buf2 bytes.Buffer
+		if err := got.WriteBinary(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("weighted=%v: re-serialization differs", weighted)
+		}
+		// Index lookups survive the round trip.
+		if id, ok := g.RowNodeID("expenses", 0); ok {
+			id2, ok2 := got.RowNodeID("expenses", 0)
+			if !ok2 || id2 != id {
+				t.Error("row index broken after round trip")
+			}
+		} else {
+			t.Fatal("test graph has no expenses rows")
+		}
+	}
+}
+
+func TestGraphBinaryRejectsCorruption(t *testing.T) {
+	g, _ := buildTestGraph(t, Options{})
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOTAGRAPH!\n"), data[len(graphMagic):]...),
+		"truncated":   data[:len(data)/2],
+		"trailing":    append(append([]byte{}, data...), 0xff),
+		"header only": []byte(graphMagic),
+	}
+	for name, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("%s: corrupt stream accepted", name)
+		}
+	}
+}
+
+func TestStripWeightsMatchesUnweightedBuild(t *testing.T) {
+	weighted, _ := buildTestGraph(t, Options{})
+	unweighted, _ := buildTestGraph(t, Options{Unweighted: true})
+	stripped := weighted.StripWeights()
+
+	if stripped.Weighted {
+		t.Fatal("stripped graph still weighted")
+	}
+	var a, b bytes.Buffer
+	if err := stripped.WriteBinary(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := unweighted.WriteBinary(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("StripWeights differs from a ground-up unweighted build")
+	}
+	if stripped.Weights(0) != nil {
+		t.Error("stripped graph still exposes weights")
+	}
+	// Stripping an already-unweighted graph is the identity.
+	if unweighted.StripWeights() != unweighted {
+		t.Error("StripWeights of unweighted graph is not the identity")
+	}
+}
+
+func TestGraphOptionsFingerprint(t *testing.T) {
+	base := Options{}.Fingerprint()
+	if base != (Options{ThetaRange: 0.5, ThetaMin: 0.05, MinShare: 2}).Fingerprint() {
+		t.Error("zero options and explicit defaults fingerprint differently")
+	}
+	if base != (Options{Workers: 8}).Fingerprint() {
+		t.Error("worker count changed the fingerprint of a bit-identical stage")
+	}
+	if base == (Options{Unweighted: true}).Fingerprint() {
+		t.Error("unweighted option did not change the fingerprint")
+	}
+	if !strings.Contains(optionsFPDomain, "graph") {
+		t.Error("domain does not name the package")
+	}
+}

@@ -112,10 +112,28 @@ func canaryProbe(cand *core.Result) error {
 	return nil
 }
 
+// stageProvenance summarizes which pipeline stages the build behind res
+// actually recomputed, from the stage-cache provenance that version-3
+// bundles carry (cached / partial / rebuilt per stage). Bundles saved
+// before provenance existed report every stage as "unknown".
+func stageProvenance(res *core.Result) map[string]string {
+	c := res.Timings.Cache
+	if c.Textify == "" && c.Graph == "" && c.Embed == "" {
+		return map[string]string{"textify": "unknown", "graph": "unknown", "embed": "unknown"}
+	}
+	return map[string]string{
+		"textify": string(c.Textify),
+		"graph":   string(c.Graph),
+		"embed":   string(c.Embed),
+	}
+}
+
 // handleReload is POST /admin/reload: a synchronous reload with the
 // outcome in the response. 200 with the new generation on success; 503
 // when reload is not configured; 500 with the reason when the candidate
-// was rejected (the previous bundle keeps serving either way).
+// was rejected (the previous bundle keeps serving either way). The
+// "stages" field reports which pipeline stages the refreshed bundle's
+// build recomputed versus served from its stage cache.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if err := s.Reload(); err != nil {
@@ -126,9 +144,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, "%v", err)
 		return
 	}
+	st := s.st.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "reloaded",
-		"generation": s.st.Load().gen,
+		"generation": st.gen,
 		"durationMs": float64(time.Since(start)) / 1e6,
+		"stages":     stageProvenance(st.res),
 	})
 }

@@ -379,6 +379,14 @@ func TestAdminReloadEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || ok["generation"] != float64(2) {
 		t.Fatalf("admin reload: status %d, body %v", resp.StatusCode, ok)
 	}
+	// The response reports which stages the refreshed bundle's build
+	// recomputed; an in-memory build recomputes all three.
+	stages, _ := ok["stages"].(map[string]any)
+	for _, stage := range []string{"textify", "graph", "embed"} {
+		if stages[stage] != string(core.StageRebuilt) {
+			t.Errorf("stages[%s] = %v, want %s (body %v)", stage, stages[stage], core.StageRebuilt, ok)
+		}
+	}
 
 	loadErr = errors.New("disk on fire")
 	resp, err = http.Post(ts.URL+"/admin/reload", "application/json", nil)
@@ -451,5 +459,20 @@ func TestPanicBecomesCounted500(t *testing.T) {
 	}
 	if snap.ResponsesByStatus["500"] != 1 {
 		t.Errorf("responsesByStatus[500] = %d, want 1", snap.ResponsesByStatus["500"])
+	}
+}
+
+// TestStageProvenance covers the provenance summary: builds carry their
+// stage outcomes; bundles predating provenance report unknown.
+func TestStageProvenance(t *testing.T) {
+	_, loaded, _ := fixture(t)
+	got := stageProvenance(loaded)
+	if got["textify"] == "" || got["textify"] == "unknown" {
+		t.Errorf("built result reports no provenance: %v", got)
+	}
+	legacy := &core.Result{}
+	if got := stageProvenance(legacy); got["textify"] != "unknown" ||
+		got["graph"] != "unknown" || got["embed"] != "unknown" {
+		t.Errorf("legacy bundle provenance = %v, want unknown", got)
 	}
 }

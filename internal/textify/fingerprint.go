@@ -1,0 +1,16 @@
+package textify
+
+import "repro/internal/fingerprint"
+
+// optionsFPDomain versions the Options fingerprint encoding. Bump when
+// Options gains a field that changes tokenization.
+const optionsFPDomain = "leva/textify-options/v1"
+
+// Fingerprint returns a canonical content hash of the options after
+// defaulting, so an explicitly-set default and the zero value hash
+// equal. Textification is a pure function of (table content, options),
+// which makes this fingerprint one half of the per-table cache key of
+// the staged pipeline.
+func (o Options) Fingerprint() string {
+	return fingerprint.JSON(optionsFPDomain, o.withDefaults())
+}

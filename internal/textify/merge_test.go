@@ -1,0 +1,102 @@
+package textify
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func mergeTestDB() *dataset.Database {
+	a := dataset.NewTable("a", "id", "v")
+	b := dataset.NewTable("b", "id", "city")
+	for i := 0; i < 30; i++ {
+		a.AppendRow(dataset.String(fmt.Sprintf("k%02d", i)), dataset.Number(float64(i%9)))
+		b.AppendRow(dataset.String(fmt.Sprintf("k%02d", i)), dataset.String(fmt.Sprintf("c%d", i%4)))
+	}
+	return dataset.NewDatabase(a, b)
+}
+
+// TestMergeEqualsFit proves the per-table decomposition the incremental
+// pipeline relies on: fitting tables independently and merging yields a
+// model byte-identical (in its canonical JSON form) to one whole-db Fit.
+func TestMergeEqualsFit(t *testing.T) {
+	db := mergeTestDB()
+	whole, err := Fit(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []*Model
+	for _, tb := range db.Tables {
+		p, err := FitTable(tb, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	merged, err := Merge(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("merged model differs from whole-db fit:\n%s\nvs\n%s", a, b)
+	}
+	// And it transforms identically.
+	ta, err := whole.TransformAll(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := merged.TransformAll(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ta {
+		aj, _ := json.Marshal(ta[i])
+		bj, _ := json.Marshal(tb[i])
+		if !bytes.Equal(aj, bj) {
+			t.Fatalf("table %d tokenizes differently under the merged model", i)
+		}
+	}
+}
+
+func TestMergeRejectsConflicts(t *testing.T) {
+	db := mergeTestDB()
+	p1, err := FitTable(db.Tables[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(p1, p1); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	p2, err := FitTable(db.Tables[1], Options{BinCount: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(p1, p2); err == nil {
+		t.Error("mismatched options accepted")
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+}
+
+func TestOptionsFingerprint(t *testing.T) {
+	zero := Options{}.Fingerprint()
+	if zero != (Options{BinCount: 50, KeyUniqueRatio: 0.95, DirectIntCardinality: 10000,
+		ListSeparators: []string{",", ";", "|"}, ListFraction: 0.8}).Fingerprint() {
+		t.Error("zero options and explicit defaults fingerprint differently")
+	}
+	if zero == (Options{BinCount: 7}).Fingerprint() {
+		t.Error("bin count did not change the fingerprint")
+	}
+}

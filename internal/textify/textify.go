@@ -136,26 +136,78 @@ type Model struct {
 }
 
 // Fit classifies every column of db and fits histograms where needed.
+//
+// Fitting is per-table independent: a column's plan depends only on its
+// own table's data and the options. Fit(db) is therefore exactly
+// Merge(FitTable(t1), FitTable(t2), ...), which is what lets the staged
+// pipeline re-fit only the tables whose content changed.
 func Fit(db *dataset.Database, opts Options) (*Model, error) {
-	opts = opts.withDefaults()
-	m := &Model{
-		opts:  opts,
+	m := newModel(opts)
+	for _, t := range db.Tables {
+		if err := m.fitTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// FitTable fits a model covering a single table. Combine per-table
+// models with Merge to reassemble the equivalent of a whole-database
+// Fit.
+func FitTable(t *dataset.Table, opts Options) (*Model, error) {
+	m := newModel(opts)
+	if err := m.fitTable(t); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func newModel(opts Options) *Model {
+	return &Model{
+		opts:  opts.withDefaults(),
 		plans: make(map[string]map[string]*ColumnPlan),
 		order: make(map[string][]string),
 	}
-	for _, t := range db.Tables {
-		cols := make(map[string]*ColumnPlan, t.NumCols())
-		names := make([]string, 0, t.NumCols())
-		for _, c := range t.Columns {
-			p, err := planColumn(t.Name, c, opts)
-			if err != nil {
-				return nil, err
-			}
-			cols[c.Name] = p
-			names = append(names, c.Name)
+}
+
+func (m *Model) fitTable(t *dataset.Table) error {
+	cols := make(map[string]*ColumnPlan, t.NumCols())
+	names := make([]string, 0, t.NumCols())
+	for _, c := range t.Columns {
+		p, err := planColumn(t.Name, c, m.opts)
+		if err != nil {
+			return err
 		}
-		m.plans[t.Name] = cols
-		m.order[t.Name] = names
+		cols[c.Name] = p
+		names = append(names, c.Name)
+	}
+	m.plans[t.Name] = cols
+	m.order[t.Name] = names
+	return nil
+}
+
+// Merge combines per-table models (from FitTable, or decoded cache
+// artifacts) into one model equivalent to fitting their union in one
+// Fit call. The parts must cover disjoint tables and share the same
+// fitted options — merging models fitted under different options would
+// tokenize tables inconsistently, so it is rejected.
+func Merge(parts ...*Model) (*Model, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("textify: merge of zero models")
+	}
+	m := newModel(parts[0].opts)
+	optsFP := parts[0].opts.Fingerprint()
+	for _, p := range parts {
+		if p.opts.Fingerprint() != optsFP {
+			return nil, fmt.Errorf("textify: merge of models fitted under different options")
+		}
+		for table, cols := range p.plans {
+			if _, dup := m.plans[table]; dup {
+				return nil, fmt.Errorf("textify: merge: table %q fitted by more than one model", table)
+			}
+			m.plans[table] = cols
+			m.order[table] = p.order[table]
+		}
 	}
 	return m, nil
 }

@@ -155,3 +155,29 @@ kill -TERM "$LEVAD_PID"
 wait "$LEVAD_PID"
 
 echo "hot-reload smoke test passed"
+
+# --- stage-cache smoke test -------------------------------------------
+# Exercises the content-addressed incremental pipeline through the real
+# binary: two identical builds against one cache must be all-stage hits
+# with byte-identical output; mutating one CSV must re-tokenize only
+# that table (textify=partial) and rebuild only the downstream stages.
+CACHE="$SMOKE/stage-cache"
+
+"$SMOKE/bin/leva" embed -data "$SMOKE/csv" -dim 8 -seed 7 -workers 1 \
+    -cache "$CACHE" -out "$SMOKE/cache_cold.tsv" > "$SMOKE/cache_cold.log"
+grep -q 'cache: textify=rebuilt tables=0/3 graph=rebuilt embed=rebuilt' "$SMOKE/cache_cold.log"
+
+"$SMOKE/bin/leva" embed -data "$SMOKE/csv" -dim 8 -seed 7 -workers 1 \
+    -cache "$CACHE" -out "$SMOKE/cache_warm.tsv" > "$SMOKE/cache_warm.log"
+grep -q 'cache: textify=cached tables=3/3 graph=cached embed=cached' "$SMOKE/cache_warm.log"
+cmp "$SMOKE/cache_cold.tsv" "$SMOKE/cache_warm.tsv"
+
+# Mutate a single table: append a copy of the last data row.
+LAST_ROW=$(tail -n 1 "$SMOKE/csv/price_info.csv")
+printf '%s\n' "$LAST_ROW" >> "$SMOKE/csv/price_info.csv"
+
+"$SMOKE/bin/leva" embed -data "$SMOKE/csv" -dim 8 -seed 7 -workers 1 \
+    -cache "$CACHE" -out "$SMOKE/cache_mut.tsv" > "$SMOKE/cache_mut.log"
+grep -q 'cache: textify=partial tables=2/3 graph=rebuilt embed=rebuilt' "$SMOKE/cache_mut.log"
+
+echo "stage-cache smoke test passed"
