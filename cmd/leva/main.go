@@ -21,6 +21,7 @@ import (
 
 	leva "repro"
 	"repro/internal/durable"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -50,8 +51,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  leva embed -data <csv dir> [-out emb.tsv] [-bundle dir] [-dim N] [-method auto|mf|rw] [-bins N] [-seed N] [-workers N] [-cache DIR | -no-cache]
-  leva train -data <csv dir> -base <table> -target <column> [-dim N] [-method ...] [-seed N] [-workers N] [-cache DIR | -no-cache]
+  leva embed -data <csv dir> [-out emb.tsv] [-bundle dir] [-dim N] [-method auto|mf|rw] [-bins N] [-seed N] [-workers N] [-cache DIR | -no-cache] [-metrics-dump]
+  leva train -data <csv dir> -base <table> -target <column> [-dim N] [-method ...] [-seed N] [-workers N] [-cache DIR | -no-cache] [-metrics-dump]
   leva apply -bundle <dir> -data <csv dir> -table <name> [-out features.tsv] [-exclude col1,col2]
   leva inspect -data <csv dir>`)
 }
@@ -66,6 +67,25 @@ func pipelineFlags(fs *flag.FlagSet) (data *string, dim *int, method *string, bi
 	cache = fs.String("cache", "", "stage cache directory (default: .leva-cache inside -data)")
 	noCache = fs.Bool("no-cache", false, "disable the stage cache and rebuild every stage")
 	return
+}
+
+// metricsScope implements -metrics-dump: when enabled, the run carries
+// an observability scope whose registry accumulates the pipeline
+// metrics (see docs/OBSERVABILITY.md), rendered to stderr at the end in
+// Prometheus text format. Stderr keeps -out/stdout data clean.
+func metricsScope(dump bool) *obs.Scope {
+	if !dump {
+		return nil
+	}
+	return obs.NewScope()
+}
+
+func dumpMetrics(sc *obs.Scope) error {
+	if sc == nil {
+		return nil
+	}
+	fmt.Fprintln(os.Stderr, "--- metrics ---")
+	return sc.Registry.WritePrometheus(os.Stderr)
 }
 
 // resolveCacheDir implements the -cache/-no-cache flag pair: caching is
@@ -113,6 +133,7 @@ func runEmbed(args []string) error {
 	data, dim, method, bins, seed, workers, cache, noCache := pipelineFlags(fs)
 	out := fs.String("out", "embedding.tsv", "output TSV path")
 	bundle := fs.String("bundle", "", "also save a reusable deployment bundle to this directory")
+	dump := fs.Bool("metrics-dump", false, "print build metrics to stderr in Prometheus text format")
 	fs.Parse(args)
 	if *data == "" {
 		return fmt.Errorf("embed: -data is required")
@@ -122,9 +143,12 @@ func runEmbed(args []string) error {
 	if err != nil {
 		return err
 	}
+	sc := metricsScope(*dump)
+	cfg := buildConfig(*dim, *bins, *method, *seed, *workers,
+		resolveCacheDir(*data, *cache, *noCache))
+	cfg.Obs = sc
 	start := time.Now()
-	res, err := leva.Build(db, buildConfig(*dim, *bins, *method, *seed, *workers,
-		resolveCacheDir(*data, *cache, *noCache)))
+	res, err := leva.Build(db, cfg)
 	if err != nil {
 		return err
 	}
@@ -151,7 +175,7 @@ func runEmbed(args []string) error {
 		}
 		fmt.Printf("saved deployment bundle to %s\n", *bundle)
 	}
-	return nil
+	return dumpMetrics(sc)
 }
 
 // runApply featurizes a table with a previously saved bundle and writes
@@ -211,6 +235,7 @@ func runTrain(args []string) error {
 	data, dim, method, bins, seed, workers, cache, noCache := pipelineFlags(fs)
 	base := fs.String("base", "", "base table (holds the target column)")
 	target := fs.String("target", "", "target column")
+	dump := fs.Bool("metrics-dump", false, "print build metrics to stderr in Prometheus text format")
 	fs.Parse(args)
 	if *data == "" || *base == "" || *target == "" {
 		return fmt.Errorf("train: -data, -base and -target are required")
@@ -230,8 +255,10 @@ func runTrain(args []string) error {
 	}
 
 	task := leva.Task{DB: db, BaseTable: *base, Target: *target, Seed: *seed}
+	sc := metricsScope(*dump)
 	cfg := buildConfig(*dim, *bins, *method, *seed, *workers,
 		resolveCacheDir(*data, *cache, *noCache))
+	cfg.Obs = sc
 
 	// Numeric targets with many distinct values run as regression,
 	// everything else as classification.
@@ -245,7 +272,7 @@ func runTrain(args []string) error {
 		mae := leva.MAE(rf.PredictRegression(data.XTest), data.YRegTest)
 		fmt.Printf("regression (%s used): test MAE = %.4f over %d test rows\n",
 			data.Result.MethodUsed, mae, len(data.XTest))
-		return nil
+		return dumpMetrics(sc)
 	}
 	dataC, err := leva.PrepareClassification(task, cfg)
 	if err != nil {
@@ -256,7 +283,7 @@ func runTrain(args []string) error {
 	acc := leva.Accuracy(rf.Predict(dataC.XTest), dataC.YClassTest)
 	fmt.Printf("classification (%s used): test accuracy = %.4f (%d classes, %d test rows)\n",
 		dataC.Result.MethodUsed, acc, dataC.NumClasses, len(dataC.XTest))
-	return nil
+	return dumpMetrics(sc)
 }
 
 // runInspect profiles every table and column of a CSV directory.

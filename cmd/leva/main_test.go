@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -176,5 +177,41 @@ func TestResolveCacheDir(t *testing.T) {
 	}
 	if got := resolveCacheDir("d", "elsewhere", true); got != "" {
 		t.Errorf("-no-cache = %q", got)
+	}
+}
+
+// TestRunEmbedMetricsDump runs embed with -metrics-dump and requires
+// the Prometheus rendering of the build registry on stderr, with the
+// stage-duration histogram fed by the same spans Timings reports.
+func TestRunEmbedMetricsDump(t *testing.T) {
+	dir := writeTestCSVs(t)
+	out := filepath.Join(t.TempDir(), "emb.tsv")
+
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := runEmbed([]string{"-data", dir, "-out", out, "-dim", "8",
+		"-method", "mf", "-no-cache", "-metrics-dump"})
+	w.Close()
+	os.Stderr = old
+	captured, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	text := string(captured)
+	for _, want := range []string{
+		"# TYPE leva_build_stage_duration_seconds histogram",
+		`leva_build_stage_duration_seconds_count{stage="embed"} 1`,
+		"leva_builds_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-metrics-dump output missing %q", want)
+		}
 	}
 }

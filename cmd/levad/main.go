@@ -11,8 +11,12 @@
 //	POST /v1/featurize         rows in, dense feature vectors out
 //	GET  /v1/embedding/{token}  one embedding vector
 //	GET  /healthz              liveness (+ serving bundle generation)
-//	GET  /metrics              request/latency/cache/reload counters (JSON)
+//	GET  /metrics              Prometheus text (?format=json for JSON)
 //	POST /admin/reload         hot-reload the bundle directory
+//
+// With -debug-addr, a second listener serves net/http/pprof under
+// /debug/pprof/ and a JSON metric dump at /debug/vars — bind it to
+// loopback in production.
 //
 // The daemon sheds load with 429s past -max-inflight, times out
 // individual requests at -request-timeout, logs one structured JSON
@@ -26,11 +30,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -61,7 +68,8 @@ func run(ctx context.Context, args []string) error {
 	batchWindow := fs.Duration("batch-window", 0, "micro-batch gather window for concurrent lookups (0 disables)")
 	batchMax := fs.Int("batch-max", 64, "max rows per micro-batch")
 	workers := fs.Int("workers", 0, "featurization worker goroutines per batch (0 = all cores)")
-	readyFile := fs.String("ready-file", "", "write the bound address to this file once serving (for scripts)")
+	readyFile := fs.String("ready-file", "", "write the bound address to this file once serving (for scripts; with -debug-addr, the debug address goes to <ready-file>.debug)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this separate address (disabled when empty; keep it private)")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +122,25 @@ func run(ctx context.Context, args []string) error {
 		slog.Int("dim", res.Embedding.Dim),
 		slog.String("method", string(res.MethodUsed)),
 	)
+
+	// The debug listener is a second, separately bindable address (so
+	// production deployments can keep it on loopback while /metrics is
+	// scraped remotely) carrying the profiling endpoints and a JSON dump
+	// of the server's metric registry.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer dln.Close()
+		go func() { _ = http.Serve(dln, debugMux(srv)) }()
+		logger.Info("debug endpoints", slog.String("addr", dln.Addr().String()))
+		if *readyFile != "" {
+			if err := writeReadyFile(*readyFile+".debug", dln.Addr().String()); err != nil {
+				return err
+			}
+		}
+	}
 	if *readyFile != "" {
 		if err := writeReadyFile(*readyFile, bound.String()); err != nil {
 			return err
@@ -160,6 +187,26 @@ func run(ctx context.Context, args []string) error {
 		logger.Info("shutdown: drained cleanly")
 		return nil
 	}
+}
+
+// debugMux carries the operator-only endpoints of -debug-addr: the
+// standard pprof profile handlers and /debug/vars, a JSON rendering of
+// every metric family the server's /metrics endpoint exposes (see
+// docs/OBSERVABILITY.md).
+func debugMux(srv *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(srv.Registry().Snapshot())
+	})
+	return mux
 }
 
 // writeReadyFile atomically publishes the bound address: readers polling

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -283,5 +284,104 @@ func TestRunRejectsMissingBundle(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-bundle", filepath.Join(t.TempDir(), "nope")}); err == nil {
 		t.Error("run with nonexistent bundle succeeded")
+	}
+}
+
+// TestDaemonDebugEndpoints starts the daemon with -debug-addr and
+// checks the second listener: /debug/vars returns the metric registry
+// as JSON and the pprof index answers. The debug address is published
+// to <ready-file>.debug before the main ready file appears.
+func TestDaemonDebugEndpoints(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 20, Seed: 5})
+	res, err := core.BuildEmbedding(spec.DB, core.Config{Dim: 4, Seed: 5, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	readyFile := filepath.Join(t.TempDir(), "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run(context.Background(), []string{
+			"-bundle", dir,
+			"-addr", "127.0.0.1:0",
+			"-debug-addr", "127.0.0.1:0",
+			"-ready-file", readyFile,
+			"-quiet",
+		})
+	}()
+	var addr, debugAddr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(20 * time.Millisecond) {
+		if data, err := os.ReadFile(readyFile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never wrote the ready file")
+	}
+	if data, err := os.ReadFile(readyFile + ".debug"); err != nil {
+		t.Fatalf("debug ready file: %v", err)
+	} else {
+		debugAddr = string(data)
+	}
+
+	resp, err := http.Get("http://" + debugAddr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, key := range []string{"leva_bundle_generation", "leva_http_requests_total", "leva_go_goroutines"} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("/debug/vars missing %q", key)
+		}
+	}
+	if gen, ok := vars["leva_bundle_generation"].(float64); !ok || gen != 1 {
+		t.Errorf("leva_bundle_generation = %v, want 1", vars["leva_bundle_generation"])
+	}
+
+	resp, err = http.Get("http://" + debugAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d", resp.StatusCode)
+	}
+
+	// The main listener serves Prometheus text now; spot-check one
+	// family so the two exposition surfaces agree.
+	resp, err = http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(raw), "leva_bundle_generation 1") {
+		t.Error("/metrics text exposition missing leva_bundle_generation 1")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after SIGTERM: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit within 10s of SIGTERM")
 	}
 }

@@ -1,0 +1,57 @@
+package leva_test
+
+import (
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLinkRe matches inline markdown links [text](target). Images and
+// reference-style links are out of scope; relative file links are what
+// rot when files move.
+var mdLinkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinks fails when any markdown file in the repo root
+// or docs/ links to a relative path that does not exist. External
+// (http/https/mailto) links and pure in-page #fragments are skipped —
+// this lint is about file moves and renames, not the internet.
+func TestDocsRelativeLinks(t *testing.T) {
+	var docs []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, matches...)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no markdown files found; lint is looking in the wrong directory")
+	}
+
+	for _, doc := range docs {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLinkRe.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" { // pure in-page fragment
+				continue
+			}
+			if unescaped, err := url.PathUnescape(target); err == nil {
+				target = unescaped
+			}
+			resolved := filepath.Join(filepath.Dir(doc), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", doc, m[1], resolved)
+			}
+		}
+	}
+}

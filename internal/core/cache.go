@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/durable"
+	"repro/internal/obs"
 )
 
 // Cache is the content-addressed artifact store of the staged pipeline.
@@ -26,9 +27,17 @@ import (
 // wrong entry: Load verifies the manifest and treats anything torn,
 // truncated, or half-published as a plain miss.
 type Cache struct {
-	root      string
-	fs        durable.FS
-	storeErrs int
+	root string
+	fs   durable.FS
+	// errs counts failed best-effort Store calls. It defaults to a
+	// standalone counter owned by this Cache; a build carrying an obs
+	// scope swaps in the scope registry's counter (observeInto), making
+	// the registry the single source of store-error accounting — the
+	// CLI report derives from the same counter a /metrics scrape reads.
+	errs *obs.Counter
+	// storeErrBase is errs' value when the current build attached, so
+	// per-build reports are deltas, not Cache-lifetime totals.
+	storeErrBase int
 }
 
 // NewCache opens (or lazily creates) a cache rooted at dir. The
@@ -40,7 +49,22 @@ func NewCache(dir string) *Cache {
 // newCacheFS is NewCache over an injectable filesystem — the seam the
 // fault-injection tests use to crash mid-publish.
 func newCacheFS(dir string, fs durable.FS) *Cache {
-	return &Cache{root: filepath.Clean(dir), fs: fs}
+	return &Cache{
+		root: filepath.Clean(dir),
+		fs:   fs,
+		errs: obs.NewCounter(metricCacheStoreErrors,
+			"Failed best-effort stage-cache writes (the build itself still succeeded)."),
+	}
+}
+
+// observeInto points the cache's store-error accounting at the build's
+// registry counter (when a scope is attached) and captures the baseline
+// for this build's delta reporting.
+func (c *Cache) observeInto(b *buildObs) {
+	if b != nil {
+		c.errs = b.storeErrs
+	}
+	c.storeErrBase = c.StoreErrors()
 }
 
 // Dir returns the cache root.
@@ -117,13 +141,15 @@ func (c *Cache) Store(stage, fp string, files map[string][]byte) error {
 // pipeline can surface write failures without failing the build.
 func (c *Cache) noteStore(err error) {
 	if err != nil {
-		c.storeErrs++
+		c.errs.Inc()
 	}
 }
 
-// StoreErrors returns how many best-effort Store calls have failed on
-// this Cache.
-func (c *Cache) StoreErrors() int { return c.storeErrs }
+// StoreErrors returns the store-error counter's current value — the
+// count for this Cache alone when standalone, or the registry-wide
+// cumulative count once a build attached a scope (per-build deltas are
+// what CacheStats reports).
+func (c *Cache) StoreErrors() int { return int(c.errs.Value()) }
 
 // cacheFormatVersion is recorded in every entry manifest. It versions
 // the entry layout (not the per-stage payload encodings, which are

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric family names of the offline pipeline. The full catalog —
+// every family, its labels and meaning — lives in
+// docs/OBSERVABILITY.md, and a test diffs that table against the
+// registry so the two cannot drift.
+const (
+	metricBuildsTotal      = "leva_builds_total"
+	metricStageDuration    = "leva_build_stage_duration_seconds"
+	metricTextifyTables    = "leva_build_textify_tables_total"
+	metricCacheLookups     = "leva_build_cache_lookups_total"
+	metricCacheStoreErrors = "leva_build_cache_store_errors_total"
+	metricFeaturizedRows   = "leva_build_featurized_rows_total"
+)
+
+// helpStageDuration is shared between the build driver and the
+// featurize path, which get-or-create the same family.
+const helpStageDuration = "Wall time of each pipeline stage per build."
+
+// buildObs holds one build's view of the pipeline instruments: the
+// get-or-created families of the scope's registry, plus the baseline
+// of the cumulative store-error counter captured at build start, so
+// the per-build CacheStats.StoreErrors is the counter's delta — the
+// registry is the single source, the report derives from it, and the
+// two can never disagree. A nil *buildObs (no scope or no registry)
+// degrades to timing-only spans.
+type buildObs struct {
+	scope     *obs.Scope
+	builds    *obs.Counter
+	stageDur  *obs.HistogramVec
+	tables    *obs.CounterVec
+	lookups   *obs.CounterVec
+	storeErrs *obs.Counter
+
+	storeErrBase float64
+}
+
+func newBuildObs(sc *obs.Scope) *buildObs {
+	if sc == nil || sc.Registry == nil {
+		return nil
+	}
+	r := sc.Registry
+	b := &buildObs{
+		scope: sc,
+		builds: r.Counter(metricBuildsTotal,
+			"Completed BuildEmbedding runs."),
+		stageDur: r.HistogramVec(metricStageDuration, helpStageDuration,
+			obs.StageBuckets, "stage"),
+		tables: r.CounterVec(metricTextifyTables,
+			"Tables processed by the textify stage, by outcome (reused = tokenization loaded from cache, rebuilt = re-fitted).",
+			"outcome"),
+		lookups: r.CounterVec(metricCacheLookups,
+			"Stage-cache lookups of the graph and embed stages, by outcome.",
+			"stage", "outcome"),
+		storeErrs: r.Counter(metricCacheStoreErrors,
+			"Failed best-effort stage-cache writes (the build itself still succeeded)."),
+	}
+	b.storeErrBase = b.storeErrs.Value()
+	return b
+}
+
+// span starts a pipeline-stage span (nil-safe: still measures time).
+func (b *buildObs) span(name string) *obs.ActiveSpan {
+	if b == nil {
+		return obs.StartSpan(nil, name)
+	}
+	return b.scope.Span(name)
+}
+
+// endStage finishes a stage span and feeds the measured wall time to
+// the stage-duration histogram. The returned duration is the one the
+// span measured — the single time source both Timings and the
+// histogram see, so Timings.Total() and the histogram sums agree by
+// construction.
+func (b *buildObs) endStage(sp *obs.ActiveSpan, stage string) time.Duration {
+	d := sp.End()
+	if b != nil {
+		b.stageDur.With(stage).ObserveDuration(d)
+	}
+	return d
+}
+
+// countTables accrues the textify stage's per-table outcomes.
+func (b *buildObs) countTables(reused, rebuilt int) {
+	if b == nil {
+		return
+	}
+	b.tables.With("reused").Add(float64(reused))
+	b.tables.With("rebuilt").Add(float64(rebuilt))
+}
+
+// countLookup accrues one graph/embed stage-cache lookup.
+func (b *buildObs) countLookup(stage string, hit bool) {
+	if b == nil {
+		return
+	}
+	outcome := "miss"
+	if hit {
+		outcome = "hit"
+	}
+	b.lookups.With(stage, outcome).Inc()
+}
+
+// storeErrDelta returns how many store errors this build added on top
+// of the baseline captured at build start.
+func (b *buildObs) storeErrDelta() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.storeErrs.Value() - b.storeErrBase)
+}
+
+// done marks one completed build.
+func (b *buildObs) done() {
+	if b == nil {
+		return
+	}
+	b.builds.Inc()
+}
+
+// observeFeaturize records one batch featurization against the scope's
+// registry: the wall time joins the stage-duration histogram under
+// stage="featurize" (the same family the build driver feeds), and the
+// row count accrues. No-op without a registry.
+func observeFeaturize(sc *obs.Scope, d time.Duration, rows int) {
+	if sc == nil || sc.Registry == nil {
+		return
+	}
+	sc.Registry.HistogramVec(metricStageDuration, helpStageDuration,
+		obs.StageBuckets, "stage").With("featurize").ObserveDuration(d)
+	sc.Registry.Counter(metricFeaturizedRows,
+		"Rows featurized by batch deployment (Featurize/FeaturizeWithMode); the online serving path reports through leva_rows_featurized_total instead.").
+		Add(float64(rows))
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/embed"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+func buildScoped(t *testing.T, cacheDir string, sc *obs.Scope) *Result {
+	t.Helper()
+	spec := synth.Student(synth.StudentOptions{Students: 30, Seed: 7})
+	res, err := BuildEmbedding(spec.DB, Config{
+		Dim:      8,
+		Method:   embed.MethodMF,
+		Seed:     7,
+		Workers:  1,
+		CacheDir: cacheDir,
+		Obs:      sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBuildMetricsAccrue(t *testing.T) {
+	sc := obs.NewScope()
+	dir := t.TempDir()
+	res := buildScoped(t, dir, sc)
+
+	r := sc.Registry
+	if got := r.Counter(metricBuildsTotal, "").Value(); got != 1 {
+		t.Errorf("builds_total = %v, want 1", got)
+	}
+	stageDur := r.HistogramVec(metricStageDuration, "", obs.StageBuckets, "stage")
+	for _, stage := range []string{"textify", "graph", "embed"} {
+		if got := stageDur.With(stage).Count(); got != 1 {
+			t.Errorf("stage %q duration observations = %d, want 1", stage, got)
+		}
+	}
+
+	// The single-time-source property: the histogram sum and the
+	// Timings field come from one span End() per stage, so they are
+	// equal not approximately but exactly.
+	if got, want := stageDur.With("textify").Sum(), res.Timings.Textify.Seconds(); got != want {
+		t.Errorf("textify histogram sum %v != Timings.Textify %v", got, want)
+	}
+	if got, want := stageDur.With("graph").Sum(), res.Timings.GraphBuild.Seconds(); got != want {
+		t.Errorf("graph histogram sum %v != Timings.GraphBuild %v", got, want)
+	}
+	if got, want := stageDur.With("embed").Sum(), res.Timings.Embed.Seconds(); got != want {
+		t.Errorf("embed histogram sum %v != Timings.Embed %v", got, want)
+	}
+
+	// Cold build with a cache: graph and embed lookups both missed.
+	lookups := r.CounterVec(metricCacheLookups, "", "stage", "outcome")
+	if got := lookups.With(stageGraph, "miss").Value(); got != 1 {
+		t.Errorf("graph miss = %v, want 1", got)
+	}
+	if got := lookups.With(stageEmbed, "miss").Value(); got != 1 {
+		t.Errorf("embed miss = %v, want 1", got)
+	}
+	tables := r.CounterVec(metricTextifyTables, "", "outcome")
+	if tables.With("rebuilt").Value() == 0 {
+		t.Error("no rebuilt tables counted on a cold build")
+	}
+
+	// Warm build into the same scope: hits accrue, builds_total = 2.
+	warm := buildScoped(t, dir, sc)
+	if warm.Timings.Cache.Embed != StageCached {
+		t.Fatalf("warm build not cached: %+v", warm.Timings.Cache)
+	}
+	if got := lookups.With(stageEmbed, "hit").Value(); got != 1 {
+		t.Errorf("embed hit = %v, want 1", got)
+	}
+	if got := r.Counter(metricBuildsTotal, "").Value(); got != 2 {
+		t.Errorf("builds_total after warm build = %v, want 2", got)
+	}
+
+	// Stage spans landed in the trace ring with their cache outcomes.
+	var names []string
+	for _, rec := range sc.Trace.Spans() {
+		names = append(names, rec.Name+":"+rec.Outcome)
+	}
+	want := []string{
+		"build.textify:rebuilt", "build.graph:rebuilt", "build.embed:rebuilt",
+		"build.textify:cached", "build.graph:cached", "build.embed:cached",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("spans = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("span[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestFeaturizeFeedsRegistry(t *testing.T) {
+	sc := obs.NewScope()
+	res := buildScoped(t, "", sc)
+	spec := synth.Student(synth.StudentOptions{Students: 30, Seed: 7})
+	base := spec.DB.Table(spec.BaseTable)
+	feats, err := res.Featurize(base, spec.BaseTable, []string{spec.Target}, func(i int) int { return i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	stageDur := sc.Registry.HistogramVec(metricStageDuration, "", obs.StageBuckets, "stage")
+	if got := stageDur.With("featurize").Count(); got != 1 {
+		t.Errorf("featurize observations = %d, want 1", got)
+	}
+	if got, want := stageDur.With("featurize").Sum(), res.Timings.Featurize.Seconds(); got != want {
+		t.Errorf("featurize histogram sum %v != Timings.Featurize %v", got, want)
+	}
+	rows := sc.Registry.Counter(metricFeaturizedRows, "")
+	if got := rows.Value(); got != float64(len(feats)) {
+		t.Errorf("featurized rows = %v, want %d", got, len(feats))
+	}
+}
+
+func TestBuildWithoutScopeStillTimes(t *testing.T) {
+	res := buildScoped(t, "", nil)
+	if res.Timings.Total() <= 0 {
+		t.Error("nil-scope build recorded no timings")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/textify"
 )
@@ -77,6 +78,14 @@ type Config struct {
 	// deterministic (see Workers). Cache write failures never fail a
 	// build; they are counted in Timings.Cache.StoreErrors.
 	CacheDir string
+	// Obs, when non-nil, receives the build's observability output:
+	// stage spans go to its Trace, and the pipeline's metric families
+	// (leva_builds_total, leva_build_stage_duration_seconds, cache
+	// counters — see docs/OBSERVABILITY.md) accrue into its Registry.
+	// Nil disables instrumentation entirely; timings in Result.Timings
+	// are recorded either way, from the same clock readings the
+	// histograms see. Never serialized (bundles, fingerprints).
+	Obs *obs.Scope `json:"-"`
 	// Workers caps the parallelism of every pipeline hot path:
 	// textification, graph construction, the MF matmuls, RW walk
 	// generation and SGNS training, and featurization. 0 means
@@ -212,22 +221,28 @@ func buildWithCache(db *dataset.Database, cfg Config, cache *Cache) (*Result, er
 	if err := db.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid database: %w", err)
 	}
+	bo := newBuildObs(cfg.Obs)
+	if cache != nil {
+		cache.observeInto(bo)
+	}
 	res := &Result{Config: cfg}
 	res.Timings.Cache.Enabled = cache != nil
 
-	start := time.Now()
+	sp := bo.span("build.textify")
 	ts := &TextifyStage{DB: db, Opts: cfg.Textify, Workers: cfg.Workers, Cache: cache}
 	model, tokenized, reused, rebuilt, err := ts.Run()
 	if err != nil {
 		return nil, fmt.Errorf("core: textify: %w", err)
 	}
 	res.Textifier = model
-	res.Timings.Textify = time.Since(start)
 	res.Timings.Cache.Textify = tableOutcome(reused, rebuilt)
+	sp.SetOutcome(string(res.Timings.Cache.Textify))
+	res.Timings.Textify = bo.endStage(sp, "textify")
 	res.Timings.Cache.TablesReused = reused
 	res.Timings.Cache.TablesRebuilt = rebuilt
+	bo.countTables(reused, rebuilt)
 
-	start = time.Now()
+	sp = bo.span("build.graph")
 	gs := &GraphStage{
 		Tokenized:         tokenized,
 		Opts:              cfg.Graph,
@@ -248,10 +263,14 @@ func buildWithCache(db *dataset.Database, cfg Config, cache *Cache) (*Result, er
 	res.Graph = g
 	res.GraphStats = stats
 	res.UnweightedFallback = fellBack
-	res.Timings.GraphBuild = time.Since(start)
 	res.Timings.Cache.Graph = hitOutcome(graphCached)
+	sp.SetOutcome(string(res.Timings.Cache.Graph))
+	res.Timings.GraphBuild = bo.endStage(sp, "graph")
+	if cache != nil {
+		bo.countLookup(stageGraph, graphCached)
+	}
 
-	start = time.Now()
+	sp = bo.span("build.embed")
 	es := &EmbedStage{Graph: g, Cfg: cfg, Cache: cache}
 	if cache != nil {
 		es.InputFP = gs.Fingerprint()
@@ -262,11 +281,17 @@ func buildWithCache(db *dataset.Database, cfg Config, cache *Cache) (*Result, er
 	}
 	res.Embedding = emb
 	res.MethodUsed = method
-	res.Timings.Embed = time.Since(start)
 	res.Timings.Cache.Embed = hitOutcome(embedCached)
+	sp.SetOutcome(string(res.Timings.Cache.Embed))
+	res.Timings.Embed = bo.endStage(sp, "embed")
 	if cache != nil {
-		res.Timings.Cache.StoreErrors = cache.StoreErrors()
+		bo.countLookup(stageEmbed, embedCached)
+		// The registry counter is the single source for store-error
+		// accounting; the per-build report is its delta since build
+		// start (Cache increments the same counter it reports through).
+		res.Timings.Cache.StoreErrors = cache.StoreErrors() - cache.storeErrBase
 	}
+	bo.done()
 	return res, nil
 }
 
@@ -329,11 +354,17 @@ func (r *Result) Featurize(t *dataset.Table, tableName string, exclude []string,
 // graphRow must therefore be safe for concurrent calls — pure index
 // arithmetic, the common case, always is.
 func (r *Result) FeaturizeWithMode(t *dataset.Table, tableName string, exclude []string, graphRow func(i int) int, mode FeaturizationMode) ([][]float64, error) {
-	start := time.Now()
+	// One span is the single timer: its wall time feeds the accrued
+	// Timings.Featurize AND the stage-duration histogram, so the CLI
+	// report and a metrics scrape can never disagree. Bundle-loaded
+	// Results have a nil scope and degrade to plain accrual.
+	sp := r.Config.Obs.Span("build.featurize")
 	defer func() {
+		d := sp.End()
 		r.mu.Lock()
-		r.Timings.Featurize += time.Since(start)
+		r.Timings.Featurize += d
 		r.mu.Unlock()
+		observeFeaturize(r.Config.Obs, d, t.NumRows())
 	}()
 	skip := make(map[string]bool, len(exclude))
 	for _, e := range exclude {

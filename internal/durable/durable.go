@@ -73,6 +73,16 @@ func (osFS) SyncDir(path string) error {
 // directory is fsynced so the rename survives power loss. Readers of
 // path see either the old content or the new content, never a prefix.
 func WriteFile(fsys FS, path string, data []byte) error {
+	err := writeFile(fsys, path, data)
+	if err != nil {
+		errorsTotal.Inc()
+	} else {
+		publishesTotal.With("file").Inc()
+	}
+	return err
+}
+
+func writeFile(fsys FS, path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := fsys.Create(tmp)
 	if err != nil {
@@ -83,7 +93,7 @@ func WriteFile(fsys FS, path string, data []byte) error {
 		fsys.RemoveAll(tmp)
 		return fmt.Errorf("durable: write %s: %w", tmp, err)
 	}
-	if err := f.Sync(); err != nil {
+	if err := timedSync(f); err != nil {
 		f.Close()
 		fsys.RemoveAll(tmp)
 		return fmt.Errorf("durable: fsync %s: %w", tmp, err)
@@ -92,11 +102,11 @@ func WriteFile(fsys FS, path string, data []byte) error {
 		fsys.RemoveAll(tmp)
 		return fmt.Errorf("durable: close %s: %w", tmp, err)
 	}
-	if err := fsys.Rename(tmp, path); err != nil {
+	if err := timedRename(fsys, tmp, path); err != nil {
 		fsys.RemoveAll(tmp)
 		return fmt.Errorf("durable: publish %s: %w", path, err)
 	}
-	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+	if err := timedSyncDir(fsys, filepath.Dir(path)); err != nil {
 		return fmt.Errorf("durable: fsync dir of %s: %w", path, err)
 	}
 	return nil
@@ -119,6 +129,16 @@ const (
 // absent and final+OldSuffix holds the complete old version, which
 // RecoverDir restores.
 func SwapDir(fsys FS, staging, final string) error {
+	err := swapDir(fsys, staging, final)
+	if err != nil {
+		errorsTotal.Inc()
+	} else {
+		publishesTotal.With("dir").Inc()
+	}
+	return err
+}
+
+func swapDir(fsys FS, staging, final string) error {
 	final = filepath.Clean(final)
 	old := final + OldSuffix
 	// A leftover .old from an earlier crashed publish would make the
@@ -127,17 +147,17 @@ func SwapDir(fsys FS, staging, final string) error {
 		return fmt.Errorf("durable: clear %s: %w", old, err)
 	}
 	if _, err := fsys.Stat(final); err == nil {
-		if err := fsys.Rename(final, old); err != nil {
+		if err := timedRename(fsys, final, old); err != nil {
 			return fmt.Errorf("durable: move aside %s: %w", final, err)
 		}
 	}
-	if err := fsys.Rename(staging, final); err != nil {
+	if err := timedRename(fsys, staging, final); err != nil {
 		// Best-effort rollback; if the process dies before this runs,
 		// RecoverDir performs the same restoration on next access.
 		fsys.Rename(old, final)
 		return fmt.Errorf("durable: publish %s: %w", final, err)
 	}
-	if err := fsys.SyncDir(filepath.Dir(final)); err != nil {
+	if err := timedSyncDir(fsys, filepath.Dir(final)); err != nil {
 		return fmt.Errorf("durable: fsync dir of %s: %w", final, err)
 	}
 	if err := fsys.RemoveAll(old); err != nil {
@@ -161,11 +181,14 @@ func RecoverDir(fsys FS, final string) (recovered bool, err error) {
 	if _, err := fsys.Stat(old); err != nil {
 		return false, nil
 	}
-	if err := fsys.Rename(old, final); err != nil {
+	if err := timedRename(fsys, old, final); err != nil {
+		errorsTotal.Inc()
 		return false, fmt.Errorf("durable: recover %s from %s: %w", final, old, err)
 	}
-	if err := fsys.SyncDir(filepath.Dir(final)); err != nil {
+	if err := timedSyncDir(fsys, filepath.Dir(final)); err != nil {
+		errorsTotal.Inc()
 		return true, fmt.Errorf("durable: fsync dir of %s: %w", final, err)
 	}
+	publishesTotal.With("recover").Inc()
 	return true, nil
 }

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log records by severity.
+type Level int8
+
+const (
+	// LevelDebug is per-operation detail (span ends, cache probes).
+	LevelDebug Level = iota - 1
+	// LevelInfo is normal operational events.
+	LevelInfo
+	// LevelWarn is degraded-but-working conditions.
+	LevelWarn
+	// LevelError is failures that need an operator.
+	LevelError
+)
+
+// String returns the lowercase level name used in the level= field.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return "level(" + strconv.Itoa(int(l)) + ")"
+}
+
+// Logger writes leveled structured records as one key=value line each:
+//
+//	time=2026-08-08T12:00:00.000Z level=info msg="reload complete" generation=2
+//
+// The schema is fixed: `time`, `level`, `msg` first, then any
+// With-bound pairs, then the call's pairs. Values are quoted only when
+// they contain spaces, quotes, or '=' — so lines stay grep- and
+// cut-friendly (see docs/OBSERVABILITY.md for the full log schema).
+//
+// The sink is injectable (any io.Writer) and every write is a single
+// Write call under a mutex shared by all derived loggers, so
+// concurrent records never interleave. A nil *Logger drops every
+// record, making logging free to wire optionally.
+type Logger struct {
+	mu  *sync.Mutex
+	w   io.Writer
+	min Level
+	// bound is the preformatted " k=v ..." suffix from With.
+	bound string
+	// now is injectable for tests; nil means time.Now.
+	now func() time.Time
+}
+
+// NewLogger returns a Logger writing records at or above min to w.
+func NewLogger(w io.Writer, min Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, min: min}
+}
+
+// WithClock returns a copy using now for timestamps — the test seam.
+func (l *Logger) WithClock(now func() time.Time) *Logger {
+	if l == nil {
+		return nil
+	}
+	c := *l
+	c.now = now
+	return &c
+}
+
+// With returns a logger whose records all carry the given key=value
+// pairs (bound after msg, before per-call pairs).
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	var b strings.Builder
+	appendPairs(&b, kv)
+	c := *l
+	c.bound += b.String()
+	return &c
+}
+
+// Enabled reports whether records at lv would be written.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.min }
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	now := time.Now
+	if l.now != nil {
+		now = l.now
+	}
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString("time=")
+	b.WriteString(now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	b.WriteString(" msg=")
+	appendValue(&b, msg)
+	b.WriteString(l.bound)
+	appendPairs(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// appendPairs renders kv as " k=v" pairs. A trailing odd value is
+// reported under the key "!missing" rather than dropped.
+func appendPairs(b *strings.Builder, kv []any) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprint(kv[i])
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		appendValue(b, kv[i+1])
+	}
+	if len(kv)%2 == 1 {
+		b.WriteString(" !missing=")
+		appendValue(b, kv[len(kv)-1])
+	}
+}
+
+// appendValue renders one value, quoting strings that would break the
+// key=value grammar.
+func appendValue(b *strings.Builder, v any) {
+	var s string
+	switch x := v.(type) {
+	case string:
+		s = x
+	case error:
+		s = x.Error()
+	case time.Duration:
+		s = x.String()
+	case float64:
+		s = strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		s = fmt.Sprint(v)
+	}
+	if s == "" || strings.ContainsAny(s, " \"=\n\t") {
+		b.WriteString(strconv.Quote(s))
+		return
+	}
+	b.WriteString(s)
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	ts := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return func() time.Time { return ts }
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).WithClock(fixedClock())
+	l.Info("reload complete", "generation", 2, "took", 1500*time.Millisecond)
+	want := "time=2026-08-08T12:00:00.000Z level=info msg=\"reload complete\" generation=2 took=1.5s\n"
+	if buf.String() != want {
+		t.Errorf("line = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelWarn).WithClock(fixedClock())
+	l.Debug("nope")
+	l.Info("nope")
+	l.Warn("yes")
+	l.Error("also")
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "level=warn") || !strings.Contains(lines[1], "level=error") {
+		t.Errorf("wrong lines passed the filter:\n%s", buf.String())
+	}
+	if l.Enabled(LevelInfo) || !l.Enabled(LevelError) {
+		t.Error("Enabled disagrees with filtering")
+	}
+}
+
+func TestLoggerWithBindsPairs(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).WithClock(fixedClock()).With("component", "serve")
+	l.Info("hit", "endpoint", "featurize")
+	want := "time=2026-08-08T12:00:00.000Z level=info msg=hit component=serve endpoint=featurize\n"
+	if buf.String() != want {
+		t.Errorf("line = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestLoggerValueQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).WithClock(fixedClock())
+	l.Info("m",
+		"spaced", "a b",
+		"eq", "k=v",
+		"empty", "",
+		"err", errors.New("open /x: no such file"),
+		"f", 0.25,
+	)
+	line := buf.String()
+	for _, want := range []string{
+		`spaced="a b"`,
+		`eq="k=v"`,
+		`empty=""`,
+		`err="open /x: no such file"`,
+		`f=0.25`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line missing %q:\n%s", want, line)
+		}
+	}
+}
+
+func TestLoggerOddPairs(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).WithClock(fixedClock())
+	l.Info("m", "k", 1, "dangling")
+	if !strings.Contains(buf.String(), "!missing=dangling") {
+		t.Errorf("trailing odd value dropped:\n%s", buf.String())
+	}
+}
+
+func TestNilLoggerIsNoop(t *testing.T) {
+	var l *Logger
+	// Must not panic; With/WithClock must stay nil-safe too.
+	l.Info("dropped", "k", "v")
+	l.With("a", "b").WithClock(fixedClock()).Error("dropped")
+	if l.Enabled(LevelError) {
+		t.Error("nil logger claims to be enabled")
+	}
+}
+
+func TestLoggerConcurrentLinesDoNotInterleave(t *testing.T) {
+	// bytes.Buffer is not itself goroutine-safe; the Logger's mutex is
+	// what must serialize the writes for this to pass under -race.
+	var buf bytes.Buffer
+	l := NewLogger(&buf, LevelInfo).WithClock(fixedClock())
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				l.Info("tick", "payload", strings.Repeat("x", 64))
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "time=") || !strings.HasSuffix(line, strings.Repeat("x", 64)) {
+			t.Fatalf("interleaved or truncated line: %q", line)
+		}
+	}
+}

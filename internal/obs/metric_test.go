@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	c := NewCounter("c_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative counter Add did not panic")
+		}
+	}()
+
+	g := NewGauge("g", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %v, want 5", got)
+	}
+	c.Add(-1)
+}
+
+func TestVecLabelArity(t *testing.T) {
+	v := NewCounterVec("v_total", "help", "a", "b")
+	v.With("x", "y").Inc()
+	v.With("x", "y").Inc()
+	if got := v.With("x", "y").Value(); got != 2 {
+		t.Errorf("series = %v, want 2", got)
+	}
+	if got := v.With("x", "z").Value(); got != 0 {
+		t.Errorf("fresh series = %v, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound
+// semantics of Prometheus `le` buckets: an observation exactly on a
+// bound lands in that bound's bucket, one ulp above it lands in the
+// next, and values past the last bound land in the overflow slot.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram("h", "help", []float64{1, 2, 5})
+	h.Observe(1)   // bucket le=1, inclusive
+	h.Observe(1.5) // bucket le=2
+	h.Observe(2)   // bucket le=2, inclusive
+	h.Observe(5)   // bucket le=5, inclusive
+	h.Observe(5.1) // overflow
+	h.Observe(0)   // bucket le=1
+
+	want := []uint64{2, 2, 1, 1}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 1+1.5+2+5+5.1+0 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("hq", "help", []float64{1, 2, 5})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+	for i := 0; i < 60; i++ {
+		h.Observe(0.5) // le=1
+	}
+	for i := 0; i < 35; i++ {
+		h.Observe(1.5) // le=2
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(100) // overflow
+	}
+	// rank(q) = int(q*total)+1, matching the pre-obs serve histogram:
+	// p50 → rank 51 in the first bucket (60 cum), p90 → rank 91 in the
+	// second (95 cum), p99 → rank 100 in overflow.
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("p50 = %v, want 1", q)
+	}
+	if q := h.Quantile(0.9); q != 2 {
+		t.Errorf("p90 = %v, want 2", q)
+	}
+	// The overflow bucket reports the largest finite bound, matching
+	// the pre-obs serve histogram's convention.
+	if q := h.Quantile(0.99); q != 5 {
+		t.Errorf("p99 = %v, want 5 (overflow reports last bound)", q)
+	}
+}
+
+func TestHistogramVecSharesBounds(t *testing.T) {
+	v := NewHistogramVec("hv", "help", []float64{1, 10}, "stage")
+	v.With("a").Observe(0.5)
+	v.With("b").Observe(5)
+	if v.With("a").Count() != 1 || v.With("b").Count() != 1 {
+		t.Error("per-series counts wrong")
+	}
+	v.With("a").ObserveDuration(500 * time.Millisecond)
+	if got := v.With("a").Count(); got != 2 {
+		t.Errorf("count after ObserveDuration = %d, want 2", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c1.Inc()
+	c2 := r.Counter("x_total", "ignored on re-get")
+	c2.Inc()
+	if got := c1.Value(); got != 2 {
+		t.Errorf("shared counter = %v, want 2 (get-or-create must return the same series)", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "wrong kind")
+}
+
+func TestRegistryDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	a := NewCounter("dup_total", "a")
+	b := NewCounter("dup_total", "b")
+	r.Register(a)
+	r.Register(a) // same instrument: idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting registration did not panic")
+		}
+	}()
+	r.Register(b)
+}
+
+func TestInstrumentSharedAcrossRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	c := NewCounter("shared_total", "help")
+	a.Register(c)
+	b.Register(c)
+	c.Inc()
+	for _, r := range []*Registry{a, b} {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(sb.String(), "shared_total 1\n") {
+			t.Errorf("registry missing shared counter value:\n%s", sb.String())
+		}
+	}
+}
+
+func TestConcurrentInstrumentWrites(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("cc_total", "help", "w")
+	h := r.Histogram("ch", "help", LatencyBuckets)
+	g := r.Gauge("cg", "help")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lbl := fmt.Sprint(w % 3)
+			for i := 0; i < 1000; i++ {
+				v.With(lbl).Inc()
+				h.Observe(float64(i) * 1e-4)
+				g.Add(1)
+			}
+		}(w)
+	}
+	// Render concurrently with the writes: must not race or corrupt.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			_ = r.WritePrometheus(&sb)
+			_ = r.Snapshot()
+		}()
+	}
+	wg.Wait()
+	var total float64
+	for _, lbl := range []string{"0", "1", "2"} {
+		total += v.With(lbl).Value()
+	}
+	if total != 8000 {
+		t.Errorf("counter total = %v, want 8000", total)
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d, want 8000", h.Count())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text
+// exposition format WritePrometheus emits.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format, families sorted by name and series sorted by
+// label values, so two registries holding the same state render
+// byte-identically (the property the /metrics golden test pins).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		if f.fn != nil {
+			fmt.Fprintf(bw, "%s %s\n", f.name, formatValue(f.fn()))
+			continue
+		}
+		for _, s := range f.snapshotSeries() {
+			switch f.kind {
+			case KindHistogram:
+				writeHistogramSeries(bw, f, s)
+			default:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, renderLabels(f.labelNames, s.labelValues, "", ""), formatValue(s.val.Load()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogramSeries emits the cumulative _bucket lines plus _sum
+// and _count for one series.
+func writeHistogramSeries(w io.Writer, f *family, s *series) {
+	var cum uint64
+	for i, bound := range f.bounds {
+		cum += s.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+			renderLabels(f.labelNames, s.labelValues, "le", formatValue(bound)), cum)
+	}
+	cum += s.counts[len(f.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+		renderLabels(f.labelNames, s.labelValues, "le", "+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+		renderLabels(f.labelNames, s.labelValues, "", ""), formatValue(s.sum.Load()))
+	fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+		renderLabels(f.labelNames, s.labelValues, "", ""), cum)
+}
+
+// renderLabels renders {k="v",...}, optionally with one extra
+// (name, value) pair appended (the histogram `le` label). Empty when
+// there are no labels at all.
+func renderLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trip representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Snapshot returns a /debug/vars-style JSON-marshalable view of the
+// registry: one key per family; plain values for unlabeled counters
+// and gauges, a labels→value map for labeled ones, and
+// {count, sum, buckets} objects for histograms. levad serves this at
+// GET /debug/vars on -debug-addr.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, f := range r.sortedFamilies() {
+		if f.fn != nil {
+			out[f.name] = f.fn()
+			continue
+		}
+		switch f.kind {
+		case KindHistogram:
+			m := make(map[string]any)
+			for _, s := range f.snapshotSeries() {
+				m[labelKey(f.labelNames, s.labelValues)] = histogramSnapshot(f, s)
+			}
+			out[f.name] = m
+		default:
+			if len(f.labelNames) == 0 {
+				f.mu.RLock()
+				s := f.children[""]
+				f.mu.RUnlock()
+				if s != nil {
+					out[f.name] = s.val.Load()
+				} else {
+					out[f.name] = 0.0
+				}
+				continue
+			}
+			m := make(map[string]float64)
+			for _, s := range f.snapshotSeries() {
+				m[labelKey(f.labelNames, s.labelValues)] = s.val.Load()
+			}
+			out[f.name] = m
+		}
+	}
+	return out
+}
+
+func labelKey(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	parts := make([]string, len(names))
+	for i := range names {
+		parts[i] = names[i] + "=" + values[i]
+	}
+	return strings.Join(parts, ",")
+}
+
+func histogramSnapshot(f *family, s *series) map[string]any {
+	buckets := make(map[string]uint64, len(f.bounds)+1)
+	var cum uint64
+	for i, bound := range f.bounds {
+		cum += s.counts[i].Load()
+		buckets[formatValue(bound)] = cum
+	}
+	cum += s.counts[len(f.bounds)].Load()
+	buckets["+Inf"] = cum
+	return map[string]any{"count": cum, "sum": s.sum.Load(), "buckets": buckets}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		g := r.Gauge("b_gauge", "a gauge")
+		g.Set(3.5)
+		v := r.CounterVec("a_total", "a counter", "endpoint")
+		v.With("featurize").Add(2)
+		v.With("healthz").Inc()
+		h := r.Histogram("c_seconds", "a histogram", []float64{0.1, 1})
+		h.Observe(0.05)
+		h.Observe(0.5)
+		h.Observe(2)
+		return r
+	}
+	var first string
+	for i := 0; i < 2; i++ {
+		var sb strings.Builder
+		if err := build().WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = sb.String()
+		} else if sb.String() != first {
+			t.Errorf("render not deterministic:\n%s\nvs\n%s", first, sb.String())
+		}
+	}
+	want := `# HELP a_total a counter
+# TYPE a_total counter
+a_total{endpoint="featurize"} 2
+a_total{endpoint="healthz"} 1
+# HELP b_gauge a gauge
+# TYPE b_gauge gauge
+b_gauge 3.5
+# HELP c_seconds a histogram
+# TYPE c_seconds histogram
+c_seconds_bucket{le="0.1"} 1
+c_seconds_bucket{le="1"} 2
+c_seconds_bucket{le="+Inf"} 3
+c_seconds_sum 2.55
+c_seconds_count 3
+`
+	if first != want {
+		t.Errorf("rendered exposition mismatch:\ngot:\n%s\nwant:\n%s", first, want)
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "line one\nline two with \\backslash", "path").
+		With(`va"lue` + "\nnext\\").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP esc_total line one\nline two with \\backslash`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{path="va\"lue\nnext\\"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestWritePrometheusFuncFamilies(t *testing.T) {
+	r := NewRegistry()
+	val := 42.0
+	r.Register(NewGaugeFunc("pull_gauge", "read at render", func() float64 { return val }))
+	var sb strings.Builder
+	_ = r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "pull_gauge 42\n") {
+		t.Errorf("func gauge not rendered:\n%s", sb.String())
+	}
+	val = 43
+	sb.Reset()
+	_ = r.WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), "pull_gauge 43\n") {
+		t.Errorf("func gauge not re-read at render:\n%s", sb.String())
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total", "h").Add(7)
+	r.CounterVec("labeled_total", "h", "k").With("v").Add(2)
+	h := r.Histogram("dist", "h", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+	r.Register(NewGaugeFunc("fn_gauge", "h", func() float64 { return 9 }))
+
+	snap := r.Snapshot()
+	if got := snap["plain_total"]; got != 7.0 {
+		t.Errorf("plain_total = %v, want 7", got)
+	}
+	if got := snap["fn_gauge"]; got != 9.0 {
+		t.Errorf("fn_gauge = %v, want 9", got)
+	}
+	labeled, ok := snap["labeled_total"].(map[string]float64)
+	if !ok || labeled["k=v"] != 2 {
+		t.Errorf("labeled_total = %#v, want map with k=v:2", snap["labeled_total"])
+	}
+	dist, ok := snap["dist"].(map[string]any)
+	if !ok {
+		t.Fatalf("dist = %#v, want map", snap["dist"])
+	}
+	hs, ok := dist[""].(map[string]any)
+	if !ok {
+		t.Fatalf("dist[\"\"] = %#v, want histogram object", dist)
+	}
+	if hs["count"] != uint64(2) || hs["sum"] != 3.5 {
+		t.Errorf("histogram snapshot = %#v", hs)
+	}
+	buckets := hs["buckets"].(map[string]uint64)
+	if buckets["1"] != 1 || buckets["+Inf"] != 2 {
+		t.Errorf("cumulative buckets = %#v", buckets)
+	}
+}

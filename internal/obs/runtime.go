@@ -1,0 +1,29 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics attaches Go-runtime health gauges to r:
+// goroutine count, heap in use, and completed GC cycles. ReadMemStats
+// briefly stops the world, so these read at scrape time, not on a
+// background ticker — one scrape, one read.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.Register(
+		NewGaugeFunc("leva_go_goroutines",
+			"Number of live goroutines.",
+			func() float64 { return float64(runtime.NumGoroutine()) }),
+		NewGaugeFunc("leva_go_heap_alloc_bytes",
+			"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+			func() float64 {
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				return float64(m.HeapAlloc)
+			}),
+		NewCounterFunc("leva_go_gc_cycles_total",
+			"Completed GC cycles since process start.",
+			func() float64 {
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				return float64(m.NumGC)
+			}),
+	)
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is one finished span: a named unit of work with its wall
+// time and the two annotations Leva's stages care about — bytes
+// processed and cache outcome.
+type SpanRecord struct {
+	// Name follows the dotted convention documented in
+	// docs/OBSERVABILITY.md: subsystem.stage[.detail], e.g.
+	// "build.textify", "build.cache.store".
+	Name string
+	// Start is when the span began.
+	Start time.Time
+	// Duration is the span's wall time.
+	Duration time.Duration
+	// Bytes is the payload size the span processed, when known
+	// (artifact bytes encoded, file bytes written); 0 otherwise.
+	Bytes int64
+	// Outcome annotates how the work was satisfied — for cache-backed
+	// stages one of "hit", "miss", "cached", "partial", "rebuilt";
+	// empty when the span has no cache dimension.
+	Outcome string
+}
+
+// Trace is a bounded ring of finished spans — enough recent history to
+// answer "where did the last build spend its time" without the
+// unbounded growth of a real tracing backend. The zero capacity ring
+// drops everything.
+type Trace struct {
+	mu    sync.Mutex
+	cap   int
+	spans []SpanRecord
+	// next is the ring write position once len(spans) == cap.
+	next int
+	// total counts every span ever recorded, including evicted ones.
+	total uint64
+}
+
+// NewTrace returns a trace ring keeping the most recent cap spans.
+func NewTrace(cap int) *Trace {
+	if cap < 0 {
+		cap = 0
+	}
+	return &Trace{cap: cap}
+}
+
+// record appends one finished span, evicting the oldest past capacity.
+// Safe on a nil trace.
+func (t *Trace) record(r SpanRecord) {
+	if t == nil || t.cap == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.spans) < t.cap {
+		t.spans = append(t.spans, r)
+		return
+	}
+	t.spans[t.next] = r
+	t.next = (t.next + 1) % t.cap
+}
+
+// Spans returns the recorded spans, oldest first.
+func (t *Trace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.spans))
+	out = append(out, t.spans[t.next:]...)
+	out = append(out, t.spans[:t.next]...)
+	return out
+}
+
+// Total returns how many spans were ever recorded, including those the
+// ring has evicted.
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// ActiveSpan is one in-flight unit of work. Start one with Scope.Span,
+// obs.Span(ctx, name), or StartSpan; annotate it with AddBytes and
+// SetOutcome; finish it with End, which records it to the trace (if
+// any) and returns the measured wall time — the single time source
+// callers feed into both duration histograms and reported timings, so
+// the two can never disagree.
+type ActiveSpan struct {
+	name    string
+	start   time.Time
+	bytes   int64
+	outcome string
+	tr      *Trace
+	done    bool
+	dur     time.Duration
+}
+
+// StartSpan begins a span recorded into tr on End. tr may be nil; the
+// span then only measures wall time.
+func StartSpan(tr *Trace, name string) *ActiveSpan {
+	return &ActiveSpan{name: name, start: time.Now(), tr: tr}
+}
+
+// AddBytes accrues processed payload bytes onto the span.
+func (s *ActiveSpan) AddBytes(n int64) { s.bytes += n }
+
+// SetOutcome annotates the span's cache outcome.
+func (s *ActiveSpan) SetOutcome(o string) { s.outcome = o }
+
+// End finishes the span, records it, and returns its wall time.
+// Calling End again returns the originally measured duration without
+// re-recording.
+func (s *ActiveSpan) End() time.Duration {
+	if s.done {
+		return s.dur
+	}
+	d := time.Since(s.start)
+	s.done = true
+	s.dur = d
+	s.tr.record(SpanRecord{
+		Name:     s.name,
+		Start:    s.start,
+		Duration: d,
+		Bytes:    s.bytes,
+		Outcome:  s.outcome,
+	})
+	return d
+}

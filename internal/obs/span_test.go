@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceRingEviction(t *testing.T) {
+	tr := NewTrace(3)
+	for i, name := range []string{"a", "b", "c", "d", "e"} {
+		tr.record(SpanRecord{Name: name, Duration: time.Duration(i)})
+	}
+	got := tr.Spans()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if got[i].Name != want {
+			t.Errorf("spans[%d] = %q, want %q (oldest first)", i, got[i].Name, want)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Errorf("total = %d, want 5 (evicted spans still counted)", tr.Total())
+	}
+}
+
+func TestSpanRecordsAnnotations(t *testing.T) {
+	tr := NewTrace(8)
+	sp := StartSpan(tr, "build.textify")
+	sp.AddBytes(100)
+	sp.AddBytes(28)
+	sp.SetOutcome("rebuilt")
+	d := sp.End()
+	if d < 0 {
+		t.Errorf("duration = %v", d)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	r := spans[0]
+	if r.Name != "build.textify" || r.Bytes != 128 || r.Outcome != "rebuilt" || r.Duration != d {
+		t.Errorf("record = %+v, want name/bytes/outcome/duration preserved", r)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace(8)
+	sp := StartSpan(tr, "x")
+	d1 := sp.End()
+	time.Sleep(time.Millisecond)
+	d2 := sp.End()
+	if d1 != d2 {
+		t.Errorf("second End returned %v, want the original %v", d2, d1)
+	}
+	if tr.Total() != 1 {
+		t.Errorf("span recorded %d times, want 1", tr.Total())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	// nil trace: span still measures time.
+	sp := StartSpan(nil, "x")
+	if sp.End() < 0 {
+		t.Error("nil-trace span did not measure")
+	}
+	// nil scope: Span still works.
+	var sc *Scope
+	if d := sc.Span("y").End(); d < 0 {
+		t.Error("nil-scope span did not measure")
+	}
+	// nil trace methods.
+	var tr *Trace
+	tr.record(SpanRecord{})
+	if tr.Spans() != nil || tr.Total() != 0 {
+		t.Error("nil trace not empty")
+	}
+	// zero-capacity ring drops everything.
+	z := NewTrace(0)
+	StartSpan(z, "dropped").End()
+	if len(z.Spans()) != 0 {
+		t.Error("zero-cap trace retained a span")
+	}
+}
+
+func TestScopeContextRoundTrip(t *testing.T) {
+	sc := NewScope()
+	ctx := WithScope(context.Background(), sc)
+	if ScopeFrom(ctx) != sc {
+		t.Fatal("ScopeFrom did not return the stored scope")
+	}
+	Span(ctx, "build.embed").End()
+	if sc.Trace.Total() != 1 {
+		t.Errorf("ctx span not recorded into scope trace: total=%d", sc.Trace.Total())
+	}
+	// Context without a scope: Span degrades to timing-only.
+	if d := Span(context.Background(), "free").End(); d < 0 {
+		t.Error("scopeless ctx span did not measure")
+	}
+}
+
+func TestNewScopeDefaults(t *testing.T) {
+	sc := NewScope()
+	if sc.Registry == nil || sc.Trace == nil {
+		t.Fatal("NewScope missing registry or trace")
+	}
+	if sc.Logger != nil {
+		t.Error("NewScope should leave the logger nil (logging opt-in)")
+	}
+}

@@ -1,0 +1,60 @@
+package parallel
+
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Pool-wide execution stats. The pool is fork-join — work is sharded,
+// executed, and joined with no standing queue — so there is no queue
+// depth to report; the honest saturation signals are how many shard
+// goroutines are running right now and how many fan-outs are in
+// flight. Counters are package-level because the pool itself is: every
+// stage in the process shares these numbers, and RegisterMetrics may
+// attach them to any number of registries (the daemon's and a CLI
+// build's at once).
+var (
+	busyWorkers    atomic.Int64
+	inflightFanout atomic.Int64
+	fanoutsTotal   atomic.Uint64
+	shardsTotal    atomic.Uint64
+)
+
+// RegisterMetrics attaches the worker-pool metrics to r. The
+// instruments are pull-style: the hot path pays only the atomic
+// adds already done in For, and values are read at scrape time.
+func RegisterMetrics(r *obs.Registry) {
+	r.Register(
+		obs.NewGaugeFunc("leva_parallel_busy_workers",
+			"Shard goroutines currently executing across all fan-outs.",
+			func() float64 { return float64(busyWorkers.Load()) }),
+		obs.NewGaugeFunc("leva_parallel_inflight_fanouts",
+			"For/ForEach/ForError calls currently executing.",
+			func() float64 { return float64(inflightFanout.Load()) }),
+		obs.NewCounterFunc("leva_parallel_fanouts_total",
+			"Completed fan-outs (For/ForEach/ForError calls), including single-shard inline runs.",
+			func() float64 { return float64(fanoutsTotal.Load()) }),
+		obs.NewCounterFunc("leva_parallel_shards_total",
+			"Shards executed across all fan-outs.",
+			func() float64 { return float64(shardsTotal.Load()) }),
+	)
+}
+
+// trackShard brackets one shard's execution; deferred decrement so a
+// panicking shard doesn't leak a busy worker.
+func trackShard(fn func()) {
+	busyWorkers.Add(1)
+	shardsTotal.Add(1)
+	defer busyWorkers.Add(-1)
+	fn()
+}
+
+// trackFanout brackets one For call.
+func trackFanout() func() {
+	inflightFanout.Add(1)
+	return func() {
+		inflightFanout.Add(-1)
+		fanoutsTotal.Add(1)
+	}
+}

@@ -1,0 +1,65 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestPoolMetricsAccrue(t *testing.T) {
+	r := obs.NewRegistry()
+	RegisterMetrics(r)
+	// Same instruments can attach to a second registry.
+	RegisterMetrics(obs.NewRegistry())
+
+	fanoutsBefore := fanoutsTotal.Load()
+	shardsBefore := shardsTotal.Load()
+
+	For(100, 4, func(shard int, rg Range) {
+		if busyWorkers.Load() < 1 {
+			t.Error("busy workers not tracked during shard execution")
+		}
+		if inflightFanout.Load() < 1 {
+			t.Error("in-flight fan-outs not tracked during execution")
+		}
+	})
+	ForEach(3, 1, func(i int) {}) // inline single-shard path counts too
+
+	if got := fanoutsTotal.Load() - fanoutsBefore; got != 2 {
+		t.Errorf("fanouts delta = %d, want 2", got)
+	}
+	if got := shardsTotal.Load() - shardsBefore; got != 5 {
+		t.Errorf("shards delta = %d, want 5 (4 forked + 1 inline)", got)
+	}
+	if busyWorkers.Load() != 0 || inflightFanout.Load() != 0 {
+		t.Errorf("gauges did not return to zero: busy=%d inflight=%d",
+			busyWorkers.Load(), inflightFanout.Load())
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"leva_parallel_busy_workers",
+		"leva_parallel_inflight_fanouts",
+		"leva_parallel_fanouts_total",
+		"leva_parallel_shards_total",
+	} {
+		if !strings.Contains(sb.String(), "# TYPE "+name+" ") {
+			t.Errorf("registry missing %s:\n%s", name, sb.String())
+		}
+	}
+}
+
+func TestTrackShardRecoversBusyCountOnPanic(t *testing.T) {
+	before := busyWorkers.Load()
+	func() {
+		defer func() { recover() }()
+		trackShard(func() { panic("shard died") })
+	}()
+	if busyWorkers.Load() != before {
+		t.Errorf("busy workers leaked after panic: %d != %d", busyWorkers.Load(), before)
+	}
+}

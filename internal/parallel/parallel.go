@@ -70,10 +70,11 @@ func Shards(n, workers int) []Range {
 // worker (or n <= 1) fn runs inline on the caller's goroutine, making
 // Workers=1 literally the sequential code path.
 func For(n, workers int, fn func(shard int, r Range)) {
+	defer trackFanout()()
 	shards := Shards(n, workers)
 	if len(shards) <= 1 {
 		for s, r := range shards {
-			fn(s, r)
+			trackShard(func() { fn(s, r) })
 		}
 		return
 	}
@@ -82,7 +83,7 @@ func For(n, workers int, fn func(shard int, r Range)) {
 	for s, r := range shards {
 		go func(s int, r Range) {
 			defer wg.Done()
-			fn(s, r)
+			trackShard(func() { fn(s, r) })
 		}(s, r)
 	}
 	wg.Wait()

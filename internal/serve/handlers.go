@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 )
 
 // featurizeRequest is the POST /v1/featurize body. Rows are JSON
@@ -193,8 +194,17 @@ func (s *Server) handleHealthz(st *store, w http.ResponseWriter, _ *http.Request
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot())
+// handleMetrics is GET /metrics: Prometheus text exposition by default,
+// or the legacy JSON snapshot with ?format=json (same field names as
+// before the registry migration — both render from one instrument set).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, s.metrics.snapshot())
+		return
+	}
+	w.Header().Set("Content-Type", obs.TextContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = s.metrics.reg.WritePrometheus(w)
 }
 
 // toValue maps a decoded JSON value to a relational cell. Booleans

@@ -4,127 +4,157 @@ import (
 	"strconv"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
-// latencyBoundsNs are the upper bounds (nanoseconds) of the fixed
-// log-spaced latency histogram buckets; one overflow bucket follows.
-var latencyBoundsNs = []int64{
-	int64(50 * time.Microsecond),
-	int64(100 * time.Microsecond),
-	int64(250 * time.Microsecond),
-	int64(500 * time.Microsecond),
-	int64(time.Millisecond),
-	int64(2500 * time.Microsecond),
-	int64(5 * time.Millisecond),
-	int64(10 * time.Millisecond),
-	int64(25 * time.Millisecond),
-	int64(50 * time.Millisecond),
-	int64(100 * time.Millisecond),
-	int64(250 * time.Millisecond),
-	int64(500 * time.Millisecond),
-	int64(time.Second),
-	int64(2500 * time.Millisecond),
-	int64(5 * time.Second),
-	int64(10 * time.Second),
-}
+// Serving metric family names. The catalog — every family, its labels
+// and meaning — is docs/OBSERVABILITY.md, and a test diffs that table
+// against a live Server's registry so the two cannot drift. Legacy
+// consumers of the JSON snapshot keep their field names too: the same
+// instruments render both GET /metrics (Prometheus text) and
+// GET /metrics?format=json (the pre-obs JSON body, byte-compatible
+// field for field).
+const (
+	metricUptime          = "leva_uptime_seconds"
+	metricInFlight        = "leva_http_in_flight_requests"
+	metricShed            = "leva_http_shed_total"
+	metricPanics          = "leva_http_panics_total"
+	metricRequests        = "leva_http_requests_total"
+	metricRequestErrors   = "leva_http_request_errors_total"
+	metricRequestDuration = "leva_http_request_duration_seconds"
+	metricResponses       = "leva_http_responses_total"
+	metricCacheHits       = "leva_rowcache_hits_total"
+	metricCacheMisses     = "leva_rowcache_misses_total"
+	metricCacheSize       = "leva_rowcache_size"
+	metricCacheCapacity   = "leva_rowcache_capacity"
+	metricRowsFeaturized  = "leva_rows_featurized_total"
+	metricBatches         = "leva_batches_total"
+	metricBatchedRows     = "leva_batched_rows_total"
+	metricGeneration      = "leva_bundle_generation"
+	metricReloads         = "leva_reloads_total"
+	metricReloadFailures  = "leva_reload_failures_total"
+	metricReloadDuration  = "leva_reload_last_duration_seconds"
+	metricReloadUnix      = "leva_reload_last_unix_seconds"
+)
 
 // trackedStatuses are the response codes counted individually; anything
-// else lands in the trailing "other" slot.
+// else lands under code="other".
 var trackedStatuses = []int{200, 400, 404, 413, 429, 500, 503}
 
-// endpointMetrics accumulates per-endpoint counters. All fields are
-// atomics so the hot path never takes a lock.
-type endpointMetrics struct {
-	count      atomic.Int64
-	errors     atomic.Int64   // responses with status >= 400
-	latencySum atomic.Int64   // nanoseconds
-	buckets    []atomic.Int64 // len(latencyBoundsNs)+1, last = overflow
-}
+// endpointNames are the fixed endpoint label values — one per route in
+// Server.Handler.
+var endpointNames = []string{"featurize", "embedding", "healthz", "metrics", "reload"}
 
-func newEndpointMetrics() *endpointMetrics {
-	return &endpointMetrics{buckets: make([]atomic.Int64, len(latencyBoundsNs)+1)}
-}
-
-func (e *endpointMetrics) observe(d time.Duration, status int) {
-	e.count.Add(1)
-	if status >= 400 {
-		e.errors.Add(1)
-	}
-	ns := d.Nanoseconds()
-	e.latencySum.Add(ns)
-	i := 0
-	for i < len(latencyBoundsNs) && ns > latencyBoundsNs[i] {
-		i++
-	}
-	e.buckets[i].Add(1)
-}
-
-// quantile estimates the q-th latency quantile (0 < q < 1) from the
-// histogram, reporting the upper bound of the bucket holding that rank
-// (the overflow bucket reports the largest bound). Zero with no data.
-func (e *endpointMetrics) quantile(q float64) time.Duration {
-	total := int64(0)
-	for i := range e.buckets {
-		total += e.buckets[i].Load()
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := int64(q*float64(total)) + 1
-	cum := int64(0)
-	for i := range e.buckets {
-		cum += e.buckets[i].Load()
-		if cum >= rank {
-			if i < len(latencyBoundsNs) {
-				return time.Duration(latencyBoundsNs[i])
-			}
-			return time.Duration(latencyBoundsNs[len(latencyBoundsNs)-1])
-		}
-	}
-	return time.Duration(latencyBoundsNs[len(latencyBoundsNs)-1])
-}
-
-// metrics is the daemon-wide counter set behind GET /metrics. Hand
-// rolled on sync/atomic: no dependencies, one cache line of cost per
-// request, snapshotted without stopping the world.
+// metrics is the daemon-wide instrument set behind GET /metrics, one
+// per Server (tests assert exact per-instance counts). Every value
+// lives in an obs.Registry — the single source both exposition formats
+// and the reload log lines read from — with lock-free updates on the
+// request hot path.
 type metrics struct {
-	start          time.Time
-	inFlight       atomic.Int64
-	shed           atomic.Int64
-	panics         atomic.Int64
-	statusCounts   []atomic.Int64              // len(trackedStatuses)+1, last = other
-	endpoints      map[string]*endpointMetrics // fixed keys, read-only map
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	cacheLen       func() int
-	cacheCapacity  int
-	rowsFeaturized atomic.Int64
-	batches        atomic.Int64
-	batchedRows    atomic.Int64
+	reg   *obs.Registry
+	start time.Time
 
-	// Hot-reload observability: the serving bundle generation (1 at
-	// startup, +1 per successful swap) plus outcome counters and the
-	// last attempt's duration/time, so operators can see both "did my
-	// SIGHUP take" and "how long was the staging window".
-	generation      atomic.Int64
-	reloads         atomic.Int64
-	reloadFailures  atomic.Int64
-	lastReloadNs    atomic.Int64
-	lastReloadUnix  atomic.Int64
-	lastReloadError atomic.Value // string
+	inFlight       *obs.Gauge
+	shed           *obs.Counter
+	panics         *obs.Counter
+	requests       *obs.CounterVec   // by endpoint
+	requestErrors  *obs.CounterVec   // by endpoint, status >= 400
+	latency        *obs.HistogramVec // by endpoint, seconds
+	statuses       *obs.CounterVec   // by code ("200", ..., "other")
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheCapGauge  *obs.Gauge
+	rowsFeaturized *obs.Counter
+	batches        *obs.Counter
+	batchedRows    *obs.Counter
+
+	generation        *obs.Gauge
+	reloads           *obs.Counter
+	reloadFailures    *obs.Counter
+	lastReloadSeconds *obs.Gauge
+	lastReloadUnix    *obs.Gauge
+	lastReloadError   atomic.Value // string; JSON-only, not a number
+
+	// cacheCapacity and cacheLenFn describe the *current* store's row
+	// cache. cacheLenFn is swapped on hot reload while scrapes may be
+	// rendering, hence the atomic.Value (holds func() int).
+	cacheCapacity atomic.Int64
+	cacheLenFn    atomic.Value // func() int
 }
 
 func newMetrics() *metrics {
-	return &metrics{
-		start:        time.Now(),
-		statusCounts: make([]atomic.Int64, len(trackedStatuses)+1),
-		endpoints: map[string]*endpointMetrics{
-			"featurize": newEndpointMetrics(),
-			"embedding": newEndpointMetrics(),
-			"healthz":   newEndpointMetrics(),
-			"metrics":   newEndpointMetrics(),
-			"reload":    newEndpointMetrics(),
-		},
+	r := obs.NewRegistry()
+	m := &metrics{
+		reg:   r,
+		start: time.Now(),
+		inFlight: r.Gauge(metricInFlight,
+			"HTTP requests currently being handled."),
+		shed: r.Counter(metricShed,
+			"Requests shed with 429 by the concurrency limiter."),
+		panics: r.Counter(metricPanics,
+			"Handler panics recovered into 500 responses."),
+		requests: r.CounterVec(metricRequests,
+			"HTTP requests completed, by endpoint.", "endpoint"),
+		requestErrors: r.CounterVec(metricRequestErrors,
+			"HTTP requests answered with status >= 400, by endpoint.", "endpoint"),
+		latency: r.HistogramVec(metricRequestDuration,
+			"HTTP request wall time, by endpoint.",
+			obs.LatencyBuckets, "endpoint"),
+		statuses: r.CounterVec(metricResponses,
+			"HTTP responses, by status code (untracked codes land under \"other\").", "code"),
+		cacheHits: r.Counter(metricCacheHits,
+			"Featurized-row cache hits."),
+		cacheMisses: r.Counter(metricCacheMisses,
+			"Featurized-row cache misses."),
+		cacheCapGauge: r.Gauge(metricCacheCapacity,
+			"Row-cache capacity in entries (0 = cache disabled)."),
+		rowsFeaturized: r.Counter(metricRowsFeaturized,
+			"Rows featurized by the serving path."),
+		batches: r.Counter(metricBatches,
+			"Micro-batches executed."),
+		batchedRows: r.Counter(metricBatchedRows,
+			"Rows featurized through micro-batches."),
+		generation: r.Gauge(metricGeneration,
+			"Serving bundle generation (1 at startup, +1 per successful reload)."),
+		reloads: r.Counter(metricReloads,
+			"Hot-reload attempts."),
+		reloadFailures: r.Counter(metricReloadFailures,
+			"Hot-reload attempts that failed (the previous bundle kept serving)."),
+		lastReloadSeconds: r.Gauge(metricReloadDuration,
+			"Duration of the last reload attempt."),
+		lastReloadUnix: r.Gauge(metricReloadUnix,
+			"Unix time of the last reload attempt (0 = never)."),
+	}
+	r.Register(obs.NewGaugeFunc(metricUptime,
+		"Seconds since this server was created.",
+		func() float64 { return time.Since(m.start).Seconds() }))
+	r.Register(obs.NewGaugeFunc(metricCacheSize,
+		"Featurized rows currently cached.",
+		func() float64 {
+			if fn, ok := m.cacheLenFn.Load().(func() int); ok && fn != nil {
+				return float64(fn())
+			}
+			return 0
+		}))
+	// Process-wide substrates share their package-level instruments
+	// into this server's registry, so one scrape covers worker-pool
+	// saturation, durability syscall latency, and runtime health.
+	parallel.RegisterMetrics(r)
+	durable.RegisterMetrics(r)
+	obs.RegisterRuntimeMetrics(r)
+	return m
+}
+
+// setRowCache points the cache gauges at the current store's cache.
+// Called at store construction (startup and every reload).
+func (m *metrics) setRowCache(capacity int, lenFn func() int) {
+	m.cacheCapacity.Store(int64(capacity))
+	m.cacheCapGauge.Set(float64(capacity))
+	if lenFn != nil {
+		m.cacheLenFn.Store(lenFn)
 	}
 }
 
@@ -132,11 +162,11 @@ func newMetrics() *metrics {
 // on success (ignored on failure — the serving generation is
 // unchanged).
 func (m *metrics) recordReload(d time.Duration, gen int64, err error) {
-	m.reloads.Add(1)
-	m.lastReloadNs.Store(d.Nanoseconds())
-	m.lastReloadUnix.Store(time.Now().Unix())
+	m.reloads.Inc()
+	m.lastReloadSeconds.Set(d.Seconds())
+	m.lastReloadUnix.Set(float64(time.Now().Unix()))
 	if err != nil {
-		m.reloadFailures.Add(1)
+		m.reloadFailures.Inc()
 		m.lastReloadError.Store(err.Error())
 		return
 	}
@@ -144,16 +174,25 @@ func (m *metrics) recordReload(d time.Duration, gen int64, err error) {
 	_ = gen // generation itself is stored by the swapper while holding the reload lock
 }
 
+// observe accounts one completed request.
 func (m *metrics) observe(endpoint string, status int, d time.Duration) {
-	i := 0
-	for ; i < len(trackedStatuses); i++ {
-		if trackedStatuses[i] == status {
+	code := "other"
+	for _, tracked := range trackedStatuses {
+		if tracked == status {
+			code = strconv.Itoa(status)
 			break
 		}
 	}
-	m.statusCounts[i].Add(1)
-	if e, ok := m.endpoints[endpoint]; ok {
-		e.observe(d, status)
+	m.statuses.With(code).Inc()
+	for _, name := range endpointNames {
+		if name == endpoint {
+			m.requests.With(endpoint).Inc()
+			if status >= 400 {
+				m.requestErrors.With(endpoint).Inc()
+			}
+			m.latency.With(endpoint).ObserveDuration(d)
+			break
+		}
 	}
 }
 
@@ -187,7 +226,9 @@ type reloadSnapshot struct {
 	LastError      string  `json:"lastError,omitempty"`
 }
 
-// metricsSnapshot is the GET /metrics response body.
+// metricsSnapshot is the GET /metrics?format=json response body — the
+// pre-obs JSON schema, field for field, derived from the same registry
+// instruments the Prometheus exposition renders.
 type metricsSnapshot struct {
 	UptimeSeconds       float64                     `json:"uptimeSeconds"`
 	InFlight            int64                       `json:"inFlight"`
@@ -205,52 +246,58 @@ type metricsSnapshot struct {
 func (m *metrics) snapshot() metricsSnapshot {
 	snap := metricsSnapshot{
 		UptimeSeconds:       time.Since(m.start).Seconds(),
-		InFlight:            m.inFlight.Load(),
-		ShedTotal:           m.shed.Load(),
-		PanicsTotal:         m.panics.Load(),
-		Requests:            make(map[string]endpointSnapshot, len(m.endpoints)),
+		InFlight:            int64(m.inFlight.Value()),
+		ShedTotal:           int64(m.shed.Value()),
+		PanicsTotal:         int64(m.panics.Value()),
+		Requests:            make(map[string]endpointSnapshot, len(endpointNames)),
 		ResponsesByStatus:   make(map[string]int64),
-		RowsFeaturizedTotal: m.rowsFeaturized.Load(),
-		BatchesTotal:        m.batches.Load(),
-		BatchedRowsTotal:    m.batchedRows.Load(),
+		RowsFeaturizedTotal: int64(m.rowsFeaturized.Value()),
+		BatchesTotal:        int64(m.batches.Value()),
+		BatchedRowsTotal:    int64(m.batchedRows.Value()),
 		Reload: reloadSnapshot{
-			Generation:     m.generation.Load(),
-			Total:          m.reloads.Load(),
-			Failures:       m.reloadFailures.Load(),
-			LastDurationMs: float64(m.lastReloadNs.Load()) / 1e6,
-			LastUnix:       m.lastReloadUnix.Load(),
+			Generation:     int64(m.generation.Value()),
+			Total:          int64(m.reloads.Value()),
+			Failures:       int64(m.reloadFailures.Value()),
+			LastDurationMs: m.lastReloadSeconds.Value() * 1e3,
+			LastUnix:       int64(m.lastReloadUnix.Value()),
 		},
 	}
 	if e, ok := m.lastReloadError.Load().(string); ok {
 		snap.Reload.LastError = e
 	}
-	for name, e := range m.endpoints {
-		es := endpointSnapshot{Count: e.count.Load(), Errors: e.errors.Load()}
+	for _, name := range endpointNames {
+		h := m.latency.With(name)
+		es := endpointSnapshot{
+			Count:  int64(m.requests.With(name).Value()),
+			Errors: int64(m.requestErrors.With(name).Value()),
+		}
 		if es.Count > 0 {
-			es.LatencyMs = float64(e.latencySum.Load()) / float64(es.Count) / 1e6
-			es.LatencyP50Ms = float64(e.quantile(0.50)) / 1e6
-			es.LatencyP90Ms = float64(e.quantile(0.90)) / 1e6
-			es.LatencyP99Ms = float64(e.quantile(0.99)) / 1e6
+			es.LatencyMs = h.Sum() / float64(h.Count()) * 1e3
+			es.LatencyP50Ms = h.Quantile(0.50) * 1e3
+			es.LatencyP90Ms = h.Quantile(0.90) * 1e3
+			es.LatencyP99Ms = h.Quantile(0.99) * 1e3
 		}
 		snap.Requests[name] = es
 	}
-	for i, code := range trackedStatuses {
-		if n := m.statusCounts[i].Load(); n > 0 {
-			snap.ResponsesByStatus[strconv.Itoa(code)] = n
+	for _, code := range trackedStatuses {
+		key := strconv.Itoa(code)
+		if n := int64(m.statuses.With(key).Value()); n > 0 {
+			snap.ResponsesByStatus[key] = n
 		}
 	}
-	if n := m.statusCounts[len(trackedStatuses)].Load(); n > 0 {
+	if n := int64(m.statuses.With("other").Value()); n > 0 {
 		snap.ResponsesByStatus["other"] = n
 	}
-	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	hits, misses := int64(m.cacheHits.Value()), int64(m.cacheMisses.Value())
+	capacity := int(m.cacheCapacity.Load())
 	snap.Cache = cacheSnapshot{
-		Enabled:  m.cacheCapacity > 0,
-		Capacity: m.cacheCapacity,
+		Enabled:  capacity > 0,
+		Capacity: capacity,
 		Hits:     hits,
 		Misses:   misses,
 	}
-	if m.cacheLen != nil {
-		snap.Cache.Size = m.cacheLen()
+	if fn, ok := m.cacheLenFn.Load().(func() int); ok && fn != nil {
+		snap.Cache.Size = fn()
 	}
 	if hits+misses > 0 {
 		snap.Cache.HitRate = float64(hits) / float64(hits+misses)

@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/obs"
+	"repro/internal/synth"
+)
+
+// metaLines renders the registry and keeps only the # HELP / # TYPE
+// lines — the part of the exposition that is byte-stable regardless of
+// traffic.
+func metaLines(t *testing.T, m *metrics) string {
+	t.Helper()
+	var b strings.Builder
+	if err := m.reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var meta []string
+	for _, line := range strings.Split(b.String(), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			meta = append(meta, line)
+		}
+	}
+	return strings.Join(meta, "\n")
+}
+
+// The serving catalog, byte for byte. A diff here means a metric was
+// renamed, retyped, or re-documented — all of which break dashboards
+// and docs/OBSERVABILITY.md, so the golden is updated deliberately,
+// together with them. Families render in name order.
+const goldenServeMeta = `# HELP leva_batched_rows_total Rows featurized through micro-batches.
+# TYPE leva_batched_rows_total counter
+# HELP leva_batches_total Micro-batches executed.
+# TYPE leva_batches_total counter
+# HELP leva_bundle_generation Serving bundle generation (1 at startup, +1 per successful reload).
+# TYPE leva_bundle_generation gauge
+# HELP leva_durable_errors_total Durable operations (WriteFile/SwapDir/RecoverDir) that returned an error.
+# TYPE leva_durable_errors_total counter
+# HELP leva_durable_fsync_seconds Latency of fsync calls issued by the durability protocol, by target (file or dir).
+# TYPE leva_durable_fsync_seconds histogram
+# HELP leva_durable_publishes_total Completed durable publishes, by kind (file = WriteFile, dir = SwapDir, recover = RecoverDir restoration).
+# TYPE leva_durable_publishes_total counter
+# HELP leva_durable_rename_seconds Latency of rename calls issued by the durability protocol.
+# TYPE leva_durable_rename_seconds histogram
+# HELP leva_go_gc_cycles_total Completed GC cycles since process start.
+# TYPE leva_go_gc_cycles_total counter
+# HELP leva_go_goroutines Number of live goroutines.
+# TYPE leva_go_goroutines gauge
+# HELP leva_go_heap_alloc_bytes Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).
+# TYPE leva_go_heap_alloc_bytes gauge
+# HELP leva_http_in_flight_requests HTTP requests currently being handled.
+# TYPE leva_http_in_flight_requests gauge
+# HELP leva_http_panics_total Handler panics recovered into 500 responses.
+# TYPE leva_http_panics_total counter
+# HELP leva_http_request_duration_seconds HTTP request wall time, by endpoint.
+# TYPE leva_http_request_duration_seconds histogram
+# HELP leva_http_request_errors_total HTTP requests answered with status >= 400, by endpoint.
+# TYPE leva_http_request_errors_total counter
+# HELP leva_http_requests_total HTTP requests completed, by endpoint.
+# TYPE leva_http_requests_total counter
+# HELP leva_http_responses_total HTTP responses, by status code (untracked codes land under "other").
+# TYPE leva_http_responses_total counter
+# HELP leva_http_shed_total Requests shed with 429 by the concurrency limiter.
+# TYPE leva_http_shed_total counter
+# HELP leva_parallel_busy_workers Shard goroutines currently executing across all fan-outs.
+# TYPE leva_parallel_busy_workers gauge
+# HELP leva_parallel_fanouts_total Completed fan-outs (For/ForEach/ForError calls), including single-shard inline runs.
+# TYPE leva_parallel_fanouts_total counter
+# HELP leva_parallel_inflight_fanouts For/ForEach/ForError calls currently executing.
+# TYPE leva_parallel_inflight_fanouts gauge
+# HELP leva_parallel_shards_total Shards executed across all fan-outs.
+# TYPE leva_parallel_shards_total counter
+# HELP leva_reload_failures_total Hot-reload attempts that failed (the previous bundle kept serving).
+# TYPE leva_reload_failures_total counter
+# HELP leva_reload_last_duration_seconds Duration of the last reload attempt.
+# TYPE leva_reload_last_duration_seconds gauge
+# HELP leva_reload_last_unix_seconds Unix time of the last reload attempt (0 = never).
+# TYPE leva_reload_last_unix_seconds gauge
+# HELP leva_reloads_total Hot-reload attempts.
+# TYPE leva_reloads_total counter
+# HELP leva_rowcache_capacity Row-cache capacity in entries (0 = cache disabled).
+# TYPE leva_rowcache_capacity gauge
+# HELP leva_rowcache_hits_total Featurized-row cache hits.
+# TYPE leva_rowcache_hits_total counter
+# HELP leva_rowcache_misses_total Featurized-row cache misses.
+# TYPE leva_rowcache_misses_total counter
+# HELP leva_rowcache_size Featurized rows currently cached.
+# TYPE leva_rowcache_size gauge
+# HELP leva_rows_featurized_total Rows featurized by the serving path.
+# TYPE leva_rows_featurized_total counter
+# HELP leva_uptime_seconds Seconds since this server was created.
+# TYPE leva_uptime_seconds gauge`
+
+func TestMetricsPrometheusGolden(t *testing.T) {
+	got := metaLines(t, newMetrics())
+	if got != goldenServeMeta {
+		t.Errorf("HELP/TYPE lines drifted from golden.\ngot:\n%s\n\nwant:\n%s", got, goldenServeMeta)
+	}
+}
+
+func TestMetricsPrometheusEndToEnd(t *testing.T) {
+	_, loaded, spec := fixture(t)
+	srv := New(loaded, Config{CacheSize: 64})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := mustJSON(map[string]any{
+		"table": spec.BaseTable,
+		"rows":  []any{jsonRow(spec.DB.Table(spec.BaseTable), 0)},
+	})
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(ts.URL+"/v1/featurize", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.TextContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.TextContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	// The scrape itself is the 3rd request but is observed after its
+	// body is written, so it must not be in its own counters yet.
+	for _, want := range []string{
+		`leva_http_requests_total{endpoint="featurize"} 2`,
+		`leva_http_responses_total{code="200"} 2`,
+		`leva_http_request_duration_seconds_count{endpoint="featurize"} 2`,
+		`leva_rowcache_hits_total 1`,
+		`leva_rowcache_misses_total 1`,
+		`leva_rowcache_capacity 64`,
+		`leva_rows_featurized_total 2`,
+		`leva_bundle_generation 1`,
+		`leva_http_request_duration_seconds_bucket{endpoint="featurize",le="+Inf"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if !strings.Contains(text, `le="0.005"`) {
+		t.Error("exposition has no latency bucket boundaries")
+	}
+}
+
+// TestMetricsConcurrentScrapeAndReload drives featurization, Prometheus
+// scrapes, JSON snapshots, and hot reloads all at once. Run under
+// -race, this is the proof that the registry's hot paths and the
+// reload-time cacheLen swap are properly synchronized.
+func TestMetricsConcurrentScrapeAndReload(t *testing.T) {
+	_, loaded, spec := fixture(t)
+	srv := New(loaded, Config{
+		CacheSize: 64,
+		Loader:    func() (*core.Result, error) { return loaded, nil },
+	})
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := mustJSON(map[string]any{
+		"table": spec.BaseTable,
+		"rows":  []any{jsonRow(spec.DB.Table(spec.BaseTable), 0)},
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Post(ts.URL+"/v1/featurize", "application/json", strings.NewReader(body))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				url := ts.URL + "/metrics"
+				if i%2 == 1 {
+					url += "?format=json"
+				}
+				resp, err := http.Get(url)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if err := srv.Reload(); err != nil {
+					t.Errorf("reload: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := srv.metrics.snapshot()
+	if snap.Reload.Total != 20 || snap.Reload.Generation != 21 {
+		t.Errorf("reloads = %d, generation = %d, want 20 and 21", snap.Reload.Total, snap.Reload.Generation)
+	}
+	if snap.Requests["featurize"].Count != 40 {
+		t.Errorf("featurize count = %d, want 40", snap.Requests["featurize"].Count)
+	}
+}
+
+// TestMetricsCatalogMatchesDocs diffs the live registries against the
+// catalog tables in docs/OBSERVABILITY.md: every family a Server or an
+// instrumented build emits must be documented, and every documented
+// leva_* family must still exist. This is the guarantee the runbook
+// sells — the doc IS the metric surface.
+func TestMetricsCatalogMatchesDocs(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, name := range regexp.MustCompile("`(leva_[a-z0-9_]+)`").FindAllStringSubmatch(string(raw), -1) {
+		documented[name[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no leva_* metric names found in docs/OBSERVABILITY.md")
+	}
+
+	emitted := map[string]bool{}
+	// The serving surface: everything a Server's registry holds.
+	for _, f := range newMetrics().reg.Families() {
+		emitted[f.Name] = true
+	}
+	// The offline-pipeline surface: run one tiny scoped build (with a
+	// stage cache, so lookup families register) plus one featurization.
+	sc := obs.NewScope()
+	bspec := synth.Student(synth.StudentOptions{Students: 12, Seed: 3})
+	res, err := core.BuildEmbedding(bspec.DB, core.Config{
+		Dim: 4, Method: embed.MethodMF, Seed: 3, Workers: 1,
+		CacheDir: t.TempDir(), Obs: sc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Featurize(bspec.DB.Table(bspec.BaseTable), bspec.BaseTable,
+		[]string{bspec.Target}, func(i int) int { return i }); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sc.Registry.Families() {
+		emitted[f.Name] = true
+	}
+
+	for name := range emitted {
+		if !documented[name] {
+			t.Errorf("metric %s is emitted but missing from docs/OBSERVABILITY.md", name)
+		}
+	}
+	for name := range documented {
+		if !emitted[name] {
+			t.Errorf("docs/OBSERVABILITY.md documents %s, which no registry emits", name)
+		}
+	}
+}

@@ -86,7 +86,7 @@ func (s *Server) serveRecovered(name string, h http.Handler, rec *statusRecorder
 		if v == http.ErrAbortHandler {
 			panic(v)
 		}
-		s.metrics.panics.Add(1)
+		s.metrics.panics.Inc()
 		if s.logger != nil {
 			s.logger.LogAttrs(r.Context(), slog.LevelError, "handler panic",
 				slog.String("endpoint", name),
@@ -114,7 +114,7 @@ func (s *Server) limit(h http.Handler) http.Handler {
 			defer func() { <-s.sem }()
 			h.ServeHTTP(w, r)
 		default:
-			s.metrics.shed.Add(1)
+			s.metrics.shed.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "server saturated: %d requests already in flight", s.cfg.MaxInFlight)
 		}

@@ -53,7 +53,7 @@ func (s *Server) reloadLocked() (int64, error) {
 	next := newStore(res, s.cfg, s.metrics)
 	next.gen = cur.gen + 1
 	s.st.Store(next)
-	s.metrics.generation.Store(next.gen)
+	s.metrics.generation.Set(float64(next.gen))
 	// Drop the serving reference of the replaced store; its batcher
 	// stops once the last in-flight request using it finishes.
 	cur.release()

@@ -10,7 +10,8 @@
 //	POST /v1/featurize        rows in, dense feature vectors out
 //	GET  /v1/embedding/{token} one embedding vector
 //	GET  /healthz             liveness
-//	GET  /metrics             request/latency/cache counters (JSON)
+//	GET  /metrics             Prometheus text (?format=json for the
+//	                          legacy JSON snapshot)
 //
 // The HTTP layer carries the production plumbing: a concurrency
 // limiter that sheds excess load with 429s, per-request timeouts,
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Config tunes the serving daemon. The zero value gets sensible
@@ -136,7 +138,7 @@ func New(res *core.Result, cfg Config) *Server {
 	first := newStore(res, cfg, m)
 	first.gen = 1
 	s.st.Store(first)
-	m.generation.Store(1)
+	m.generation.Set(1)
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -159,6 +161,11 @@ func (s *Server) Handler() http.Handler {
 // curStore returns the currently serving store without pinning it —
 // for tests and metrics; request paths use acquireStore.
 func (s *Server) curStore() *store { return s.st.Load() }
+
+// Registry exposes the server's metric registry — the instruments
+// behind GET /metrics — so embedding binaries (cmd/levad) can mount
+// additional views such as /debug/vars.
+func (s *Server) Registry() *obs.Registry { return s.metrics.reg }
 
 // acquireStore pins the serving store for one request: the returned
 // store stays fully usable (batcher included) until release, even if a

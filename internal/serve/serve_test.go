@@ -412,7 +412,7 @@ func TestMetricsAndCacheCounters(t *testing.T) {
 		}
 	}
 
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

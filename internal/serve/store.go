@@ -46,8 +46,7 @@ func newStore(res *core.Result, cfg Config, m *metrics) *store {
 	s.refs.Store(1) // the serving reference
 	if cfg.CacheSize > 0 {
 		s.cache = newLRU(cfg.CacheSize)
-		m.cacheCapacity = cfg.CacheSize
-		m.cacheLen = s.cache.len
+		m.setRowCache(cfg.CacheSize, s.cache.len)
 	}
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(cfg.BatchWindow, cfg.BatchMax, s.runBatch)
@@ -140,8 +139,8 @@ func (s *store) featurizeRows(ctx context.Context, jobs []*rowJob) (int, error) 
 			}
 			misses = append(misses, j)
 		}
-		s.metrics.cacheHits.Add(int64(hits))
-		s.metrics.cacheMisses.Add(int64(len(misses)))
+		s.metrics.cacheHits.Add(float64(hits))
+		s.metrics.cacheMisses.Add(float64(len(misses)))
 	}
 	if len(misses) > 0 {
 		var err error
@@ -159,7 +158,7 @@ func (s *store) featurizeRows(ctx context.Context, jobs []*rowJob) (int, error) 
 			}
 		}
 	}
-	s.metrics.rowsFeaturized.Add(int64(len(jobs)))
+	s.metrics.rowsFeaturized.Add(float64(len(jobs)))
 	return hits, nil
 }
 
@@ -185,8 +184,8 @@ func (s *store) compute(ctx context.Context, jobs []*rowJob) error {
 // runBatch is the batcher's executor: one gathered batch, featurized in
 // parallel, each job's error delivered individually.
 func (s *store) runBatch(batch []*featJob) {
-	s.metrics.batches.Add(1)
-	s.metrics.batchedRows.Add(int64(len(batch)))
+	s.metrics.batches.Inc()
+	s.metrics.batchedRows.Add(float64(len(batch)))
 	parallel.For(len(batch), s.workers, func(_ int, pr parallel.Range) {
 		for i := pr.Lo; i < pr.Hi; i++ {
 			fj := batch[i]

@@ -25,7 +25,7 @@ go build -o "$SMOKE/bin/" ./cmd/leva ./cmd/levad ./cmd/levagen
     -out "$SMOKE/embedding.tsv" -bundle "$SMOKE/bundle"
 
 "$SMOKE/bin/levad" -bundle "$SMOKE/bundle" -addr 127.0.0.1:0 \
-    -ready-file "$SMOKE/addr" 2>"$SMOKE/levad.log" &
+    -debug-addr 127.0.0.1:0 -ready-file "$SMOKE/addr" 2>"$SMOKE/levad.log" &
 LEVAD_PID=$!
 
 # Wait for the daemon to publish its bound address.
@@ -46,7 +46,15 @@ curl -fsS -X POST "http://$ADDR/v1/featurize" \
     -H 'Content-Type: application/json' \
     -d '{"table":"expenses","rows":[{"name":"student_00001","gender":"female","school_name":"school_1"}],"exclude":["total_expenses"]}' \
     | grep -q '"features"'
-curl -fsS "http://$ADDR/metrics" | grep -q '"requests"'
+# /metrics serves Prometheus text by default and the legacy JSON
+# snapshot behind ?format=json; both must render from one registry.
+curl -fsS "http://$ADDR/metrics" | grep -q '^leva_http_requests_total{endpoint="featurize"} 1$'
+curl -fsS "http://$ADDR/metrics?format=json" | grep -q '"requests"'
+
+# The -debug-addr listener: pprof and the registry as JSON.
+DEBUG_ADDR=$(cat "$SMOKE/addr.debug")
+curl -fsS "http://$DEBUG_ADDR/debug/vars" | grep -q '"leva_http_requests_total"'
+curl -fsS "http://$DEBUG_ADDR/debug/pprof/cmdline" > /dev/null
 
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$LEVAD_PID"
@@ -149,7 +157,9 @@ if [ "$BEFORE" = "$AFTER" ]; then
     echo "featurization unchanged after reload" >&2
     exit 1
 fi
-curl -fsS "http://$ADDR/metrics" | grep -q '"reload"'
+curl -fsS "http://$ADDR/metrics" | grep -q '^leva_reloads_total 1$'
+curl -fsS "http://$ADDR/metrics" | grep -q '^leva_bundle_generation 2$'
+curl -fsS "http://$ADDR/metrics?format=json" | grep -q '"reload"'
 
 kill -TERM "$LEVAD_PID"
 wait "$LEVAD_PID"
@@ -168,9 +178,17 @@ CACHE="$SMOKE/stage-cache"
 grep -q 'cache: textify=rebuilt tables=0/3 graph=rebuilt embed=rebuilt' "$SMOKE/cache_cold.log"
 
 "$SMOKE/bin/leva" embed -data "$SMOKE/csv" -dim 8 -seed 7 -workers 1 \
-    -cache "$CACHE" -out "$SMOKE/cache_warm.tsv" > "$SMOKE/cache_warm.log"
+    -cache "$CACHE" -out "$SMOKE/cache_warm.tsv" -metrics-dump \
+    > "$SMOKE/cache_warm.log" 2> "$SMOKE/cache_warm_metrics.log"
 grep -q 'cache: textify=cached tables=3/3 graph=cached embed=cached' "$SMOKE/cache_warm.log"
 cmp "$SMOKE/cache_cold.tsv" "$SMOKE/cache_warm.tsv"
+
+# -metrics-dump prints the build registry (Prometheus text) on stderr,
+# and its cache counters agree with the report line: a fully warm build
+# is two hits, zero misses.
+grep -q '^# TYPE leva_build_stage_duration_seconds histogram$' "$SMOKE/cache_warm_metrics.log"
+grep -q '^leva_builds_total 1$' "$SMOKE/cache_warm_metrics.log"
+grep -q '^leva_build_cache_lookups_total{stage="embed",outcome="hit"} 1$' "$SMOKE/cache_warm_metrics.log"
 
 # Mutate a single table: append a copy of the last data row.
 LAST_ROW=$(tail -n 1 "$SMOKE/csv/price_info.csv")
