@@ -20,6 +20,8 @@ import (
 	"time"
 
 	leva "repro"
+	"repro/internal/ann"
+	"repro/internal/core"
 	"repro/internal/durable"
 	"repro/internal/obs"
 )
@@ -39,6 +41,8 @@ func main() {
 		err = runApply(os.Args[2:])
 	case "inspect":
 		err = runInspect(os.Args[2:])
+	case "neighbors":
+		err = runNeighbors(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -51,9 +55,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  leva embed -data <csv dir> [-out emb.tsv] [-bundle dir] [-dim N] [-method auto|mf|rw] [-bins N] [-seed N] [-workers N] [-cache DIR | -no-cache] [-metrics-dump]
+  leva embed -data <csv dir> [-out emb.tsv] [-bundle dir] [-index dir] [-dim N] [-method auto|mf|rw] [-bins N] [-seed N] [-workers N] [-cache DIR | -no-cache] [-metrics-dump]
   leva train -data <csv dir> -base <table> -target <column> [-dim N] [-method ...] [-seed N] [-workers N] [-cache DIR | -no-cache] [-metrics-dump]
   leva apply -bundle <dir> -data <csv dir> -table <name> [-out features.tsv] [-exclude col1,col2]
+  leva neighbors -index <dir> -token <entity> [-k N] [-ef N]
   leva inspect -data <csv dir>`)
 }
 
@@ -133,6 +138,7 @@ func runEmbed(args []string) error {
 	data, dim, method, bins, seed, workers, cache, noCache := pipelineFlags(fs)
 	out := fs.String("out", "embedding.tsv", "output TSV path")
 	bundle := fs.String("bundle", "", "also save a reusable deployment bundle to this directory")
+	index := fs.String("index", "", "also build and save an HNSW ANN index over the embedding to this directory (for levad -index)")
 	dump := fs.Bool("metrics-dump", false, "print build metrics to stderr in Prometheus text format")
 	fs.Parse(args)
 	if *data == "" {
@@ -175,7 +181,61 @@ func runEmbed(args []string) error {
 		}
 		fmt.Printf("saved deployment bundle to %s\n", *bundle)
 	}
+	if *index != "" {
+		// The index derives from the embedding content, so it shares
+		// the pipeline's stage cache: re-running embed with an
+		// unchanged embedding serves the index from cache too.
+		var annCache *core.Cache
+		if cfg.CacheDir != "" {
+			annCache = core.NewCache(cfg.CacheDir)
+		}
+		stage := &core.ANNStage{
+			Embedding: res.Embedding,
+			Opts:      ann.Options{Seed: *seed},
+			Cache:     annCache,
+		}
+		annStart := time.Now()
+		ix, cached, err := stage.Run()
+		if err != nil {
+			return err
+		}
+		if err := ix.Save(*index); err != nil {
+			return err
+		}
+		src := "built"
+		if cached {
+			src = "cached"
+		}
+		fmt.Printf("saved ANN index (%d vectors, %s in %v) to %s\n",
+			ix.Len(), src, time.Since(annStart).Round(time.Millisecond), *index)
+	}
 	return dumpMetrics(sc)
+}
+
+// runNeighbors queries a saved ANN index from the shell: one line per
+// neighbor, "token<tab>score", nearest first.
+func runNeighbors(args []string) error {
+	fs := flag.NewFlagSet("neighbors", flag.ExitOnError)
+	index := fs.String("index", "", "ANN index directory (from embed -index)")
+	token := fs.String("token", "", "entity to look up (a token, or table:rowIdx for rows)")
+	k := fs.Int("k", 10, "neighbors to return")
+	ef := fs.Int("ef", 0, "search beam width (0 = index default; larger = higher recall)")
+	fs.Parse(args)
+	if *index == "" || *token == "" {
+		return fmt.Errorf("neighbors: -index and -token are required")
+	}
+	ix, err := ann.Load(*index)
+	if err != nil {
+		return err
+	}
+	results, err := ix.SearchName(*token, *k, *ef)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%s\t%g\n", r.Name, r.Score)
+	}
+	return nil
 }
 
 // runApply featurizes a table with a previously saved bundle and writes

@@ -10,9 +10,11 @@
 //
 //	POST /v1/featurize         rows in, dense feature vectors out
 //	GET  /v1/embedding/{token}  one embedding vector
+//	GET  /v1/neighbors          top-k ANN neighbors by token (with -index)
+//	POST /v1/neighbors          top-k ANN neighbors by token or raw vector
 //	GET  /healthz              liveness (+ serving bundle generation)
 //	GET  /metrics              Prometheus text (?format=json for JSON)
-//	POST /admin/reload         hot-reload the bundle directory
+//	POST /admin/reload         hot-reload the bundle (and index) directory
 //
 // With -debug-addr, a second listener serves net/http/pprof under
 // /debug/pprof/ and a JSON metric dump at /debug/vars — bind it to
@@ -45,6 +47,7 @@ import (
 	"time"
 
 	leva "repro"
+	"repro/internal/ann"
 	"repro/internal/serve"
 )
 
@@ -60,6 +63,7 @@ func main() {
 func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("levad", flag.ContinueOnError)
 	bundle := fs.String("bundle", "", "deployment bundle directory (required; from `leva embed -bundle`)")
+	indexDir := fs.String("index", "", "ANN index directory (from `leva embed -index`); enables /v1/neighbors")
 	addr := fs.String("addr", ":9090", "HTTP listen address (use 127.0.0.1:0 for an ephemeral port)")
 	maxInFlight := fs.Int("max-inflight", 64, "concurrent requests admitted before shedding 429s")
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request handler budget (503 on expiry)")
@@ -110,16 +114,37 @@ func run(ctx context.Context, args []string) error {
 	cfg.Loader = func() (*leva.Result, error) {
 		return leva.LoadBundleWarn(*bundle, warn)
 	}
+	if *indexDir != "" {
+		ix, err := ann.Load(*indexDir)
+		if err != nil {
+			return fmt.Errorf("load ANN index: %w", err)
+		}
+		if ix.Dim() != res.Embedding.Dim {
+			return fmt.Errorf("ANN index dim %d does not match bundle embedding dim %d (rebuild with leva embed -index)",
+				ix.Dim(), res.Embedding.Dim)
+		}
+		cfg.Index = ix
+		// The index reloads from the same directory alongside the
+		// bundle, so one SIGHUP swaps both atomically (or neither).
+		cfg.IndexLoader = func() (*ann.Index, error) {
+			return ann.Load(*indexDir)
+		}
+	}
 	srv := serve.New(res, cfg)
 	bound, err := srv.Listen()
 	if err != nil {
 		return err
+	}
+	annVectors := 0
+	if cfg.Index != nil {
+		annVectors = cfg.Index.Len()
 	}
 	logger.Info("serving",
 		slog.String("bundle", *bundle),
 		slog.String("addr", bound.String()),
 		slog.Int("vectors", res.Embedding.Len()),
 		slog.Int("dim", res.Embedding.Dim),
+		slog.Int("annVectors", annVectors),
 		slog.String("method", string(res.MethodUsed)),
 	)
 

@@ -1,0 +1,525 @@
+// Package ann provides a dependency-free HNSW (Hierarchical Navigable
+// Small World) approximate-nearest-neighbor index over Leva's
+// relational embeddings. Entity resolution, token/row matching and
+// online `/v1/neighbors` serving all reduce to "top-k most similar
+// vectors"; this package answers that in sub-millisecond time over
+// collections where the brute-force scan in internal/er is quadratic.
+//
+// # Determinism contract
+//
+// Build is fully deterministic for a fixed (vectors, Options) input:
+// node levels are drawn from a single rand.Rand seeded with
+// Options.Seed in insertion order, nodes are inserted sequentially,
+// and every neighbor selection breaks distance ties by node id. Two
+// builds of the same input therefore produce byte-identical Encode
+// output, at every GOMAXPROCS and worker count — the same property the
+// embedding pipeline guarantees, extended to the index artifact so the
+// stage cache can treat it as content-addressed.
+//
+// Search is read-only after Build returns; an *Index may be queried
+// from any number of goroutines concurrently.
+package ann
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/embed"
+)
+
+// Metric selects the vector similarity an index is built for.
+type Metric string
+
+const (
+	// MetricCosine ranks by cosine similarity. Vectors are normalized
+	// to unit length at build (and query) time, so scores are in
+	// [-1, 1] and match embed/er cosine exactly for nonzero vectors.
+	MetricCosine Metric = "cosine"
+	// MetricDot ranks by raw inner product (for vectors whose norm is
+	// meaningful, e.g. popularity-scaled embeddings).
+	MetricDot Metric = "dot"
+)
+
+// maxLevelCap bounds node levels so a hostile or corrupt file can
+// never claim an absurd layer count; with mL = 1/ln(M) the probability
+// of a legitimate draw reaching 30 is negligible for any real n.
+const maxLevelCap = 30
+
+// Options configures an HNSW build. The zero value means "defaults".
+type Options struct {
+	// M is the maximum number of neighbors kept per node on layers
+	// above the base; the base layer keeps 2M. Default 16.
+	M int
+	// EfConstruction is the beam width used while inserting nodes;
+	// larger values build a higher-recall graph more slowly.
+	// Default 200.
+	EfConstruction int
+	// EfSearch is the default query-time beam width, used when a
+	// search passes ef <= 0. Larger values trade latency for recall.
+	// Default 64.
+	EfSearch int
+	// Metric selects cosine (default) or dot-product ranking.
+	Metric Metric
+	// Seed feeds the level generator. Fixed seed + fixed input =
+	// byte-identical index (see the package determinism contract).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.M <= 0 {
+		o.M = 16
+	}
+	if o.EfConstruction <= 0 {
+		o.EfConstruction = 200
+	}
+	if o.EfSearch <= 0 {
+		o.EfSearch = 64
+	}
+	if o.Metric == "" {
+		o.Metric = MetricCosine
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.M < 2 {
+		return fmt.Errorf("ann: M must be >= 2, got %d", o.M)
+	}
+	if o.Metric != MetricCosine && o.Metric != MetricDot {
+		return fmt.Errorf("ann: unknown metric %q (want %q or %q)", o.Metric, MetricCosine, MetricDot)
+	}
+	return nil
+}
+
+// ErrUnknownName is returned (wrapped) by SearchName for a name the
+// index does not hold.
+var ErrUnknownName = errors.New("ann: name not in index")
+
+// Result is one search hit.
+type Result struct {
+	// ID is the hit's slot in Names() order (stable across save/load).
+	ID int
+	// Name is the embedded entity name (a token, or "table:rowIdx").
+	Name string
+	// Score is the similarity under the index metric: cosine
+	// similarity for MetricCosine, inner product for MetricDot.
+	// Results are ordered by descending score, ties by ascending ID.
+	Score float64
+}
+
+// Index is an immutable HNSW graph over a fixed vector collection.
+// All methods are safe for concurrent use once Build returns.
+type Index struct {
+	opts   Options
+	dim    int
+	names  []string
+	byName map[string]int32
+	// vecs holds all vectors row-major (n x dim), unit-normalized for
+	// MetricCosine.
+	vecs     []float64
+	levels   []int32
+	links    [][][]int32 // links[node][layer] = neighbor ids
+	entry    int32
+	maxLevel int32
+}
+
+// Build indexes every vector of e under opts.
+func Build(e *embed.Embedding, opts Options) (*Index, error) {
+	if e == nil || e.Len() == 0 {
+		return nil, errors.New("ann: cannot build an index over an empty embedding")
+	}
+	vecs := make([][]float64, e.Len())
+	for i := range vecs {
+		vecs[i] = e.Matrix().Row(i)
+	}
+	return BuildVectors(e.Names(), vecs, opts)
+}
+
+// BuildVectors indexes the given vectors, where vecs[i] is the vector
+// for names[i]. Vectors are copied (and normalized for MetricCosine);
+// the inputs are not retained.
+func BuildVectors(names []string, vecs [][]float64, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	n := len(names)
+	if n == 0 {
+		return nil, errors.New("ann: cannot build an index over zero vectors")
+	}
+	if n != len(vecs) {
+		return nil, fmt.Errorf("ann: %d names for %d vectors", n, len(vecs))
+	}
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("ann: %d vectors exceeds the int32 id space", n)
+	}
+	dim := len(vecs[0])
+	if dim == 0 {
+		return nil, errors.New("ann: zero-dimensional vectors")
+	}
+	start := time.Now()
+	ix := &Index{
+		opts:   opts,
+		dim:    dim,
+		names:  append([]string(nil), names...),
+		byName: make(map[string]int32, n),
+		vecs:   make([]float64, n*dim),
+		levels: make([]int32, n),
+		links:  make([][][]int32, n),
+		entry:  -1,
+	}
+	for i, name := range ix.names {
+		if _, dup := ix.byName[name]; dup {
+			return nil, fmt.Errorf("ann: duplicate name %q", name)
+		}
+		ix.byName[name] = int32(i)
+	}
+	for i, v := range vecs {
+		if len(v) != dim {
+			return nil, fmt.Errorf("ann: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+		row := ix.vecs[i*dim : (i+1)*dim]
+		copy(row, v)
+		if opts.Metric == MetricCosine {
+			normalize(row)
+		}
+	}
+
+	// Draw every node's level up front from one seeded stream, then
+	// insert sequentially: the only randomness in the whole build.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	mL := 1 / math.Log(float64(opts.M))
+	for i := range ix.levels {
+		ix.levels[i] = drawLevel(rng, mL)
+		ix.links[i] = make([][]int32, ix.levels[i]+1)
+	}
+	for i := 0; i < n; i++ {
+		ix.insert(int32(i))
+	}
+
+	buildsTotal.Inc()
+	buildSeconds.ObserveDuration(time.Since(start))
+	return ix, nil
+}
+
+func drawLevel(rng *rand.Rand, mL float64) int32 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	lvl := int32(math.Floor(-math.Log(u) * mL))
+	if lvl > maxLevelCap {
+		lvl = maxLevelCap
+	}
+	return lvl
+}
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int { return len(ix.names) }
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Opts returns the (defaulted) build options.
+func (ix *Index) Opts() Options { return ix.opts }
+
+// Names returns the indexed names in id order (shared; do not mutate).
+func (ix *Index) Names() []string { return ix.names }
+
+// Has reports whether name is indexed.
+func (ix *Index) Has(name string) bool {
+	_, ok := ix.byName[name]
+	return ok
+}
+
+// vec returns the stored (possibly normalized) vector of node id.
+func (ix *Index) vec(id int32) []float64 {
+	return ix.vecs[int(id)*ix.dim : (int(id)+1)*ix.dim]
+}
+
+// dist is the internal ordering key: negated inner product, so smaller
+// is more similar under both metrics (cosine vectors are pre-normalized).
+func (ix *Index) dist(q []float64, id int32) float64 {
+	v := ix.vec(id)
+	var dot float64
+	for i, x := range q {
+		dot += x * v[i]
+	}
+	return -dot
+}
+
+// cand is a (distance, id) pair; every ordering decision in the index
+// goes through candLess so distance ties always break by ascending id —
+// the root of the determinism contract.
+type cand struct {
+	dist float64
+	id   int32
+}
+
+func candLess(a, b cand) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	return a.id < b.id
+}
+
+// SearchVector returns the k nearest stored vectors to q, best first.
+// ef <= 0 uses Options.EfSearch; ef is raised to k when smaller.
+func (ix *Index) SearchVector(q []float64, k, ef int) ([]Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("ann: query has dim %d, index has dim %d", len(q), ix.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ann: k must be positive, got %d", k)
+	}
+	if ix.opts.Metric == MetricCosine {
+		qn := make([]float64, len(q))
+		copy(qn, q)
+		normalize(qn)
+		q = qn
+	}
+	return ix.results(ix.search(q, k, ef)), nil
+}
+
+// SearchName returns the k nearest neighbors of an indexed entity,
+// excluding the entity itself. Unknown names return an error wrapping
+// ErrUnknownName.
+func (ix *Index) SearchName(name string, k, ef int) ([]Result, error) {
+	id, ok := ix.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownName, name)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ann: k must be positive, got %d", k)
+	}
+	// Ask for one extra: the entity is its own nearest neighbor.
+	hits := ix.search(ix.vec(id), k+1, ef)
+	out := make([]Result, 0, k)
+	for _, c := range hits {
+		if c.id == id {
+			continue
+		}
+		out = append(out, Result{ID: int(c.id), Name: ix.names[c.id], Score: -c.dist})
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (ix *Index) results(hits []cand) []Result {
+	out := make([]Result, len(hits))
+	for i, c := range hits {
+		out[i] = Result{ID: int(c.id), Name: ix.names[c.id], Score: -c.dist}
+	}
+	return out
+}
+
+// search runs the layered HNSW query and returns up to k candidates
+// sorted best-first. q must already be normalized for MetricCosine.
+func (ix *Index) search(q []float64, k, ef int) []cand {
+	start := time.Now()
+	if ef <= 0 {
+		ef = ix.opts.EfSearch
+	}
+	if ef < k {
+		ef = k
+	}
+	ep := ix.entry
+	for lc := ix.maxLevel; lc > 0; lc-- {
+		ep = ix.greedy(q, ep, lc)
+	}
+	w := ix.searchLayer(q, ep, ef, 0)
+	if len(w) > k {
+		w = w[:k]
+	}
+	queriesTotal.Inc()
+	querySeconds.ObserveDuration(time.Since(start))
+	return w
+}
+
+// greedy descends one layer: repeatedly move to the best neighbor
+// until no neighbor improves on the current node.
+func (ix *Index) greedy(q []float64, ep int32, lvl int32) int32 {
+	best := cand{ix.dist(q, ep), ep}
+	for {
+		improved := false
+		for _, nb := range ix.linksAt(best.id, lvl) {
+			c := cand{ix.dist(q, nb), nb}
+			if candLess(c, best) {
+				best = c
+				improved = true
+			}
+		}
+		if !improved {
+			return best.id
+		}
+	}
+}
+
+func (ix *Index) linksAt(id, lvl int32) []int32 {
+	ls := ix.links[id]
+	if int(lvl) >= len(ls) {
+		return nil
+	}
+	return ls[lvl]
+}
+
+// searchLayer is the HNSW beam search on one layer: expand the closest
+// unexpanded candidate until it cannot improve the current ef-sized
+// result set. Returns candidates sorted best-first.
+func (ix *Index) searchLayer(q []float64, ep int32, ef int, lvl int32) []cand {
+	d0 := cand{ix.dist(q, ep), ep}
+	visited := map[int32]bool{ep: true}
+	candidates := candHeap{min: true}
+	candidates.push(d0)
+	results := candHeap{min: false}
+	results.push(d0)
+	for candidates.len() > 0 {
+		c := candidates.pop()
+		if results.len() >= ef && candLess(results.peek(), c) {
+			break
+		}
+		for _, nb := range ix.linksAt(c.id, lvl) {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			d := cand{ix.dist(q, nb), nb}
+			if results.len() < ef || candLess(d, results.peek()) {
+				candidates.push(d)
+				results.push(d)
+				if results.len() > ef {
+					results.pop()
+				}
+			}
+		}
+	}
+	out := results.drain()
+	sort.Slice(out, func(i, j int) bool { return candLess(out[i], out[j]) })
+	return out
+}
+
+// maxConn is the stored-degree cap: 2M on the base layer, M above.
+func (ix *Index) maxConn(lvl int32) int {
+	if lvl == 0 {
+		return 2 * ix.opts.M
+	}
+	return ix.opts.M
+}
+
+// insert wires node i into the graph (nodes 0..i-1 already inserted).
+func (ix *Index) insert(i int32) {
+	if ix.entry < 0 {
+		ix.entry = i
+		ix.maxLevel = ix.levels[i]
+		return
+	}
+	q := ix.vec(i)
+	ep := ix.entry
+	for lc := ix.maxLevel; lc > ix.levels[i]; lc-- {
+		ep = ix.greedy(q, ep, lc)
+	}
+	top := ix.levels[i]
+	if top > ix.maxLevel {
+		top = ix.maxLevel
+	}
+	for lc := top; lc >= 0; lc-- {
+		w := ix.searchLayer(q, ep, ix.opts.EfConstruction, lc)
+		nbs := ix.selectNeighbors(q, w, ix.opts.M)
+		ix.links[i][lc] = nbs
+		limit := ix.maxConn(lc)
+		for _, nb := range nbs {
+			ix.links[nb][lc] = append(ix.links[nb][lc], i)
+			if len(ix.links[nb][lc]) > limit {
+				ix.shrink(nb, lc, limit)
+			}
+		}
+		ep = w[0].id
+	}
+	if ix.levels[i] > ix.maxLevel {
+		ix.entry = i
+		ix.maxLevel = ix.levels[i]
+	}
+}
+
+// selectNeighbors is the HNSW heuristic: walk candidates best-first,
+// keeping one only if it is closer to q than to every neighbor already
+// kept (so the kept set spreads across directions instead of
+// clustering), then fill any remaining slots with the nearest pruned
+// candidates to preserve connectivity.
+func (ix *Index) selectNeighbors(q []float64, cands []cand, m int) []int32 {
+	if len(cands) <= m {
+		out := make([]int32, len(cands))
+		for i, c := range cands {
+			out[i] = c.id
+		}
+		return out
+	}
+	selected := make([]cand, 0, m)
+	for _, c := range cands {
+		if len(selected) == m {
+			break
+		}
+		keep := true
+		for _, s := range selected {
+			if ix.dist(ix.vec(s.id), c.id) < c.dist {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			selected = append(selected, c)
+		}
+	}
+	for _, c := range cands {
+		if len(selected) == m {
+			break
+		}
+		dup := false
+		for _, s := range selected {
+			if s.id == c.id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			selected = append(selected, c)
+		}
+	}
+	out := make([]int32, len(selected))
+	for i, c := range selected {
+		out[i] = c.id
+	}
+	return out
+}
+
+// shrink re-selects node id's neighbor list on lvl down to m entries
+// using the same heuristic insertion uses.
+func (ix *Index) shrink(id, lvl int32, m int) {
+	v := ix.vec(id)
+	cands := make([]cand, 0, len(ix.links[id][lvl]))
+	for _, nb := range ix.links[id][lvl] {
+		cands = append(cands, cand{ix.dist(v, nb), nb})
+	}
+	sort.Slice(cands, func(i, j int) bool { return candLess(cands[i], cands[j]) })
+	ix.links[id][lvl] = ix.selectNeighbors(v, cands, m)
+}
+
+func normalize(v []float64) {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	if n == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(n)
+	for i := range v {
+		v[i] *= inv
+	}
+}

@@ -1,0 +1,69 @@
+package ann
+
+// candHeap is a binary heap of (distance, id) pairs with the tie-break
+// ordering of candLess. min=true pops the closest candidate first (the
+// expansion frontier); min=false pops the farthest first (the bounded
+// result set, where pop evicts the worst). A hand-rolled heap instead
+// of container/heap keeps the hot path free of interface boxing.
+type candHeap struct {
+	items []cand
+	min   bool
+}
+
+// before reports whether items[i] should sit above items[j].
+func (h *candHeap) before(i, j int) bool {
+	if h.min {
+		return candLess(h.items[i], h.items[j])
+	}
+	return candLess(h.items[j], h.items[i])
+}
+
+func (h *candHeap) len() int { return len(h.items) }
+
+// peek returns the top without removing it (closest for min, farthest
+// for max). Callers check len() first.
+func (h *candHeap) peek() cand { return h.items[0] }
+
+func (h *candHeap) push(c cand) {
+	h.items = append(h.items, c)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *candHeap) pop() cand {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < last && h.before(l, best) {
+			best = l
+		}
+		if r < last && h.before(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+	return top
+}
+
+// drain empties the heap, returning the items in arbitrary order.
+func (h *candHeap) drain() []cand {
+	out := h.items
+	h.items = nil
+	return out
+}

@@ -1,0 +1,192 @@
+package ann
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/durable"
+)
+
+func testIndex(t testing.TB, n, dim int, seed int64) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, n)
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		names[i] = fmt.Sprintf("e%04d", i)
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vecs[i] = v
+	}
+	ix, err := BuildVectors(names, vecs, Options{M: 6, EfConstruction: 40, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ix := testIndex(t, 80, 8, 1)
+	data := ix.Encode()
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Encode(), data) {
+		t.Fatal("re-encoded bytes differ from the original")
+	}
+	q := make([]float64, 8)
+	q[0] = 1
+	want, err := ix.SearchVector(q, 5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.SearchVector(q, 5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decoded index answers differently: got %+v, want %+v", got[i], want[i])
+		}
+	}
+}
+
+// isNamedError reports whether err wraps one of the codec's named
+// errors — the contract for every decode failure.
+func isNamedError(err error) bool {
+	return errors.Is(err, ErrBadMagic) || errors.Is(err, ErrVersion) || errors.Is(err, ErrCorrupt)
+}
+
+// TestDecodeTruncation: every proper prefix must be rejected with a
+// named error (the vector block length check makes any truncation
+// detectable), never a panic.
+func TestDecodeTruncation(t *testing.T) {
+	data := testIndex(t, 40, 6, 2).Encode()
+	for cut := 0; cut < len(data); cut += 13 {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded cleanly", cut, len(data))
+		} else if !isNamedError(err) {
+			t.Fatalf("prefix of %d bytes: unnamed error %v", cut, err)
+		}
+	}
+}
+
+// TestDecodeBitFlips walks single-byte corruptions across the file.
+// Some flips are structurally undetectable at the codec layer (vector
+// payload bits — the manifest catches those at Load time); the codec
+// contract is: no panic, and any rejection uses a named error.
+func TestDecodeBitFlips(t *testing.T) {
+	data := testIndex(t, 40, 6, 3).Encode()
+	for off := 0; off < len(data); off += 7 {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0xFF
+		ix, err := Decode(mut)
+		if err != nil {
+			if !isNamedError(err) {
+				t.Fatalf("flip at %d: unnamed error %v", off, err)
+			}
+			continue
+		}
+		// Accepted mutations must still round-trip and answer queries.
+		if !bytes.Equal(ix.Encode(), mut) {
+			t.Fatalf("flip at %d: accepted but does not round-trip", off)
+		}
+		if _, err := ix.SearchVector(make([]float64, ix.Dim()), 3, 8); err != nil {
+			t.Fatalf("flip at %d: accepted but unsearchable: %v", off, err)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ix := testIndex(t, 60, 8, 4)
+	dir := filepath.Join(t.TempDir(), "index")
+	if err := ix.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(loaded.Encode(), ix.Encode()) {
+		t.Fatal("loaded index differs from the saved one")
+	}
+	// Replacing save: publish a different index over the same dir.
+	ix2 := testIndex(t, 60, 8, 5)
+	if err := ix2.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(loaded2.Encode(), ix2.Encode()) {
+		t.Fatal("replacing save did not publish the new index")
+	}
+}
+
+// TestLoadRejectsCorruption: a flipped byte in a published index must
+// be refused with an error naming index.bin (the manifest check), even
+// when the flip lands in vector payload the codec itself cannot vet.
+func TestLoadRejectsCorruption(t *testing.T) {
+	ix := testIndex(t, 30, 4, 6)
+	dir := filepath.Join(t.TempDir(), "index")
+	if err := ix.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, IndexFileName)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, len(orig) / 2, len(orig) - 1} {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0xFF
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(dir)
+		if err == nil {
+			t.Fatalf("index with byte %d flipped loaded cleanly", off)
+		}
+		if !strings.Contains(err.Error(), IndexFileName) && !strings.Contains(err.Error(), durable.ManifestName) {
+			t.Errorf("corruption error names neither %s nor the manifest: %v", IndexFileName, err)
+		}
+	}
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err != nil {
+		t.Fatalf("restored index fails to load: %v", err)
+	}
+}
+
+// TestLoadRequiresManifest: index artifacts have never existed without
+// a manifest, so a missing MANIFEST.json is a hard error.
+func TestLoadRequiresManifest(t *testing.T) {
+	ix := testIndex(t, 20, 4, 7)
+	dir := filepath.Join(t.TempDir(), "index")
+	if err := ix.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, durable.ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); !errors.Is(err, durable.ErrNoManifest) {
+		t.Fatalf("manifest-less index: got %v, want ErrNoManifest", err)
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("loading a nonexistent directory succeeded")
+	}
+}

@@ -1,0 +1,27 @@
+package ann
+
+import "repro/internal/obs"
+
+// Build and query instrumentation. Package-level, like the parallel
+// and durable substrates: every index in the process reports here, and
+// RegisterMetrics may attach the instruments to any number of
+// registries (levad's scrape covers them alongside HTTP and cache
+// health; offline builds see them via -metrics-dump). See
+// docs/OBSERVABILITY.md for the enforced catalog.
+var (
+	buildsTotal = obs.NewCounter("leva_ann_builds_total",
+		"Completed HNSW index builds (BuildVectors calls that returned an index).")
+	buildSeconds = obs.NewHistogram("leva_ann_build_seconds",
+		"Wall time of HNSW index builds.",
+		obs.StageBuckets)
+	queriesTotal = obs.NewCounter("leva_ann_queries_total",
+		"ANN searches executed (SearchVector and SearchName, any caller).")
+	querySeconds = obs.NewHistogram("leva_ann_query_seconds",
+		"Latency of individual ANN searches.",
+		obs.LatencyBuckets)
+)
+
+// RegisterMetrics attaches the ANN-substrate metrics to r.
+func RegisterMetrics(r *obs.Registry) {
+	r.Register(buildsTotal, buildSeconds, queriesTotal, querySeconds)
+}

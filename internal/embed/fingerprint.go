@@ -10,6 +10,25 @@ const (
 	gloveFPDomain = "leva/embed-glove/v1"
 )
 
+// Fingerprint returns a content hash of the embedding itself — the
+// dimensionality and every (name, vector) pair, by exact float bits.
+// Downstream artifacts derived from the vectors (the ANN index) key
+// their cache entries on it: two embeddings hash equal iff every
+// derived artifact is guaranteed identical. Cost is one pass over the
+// matrix, negligible next to any build that produced it.
+func (e *Embedding) Fingerprint() string {
+	h := fingerprint.New("leva/embedding-content/v1")
+	h.Int(int64(e.Dim))
+	h.Int(int64(len(e.names)))
+	for i, n := range e.names {
+		h.String(n)
+		for _, v := range e.vectors.Row(i) {
+			h.Float(v)
+		}
+	}
+	return h.Sum()
+}
+
 // Fingerprint returns a canonical content hash of the MF options after
 // defaulting. Workers is excluded: the factorization is bit-identical
 // at every worker count, so parallelism cannot change the artifact.

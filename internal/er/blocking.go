@@ -1,16 +1,31 @@
 package er
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 
+	"repro/internal/ann"
 	"repro/internal/matrix"
 )
 
-// Blocking for entity resolution: random-hyperplane (SimHash) LSH over
-// embedding vectors. Cosine-similar vectors agree on most hyperplane
-// signs, so banding the sign bits buckets likely matches together and
-// the matcher only scores within-bucket candidate pairs — sub-quadratic
-// in catalog size instead of the exhaustive all-pairs scan.
+// Blocking for entity resolution: candidate generation that spares the
+// matcher the exhaustive |A|x|B| scan. Two generators share one
+// scoring loop (mutualNearestCandidates):
+//
+//   - BlockLSH: random-hyperplane (SimHash) LSH. Cosine-similar
+//     vectors agree on most hyperplane signs, so banding the sign bits
+//     buckets likely matches together and only within-bucket pairs are
+//     scored. Tuned by Options.BlockBands/BlockRows (see their docs
+//     for the recall/precision trade).
+//   - BlockANN: an HNSW index per side (internal/ann); each row's
+//     Options.ANNK approximate nearest neighbors on the other side,
+//     taken in both directions, are the candidates.
+//
+// Determinism: both generators derive all randomness from Options.Seed
+// (the hyperplane draws; the index's level assignment), and candidate
+// lists are produced in a fixed order, so blocked matching is as
+// reproducible as the exhaustive scan.
 
 // hyperplaneLSH holds the random projection directions.
 type hyperplaneLSH struct {
@@ -20,7 +35,8 @@ type hyperplaneLSH struct {
 }
 
 // newHyperplaneLSH samples bands*rows hyperplanes for dim-dimensional
-// vectors.
+// vectors from a rand.Rand seeded with seed — the only randomness in
+// the LSH blocker, so a fixed seed fixes every bucket assignment.
 func newHyperplaneLSH(dim, bands, rows int, seed int64) *hyperplaneLSH {
 	rng := rand.New(rand.NewSource(seed))
 	bits := bands * rows
@@ -100,10 +116,72 @@ func blockedCandidates(a, b [][]float64, bands, rows int, seed int64) [][]int32 
 	return out
 }
 
-// mutualNearestBlocked is mutualNearest restricted to LSH-blocked
-// candidate pairs.
-func mutualNearestBlocked(a, b [][]float64, threshold float64, bands, rows int, seed int64) [][2]int {
-	cands := blockedCandidates(a, b, bands, rows, seed)
+// annCandidates generates candidates from two HNSW indexes: for every
+// row of a, its k approximate nearest rows of b, merged with the
+// reverse direction (rows of a retrieved for rows of b) so a pair
+// missed by one index can be recovered by the other — mutual-nearest
+// matching needs both sides to see the pair. Candidate lists come back
+// sorted by b-row id, making downstream scoring order-independent of
+// the retrieval order.
+func annCandidates(a, b [][]float64, k int, seed int64) ([][]int32, error) {
+	out := make([][]int32, len(a))
+	if len(a) == 0 || len(b) == 0 {
+		return out, nil
+	}
+	names := func(n int) []string {
+		ns := make([]string, n)
+		for i := range ns {
+			ns[i] = fmt.Sprintf("%d", i)
+		}
+		return ns
+	}
+	opts := ann.Options{Seed: seed}
+	ixB, err := ann.BuildVectors(names(len(b)), b, opts)
+	if err != nil {
+		return nil, fmt.Errorf("er: ann blocking: index B: %w", err)
+	}
+	ixA, err := ann.BuildVectors(names(len(a)), a, opts)
+	if err != nil {
+		return nil, fmt.Errorf("er: ann blocking: index A: %w", err)
+	}
+	seen := make([]map[int32]bool, len(a))
+	add := func(i int, j int32) {
+		if seen[i] == nil {
+			seen[i] = map[int32]bool{}
+		}
+		if !seen[i][j] {
+			seen[i][j] = true
+			out[i] = append(out[i], j)
+		}
+	}
+	for i, va := range a {
+		hits, err := ixB.SearchVector(va, k, 0)
+		if err != nil {
+			return nil, fmt.Errorf("er: ann blocking: %w", err)
+		}
+		for _, h := range hits {
+			add(i, int32(h.ID))
+		}
+	}
+	for j, vb := range b {
+		hits, err := ixA.SearchVector(vb, k, 0)
+		if err != nil {
+			return nil, fmt.Errorf("er: ann blocking: %w", err)
+		}
+		for _, h := range hits {
+			add(h.ID, int32(j))
+		}
+	}
+	for i := range out {
+		sort.Slice(out[i], func(x, y int) bool { return out[i][x] < out[i][y] })
+	}
+	return out, nil
+}
+
+// mutualNearestCandidates is the blocked matcher: mutualNearest
+// restricted to the candidate pairs cands (per row of a, the rows of b
+// worth scoring), regardless of which blocker generated them.
+func mutualNearestCandidates(a, b [][]float64, threshold float64, cands [][]int32) [][2]int {
 	bestForA := make([]int, len(a))
 	simForA := make([]float64, len(a))
 	bestForB := make([]int, len(b))

@@ -43,6 +43,106 @@ func TestBlockedCandidatesFindSimilarVectors(t *testing.T) {
 	}
 }
 
+// twinVectors builds the blocking fixture: b[j] is a tiny perturbation
+// of a[j], so a blocker's candidate set for a[i] should almost always
+// contain its twin.
+func twinVectors(n, dim int, seed int64) (a, b [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		v := make([]float64, dim)
+		w := make([]float64, dim)
+		for k := range v {
+			v[k] = rng.NormFloat64()
+			w[k] = v[k] + 0.01*rng.NormFloat64()
+		}
+		a = append(a, v)
+		b = append(b, w)
+	}
+	return a, b
+}
+
+// TestANNCandidatesFindSimilarVectors is the LSH twin test run against
+// the HNSW blocker: near-perfect twin recall at a sub-quadratic
+// candidate budget.
+func TestANNCandidatesFindSimilarVectors(t *testing.T) {
+	a, b := twinVectors(200, 32, 1)
+	cands, err := annCandidates(a, b, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, totalCands := 0, 0
+	for i, js := range cands {
+		totalCands += len(js)
+		for _, j := range js {
+			if int(j) == i {
+				hit++
+			}
+		}
+	}
+	if hit < 195 {
+		t.Errorf("twin recall %d/200", hit)
+	}
+	if totalCands >= 200*200/2 {
+		t.Errorf("ann blocking scored %d pairs, not sub-quadratic", totalCands)
+	}
+}
+
+// TestMutualNearestParallelBitIdentical pins the satellite contract of
+// the parallelized brute-force scan: every worker count predicts the
+// exact same pairs, because shards write disjoint slots and float
+// comparisons don't reassociate.
+func TestMutualNearestParallelBitIdentical(t *testing.T) {
+	a, b := twinVectors(120, 16, 9)
+	want := mutualNearest(a, b, 0.5, 1)
+	if len(want) == 0 {
+		t.Fatal("fixture produced no matches; the comparison is vacuous")
+	}
+	for _, workers := range []int{2, 3, 5, 8} {
+		got := mutualNearest(a, b, 0.5, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pairs, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: pair %d is %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestANNBlockingMatchesUnblocked drives the ann blocker through the
+// public MatchTables API and requires its F1 to stay within 0.1 of the
+// exhaustive scan — same bar the LSH blocker is held to.
+func TestANNBlockingMatchesUnblocked(t *testing.T) {
+	pair := synth.ER("annblk", synth.EROptions{Entities: 150, ExtraPerSide: 30, Noise: 0.2, Seed: 3})
+	plain, err := MatchTables(pair.A, pair.B, MethodLeva, Options{Dim: 48, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := MatchTables(pair.A, pair.B, MethodLeva, Options{
+		Dim: 48, Seed: 3, Blocking: true, BlockMethod: BlockANN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, f1Plain := Score(plain, pair.Matches)
+	_, _, f1Blocked := Score(blocked, pair.Matches)
+	t.Logf("plain F1 %.3f, ann-blocked F1 %.3f", f1Plain, f1Blocked)
+	if f1Blocked < f1Plain-0.1 {
+		t.Errorf("ann blocking cost too much recall: %.3f vs %.3f", f1Blocked, f1Plain)
+	}
+}
+
+func TestMatchTablesRejectsUnknownBlockMethod(t *testing.T) {
+	pair := synth.ER("badblk", synth.EROptions{Entities: 10, Seed: 1})
+	_, err := MatchTables(pair.A, pair.B, MethodLeva, Options{
+		Blocking: true, BlockMethod: "simhash-3000",
+	})
+	if err == nil {
+		t.Fatal("unknown blocking method accepted")
+	}
+}
+
 func TestMutualNearestBlockedMatchesUnblocked(t *testing.T) {
 	pair := synth.ER("blk", synth.EROptions{Entities: 150, ExtraPerSide: 30, Noise: 0.2, Seed: 3})
 	plain, err := MatchTables(pair.A, pair.B, MethodLeva, Options{Dim: 48, Seed: 3})

@@ -12,6 +12,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/textify"
 )
 
@@ -35,21 +36,66 @@ const (
 	MethodDeepER Method = "deeper"
 )
 
-// Options tunes matching.
+// BlockMethod selects the candidate generator used when
+// Options.Blocking is set.
+type BlockMethod string
+
+const (
+	// BlockLSH buckets rows by random-hyperplane (SimHash) LSH bands;
+	// two rows become candidates when they collide in any band.
+	BlockLSH BlockMethod = "lsh"
+	// BlockANN retrieves each row's approximate nearest neighbors
+	// from an HNSW index (internal/ann), in both directions, and
+	// scores only those pairs. Candidate quality tracks the index's
+	// recall, which is typically higher than LSH banding at the same
+	// candidate budget.
+	BlockANN BlockMethod = "ann"
+)
+
+// Options tunes matching. The zero value means "defaults".
+//
+// Matching is deterministic: for fixed inputs, options, and Seed,
+// MatchTables predicts the same pairs on every run and at every
+// Workers setting. Each randomized component (the embedding build, the
+// LSH hyperplanes, the ANN index) derives from Seed alone, and the
+// parallel scoring loops write disjoint per-row slots (the
+// internal/parallel contract), so scheduling never leaks into results.
 type Options struct {
 	// Dim is the embedding size. Default 100.
 	Dim int
 	// Threshold is the minimum cosine similarity for a predicted
 	// match. Default 0.5.
 	Threshold float64
-	// Blocking enables hyperplane-LSH candidate blocking so matching
-	// scores sub-quadratically many pairs; recall dips slightly in
-	// exchange. Recommended once catalogs exceed a few thousand rows.
+	// Blocking enables candidate blocking so matching scores
+	// sub-quadratically many pairs instead of all |A|x|B|; recall
+	// dips slightly in exchange. Recommended once catalogs exceed a
+	// few thousand rows. BlockMethod picks the blocker.
 	Blocking bool
-	// BlockBands and BlockRows tune the LSH bands. Defaults 24 and 6.
+	// BlockMethod selects the candidate generator used when Blocking
+	// is set: BlockLSH (the default) or BlockANN.
+	BlockMethod BlockMethod
+	// BlockBands and BlockRows tune the LSH blocker. The signature of
+	// a row is BlockBands*BlockRows hyperplane sign bits, split into
+	// BlockBands bands of BlockRows bits each; two rows are candidates
+	// when they agree on every bit of at least one band. More bands
+	// raise recall (more chances to collide), more rows per band raise
+	// precision (a collision requires longer exact agreement).
+	// Defaults 24 and 6. Ignored by BlockANN.
 	BlockBands int
 	BlockRows  int
-	Seed       int64
+	// ANNK is how many approximate nearest neighbors BlockANN
+	// retrieves per row in each direction. Default 10. Ignored by
+	// BlockLSH.
+	ANNK int
+	// Seed drives every random choice downstream — the embedding
+	// build, the LSH hyperplane draws, and the ANN index's level
+	// assignment. Two runs with the same seed and inputs generate
+	// identical candidates and identical predictions.
+	Seed int64
+	// Workers caps the goroutines of the brute-force scoring loops
+	// (0 = all cores, 1 = sequential). Results are bit-identical at
+	// every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -59,11 +105,17 @@ func (o Options) withDefaults() Options {
 	if o.Threshold <= 0 {
 		o.Threshold = 0.5
 	}
+	if o.BlockMethod == "" {
+		o.BlockMethod = BlockLSH
+	}
 	if o.BlockBands <= 0 {
 		o.BlockBands = 24
 	}
 	if o.BlockRows <= 0 {
 		o.BlockRows = 6
+	}
+	if o.ANNK <= 0 {
+		o.ANNK = 10
 	}
 	return o
 }
@@ -124,10 +176,22 @@ func MatchTables(a, b *dataset.Table, method Method, opts Options) ([][2]int, er
 		return nil, fmt.Errorf("er: unknown method %q", method)
 	}
 	if opts.Blocking {
-		return mutualNearestBlocked(vecsA, vecsB, opts.Threshold,
-			opts.BlockBands, opts.BlockRows, opts.Seed), nil
+		var cands [][]int32
+		switch opts.BlockMethod {
+		case BlockANN:
+			var err error
+			cands, err = annCandidates(vecsA, vecsB, opts.ANNK, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+		case BlockLSH:
+			cands = blockedCandidates(vecsA, vecsB, opts.BlockBands, opts.BlockRows, opts.Seed)
+		default:
+			return nil, fmt.Errorf("er: unknown blocking method %q", opts.BlockMethod)
+		}
+		return mutualNearestCandidates(vecsA, vecsB, opts.Threshold, cands), nil
 	}
-	return mutualNearest(vecsA, vecsB, opts.Threshold), nil
+	return mutualNearest(vecsA, vecsB, opts.Threshold, opts.Workers), nil
 }
 
 func rowVectors(e *embed.Embedding, t *dataset.Table) [][]float64 {
@@ -143,30 +207,41 @@ func rowVectors(e *embed.Embedding, t *dataset.Table) [][]float64 {
 }
 
 // mutualNearest predicts (i, j) when j is i's nearest neighbor in B, i
-// is j's nearest in A, and the similarity clears the threshold.
-func mutualNearest(a, b [][]float64, threshold float64) [][2]int {
+// is j's nearest in A, and the similarity clears the threshold. The two
+// exhaustive scans shard their outer loop across workers; every shard
+// writes only its own rows' best/sim slots and float comparisons don't
+// depend on evaluation order, so the result is bit-identical at every
+// worker count — this brute-force path is the recall oracle the ANN
+// blocker is tested against, and an oracle must not drift with
+// parallelism.
+func mutualNearest(a, b [][]float64, threshold float64, workers int) [][2]int {
+	workers = parallel.Workers(workers)
 	bestForA := make([]int, len(a))
 	simForA := make([]float64, len(a))
-	for i, va := range a {
-		bestForA[i] = -1
-		for j, vb := range b {
-			s := matrix.CosineSimilarity(va, vb)
-			if bestForA[i] < 0 || s > simForA[i] {
-				bestForA[i], simForA[i] = j, s
+	parallel.For(len(a), workers, func(_ int, r parallel.Range) {
+		for i := r.Lo; i < r.Hi; i++ {
+			bestForA[i] = -1
+			for j, vb := range b {
+				s := matrix.CosineSimilarity(a[i], vb)
+				if bestForA[i] < 0 || s > simForA[i] {
+					bestForA[i], simForA[i] = j, s
+				}
 			}
 		}
-	}
+	})
 	bestForB := make([]int, len(b))
 	simForB := make([]float64, len(b))
-	for j, vb := range b {
-		bestForB[j] = -1
-		for i, va := range a {
-			s := matrix.CosineSimilarity(va, vb)
-			if bestForB[j] < 0 || s > simForB[j] {
-				bestForB[j], simForB[j] = i, s
+	parallel.For(len(b), workers, func(_ int, r parallel.Range) {
+		for j := r.Lo; j < r.Hi; j++ {
+			bestForB[j] = -1
+			for i, va := range a {
+				s := matrix.CosineSimilarity(va, b[j])
+				if bestForB[j] < 0 || s > simForB[j] {
+					bestForB[j], simForB[j] = i, s
+				}
 			}
 		}
-	}
+	})
 	var out [][2]int
 	for i, j := range bestForA {
 		if j >= 0 && bestForB[j] == i && simForA[i] >= threshold {

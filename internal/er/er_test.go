@@ -38,7 +38,7 @@ func TestCanonicalizeTokens(t *testing.T) {
 func TestMutualNearest(t *testing.T) {
 	a := [][]float64{{1, 0}, {0, 1}}
 	b := [][]float64{{0.9, 0.1}, {0.1, 0.9}, {0.5, 0.5}}
-	pred := mutualNearest(a, b, 0.5)
+	pred := mutualNearest(a, b, 0.5, 1)
 	if len(pred) != 2 {
 		t.Fatalf("pairs = %v", pred)
 	}
@@ -48,7 +48,7 @@ func TestMutualNearest(t *testing.T) {
 		}
 	}
 	// High threshold suppresses everything.
-	if got := mutualNearest(a, b, 0.9999); len(got) > 1 {
+	if got := mutualNearest(a, b, 0.9999, 1); len(got) > 1 {
 		t.Errorf("threshold did not gate: %v", got)
 	}
 }

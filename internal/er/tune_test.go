@@ -52,7 +52,7 @@ func levaVariant(t *testing.T, pair *synth.ERPair, mf embed.MFOptions, feat core
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred := mutualNearest(va, vb, thr)
+	pred := mutualNearest(va, vb, thr, 1)
 	_, _, f1 := Score(pred, pair.Matches)
 	return f1
 }

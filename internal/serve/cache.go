@@ -5,11 +5,12 @@ import (
 	"sync"
 )
 
-// lruCache is a mutex-guarded LRU of featurized row vectors. The
-// serving hot path is read-mostly with small values (one []float64 per
-// row), so a single lock in front of a map plus intrusive recency list
-// is simpler than sharding and fast enough — the featurization it
-// avoids costs orders of magnitude more than the critical section.
+// lruCache is a mutex-guarded LRU of computed serving results —
+// featurized row vectors and ANN neighbor lists. The serving hot path
+// is read-mostly with small values, so a single lock in front of a map
+// plus intrusive recency list is simpler than sharding and fast enough
+// — the computation it avoids costs orders of magnitude more than the
+// critical section.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -19,7 +20,7 @@ type lruCache struct {
 
 type lruEntry struct {
 	key string
-	val []float64
+	val any
 }
 
 func newLRU(capacity int) *lruCache {
@@ -30,9 +31,9 @@ func newLRU(capacity int) *lruCache {
 	}
 }
 
-// get returns the cached vector and marks it most recently used. The
-// returned slice is shared; callers must not mutate it.
-func (c *lruCache) get(key string) ([]float64, bool) {
+// get returns the cached value and marks it most recently used. The
+// returned value is shared; callers must not mutate it.
+func (c *lruCache) get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
@@ -43,9 +44,9 @@ func (c *lruCache) get(key string) ([]float64, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-// put inserts or refreshes a vector, evicting the least recently used
+// put inserts or refreshes a value, evicting the least recently used
 // entry when full.
-func (c *lruCache) put(key string, val []float64) {
+func (c *lruCache) put(key string, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {

@@ -21,7 +21,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 	if _, ok := c.get("a"); !ok {
 		t.Error("recently-used a was evicted")
 	}
-	if v, ok := c.get("c"); !ok || v[0] != 3 {
+	if v, ok := c.get("c"); !ok || v.([]float64)[0] != 3 {
 		t.Error("newest entry c missing")
 	}
 	if c.len() != 2 {
@@ -33,7 +33,7 @@ func TestLRUUpdateExisting(t *testing.T) {
 	c := newLRU(2)
 	c.put("a", []float64{1})
 	c.put("a", []float64{9})
-	if v, _ := c.get("a"); v[0] != 9 {
+	if v, _ := c.get("a"); v.([]float64)[0] != 9 {
 		t.Errorf("update not applied: %v", v)
 	}
 	if c.len() != 1 {
@@ -50,7 +50,7 @@ func TestLRUConcurrentAccess(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 500; i++ {
 				key := fmt.Sprintf("k%d", (w*31+i)%100)
-				if v, ok := c.get(key); ok && v[0] != float64((w*31+i)%100) {
+				if v, ok := c.get(key); ok && v.([]float64)[0] != float64((w*31+i)%100) {
 					t.Errorf("key %s holds %v", key, v)
 					return
 				}

@@ -186,10 +186,15 @@ func (s *Server) handleEmbedding(st *store, w http.ResponseWriter, r *http.Reque
 }
 
 func (s *Server) handleHealthz(st *store, w http.ResponseWriter, _ *http.Request) {
+	annVectors := 0
+	if st.index != nil {
+		annVectors = st.index.Len()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"vectors":    st.res.Embedding.Len(),
 		"dim":        st.res.Embedding.Dim,
+		"annVectors": annVectors,
 		"generation": st.gen,
 	})
 }

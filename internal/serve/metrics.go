@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -33,6 +34,9 @@ const (
 	metricRowsFeaturized  = "leva_rows_featurized_total"
 	metricBatches         = "leva_batches_total"
 	metricBatchedRows     = "leva_batched_rows_total"
+	metricANNCacheHits    = "leva_ann_cache_hits_total"
+	metricANNCacheMisses  = "leva_ann_cache_misses_total"
+	metricANNIndexSize    = "leva_ann_index_size"
 	metricGeneration      = "leva_bundle_generation"
 	metricReloads         = "leva_reloads_total"
 	metricReloadFailures  = "leva_reload_failures_total"
@@ -46,7 +50,7 @@ var trackedStatuses = []int{200, 400, 404, 413, 429, 500, 503}
 
 // endpointNames are the fixed endpoint label values — one per route in
 // Server.Handler.
-var endpointNames = []string{"featurize", "embedding", "healthz", "metrics", "reload"}
+var endpointNames = []string{"featurize", "embedding", "neighbors", "healthz", "metrics", "reload"}
 
 // metrics is the daemon-wide instrument set behind GET /metrics, one
 // per Server (tests assert exact per-instance counts). Every value
@@ -70,6 +74,9 @@ type metrics struct {
 	rowsFeaturized *obs.Counter
 	batches        *obs.Counter
 	batchedRows    *obs.Counter
+	annCacheHits   *obs.Counter
+	annCacheMisses *obs.Counter
+	annIndexSize   *obs.Gauge
 
 	generation        *obs.Gauge
 	reloads           *obs.Counter
@@ -117,6 +124,12 @@ func newMetrics() *metrics {
 			"Micro-batches executed."),
 		batchedRows: r.Counter(metricBatchedRows,
 			"Rows featurized through micro-batches."),
+		annCacheHits: r.Counter(metricANNCacheHits,
+			"Neighbor-query cache hits."),
+		annCacheMisses: r.Counter(metricANNCacheMisses,
+			"Neighbor-query cache misses."),
+		annIndexSize: r.Gauge(metricANNIndexSize,
+			"Vectors in the serving ANN index (0 = no index loaded)."),
 		generation: r.Gauge(metricGeneration,
 			"Serving bundle generation (1 at startup, +1 per successful reload)."),
 		reloads: r.Counter(metricReloads,
@@ -144,6 +157,7 @@ func newMetrics() *metrics {
 	// saturation, durability syscall latency, and runtime health.
 	parallel.RegisterMetrics(r)
 	durable.RegisterMetrics(r)
+	ann.RegisterMetrics(r)
 	obs.RegisterRuntimeMetrics(r)
 	return m
 }

@@ -39,7 +39,21 @@ func metaLines(t *testing.T, m *metrics) string {
 // renamed, retyped, or re-documented — all of which break dashboards
 // and docs/OBSERVABILITY.md, so the golden is updated deliberately,
 // together with them. Families render in name order.
-const goldenServeMeta = `# HELP leva_batched_rows_total Rows featurized through micro-batches.
+const goldenServeMeta = `# HELP leva_ann_build_seconds Wall time of HNSW index builds.
+# TYPE leva_ann_build_seconds histogram
+# HELP leva_ann_builds_total Completed HNSW index builds (BuildVectors calls that returned an index).
+# TYPE leva_ann_builds_total counter
+# HELP leva_ann_cache_hits_total Neighbor-query cache hits.
+# TYPE leva_ann_cache_hits_total counter
+# HELP leva_ann_cache_misses_total Neighbor-query cache misses.
+# TYPE leva_ann_cache_misses_total counter
+# HELP leva_ann_index_size Vectors in the serving ANN index (0 = no index loaded).
+# TYPE leva_ann_index_size gauge
+# HELP leva_ann_queries_total ANN searches executed (SearchVector and SearchName, any caller).
+# TYPE leva_ann_queries_total counter
+# HELP leva_ann_query_seconds Latency of individual ANN searches.
+# TYPE leva_ann_query_seconds histogram
+# HELP leva_batched_rows_total Rows featurized through micro-batches.
 # TYPE leva_batched_rows_total counter
 # HELP leva_batches_total Micro-batches executed.
 # TYPE leva_batches_total counter

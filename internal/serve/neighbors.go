@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/ann"
+)
+
+// neighborsRequest is the POST /v1/neighbors body. Exactly one of
+// Token and Vector must be set: Token looks up an indexed entity and
+// returns its neighbors (itself excluded); Vector searches with a raw
+// query vector of the index's dimension.
+type neighborsRequest struct {
+	Token  string    `json:"token"`
+	Vector []float64 `json:"vector"`
+	// K is how many neighbors to return. Default 10.
+	K int `json:"k"`
+	// EfSearch overrides the index's search beam width for this query
+	// (larger = higher recall, slower). 0 uses the index default.
+	EfSearch int `json:"efSearch"`
+}
+
+// neighborItem is one returned neighbor: the entity's embedding token
+// and its similarity under the index metric (cosine or inner product —
+// higher is closer).
+type neighborItem struct {
+	Token string  `json:"token"`
+	Score float64 `json:"score"`
+}
+
+type neighborsResponse struct {
+	Token     string         `json:"token,omitempty"`
+	K         int            `json:"k"`
+	Dim       int            `json:"dim"`
+	CacheHit  bool           `json:"cacheHit"`
+	Neighbors []neighborItem `json:"neighbors"`
+}
+
+// maxNeighborsK bounds one query so a bad client cannot ask the index
+// to rank its entire vocabulary.
+const maxNeighborsK = 1000
+
+// handleNeighbors answers GET and POST /v1/neighbors against the store
+// pinned at request entry — like /v1/featurize, a concurrent hot
+// reload can neither drop an in-flight query nor mix index versions
+// inside one response. GET takes token/k/ef query parameters; POST
+// takes a JSON body with a token or a raw vector. Servers configured
+// without an index answer 503.
+func (s *Server) handleNeighbors(st *store, w http.ResponseWriter, r *http.Request) {
+	if s.testHookNeighbors != nil {
+		s.testHookNeighbors()
+	}
+	if st.index == nil {
+		writeError(w, http.StatusServiceUnavailable, "no ANN index loaded (start with -index, or rebuild with leva embed -index)")
+		return
+	}
+	var req neighborsRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		req.Token = q.Get("token")
+		var err error
+		if req.K, err = intParam(q.Get("k"), 10); err != nil {
+			writeError(w, http.StatusBadRequest, "bad k: %v", err)
+			return
+		}
+		if req.EfSearch, err = intParam(q.Get("ef"), 0); err != nil {
+			writeError(w, http.StatusBadRequest, "bad ef: %v", err)
+			return
+		}
+		if req.Token == "" {
+			writeError(w, http.StatusBadRequest, "missing token parameter (POST a JSON body to query by raw vector)")
+			return
+		}
+	} else {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+				return
+			}
+			writeError(w, http.StatusBadRequest, "malformed request: %v", err)
+			return
+		}
+		if req.K == 0 {
+			req.K = 10
+		}
+	}
+	if (req.Token == "") == (len(req.Vector) == 0) {
+		writeError(w, http.StatusBadRequest, "exactly one of token and vector must be set")
+		return
+	}
+	if req.K < 1 || req.K > maxNeighborsK {
+		writeError(w, http.StatusBadRequest, "k must be in [1, %d], got %d", maxNeighborsK, req.K)
+		return
+	}
+	if req.EfSearch < 0 {
+		writeError(w, http.StatusBadRequest, "efSearch must be >= 0, got %d", req.EfSearch)
+		return
+	}
+
+	var (
+		results  []ann.Result
+		cacheHit bool
+		err      error
+	)
+	if req.Token != "" {
+		results, cacheHit, err = st.neighborsByName(req.Token, req.K, req.EfSearch)
+		if errors.Is(err, ann.ErrUnknownName) {
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+	} else {
+		if len(req.Vector) != st.index.Dim() {
+			writeError(w, http.StatusBadRequest, "vector has %d dimensions, index has %d", len(req.Vector), st.index.Dim())
+			return
+		}
+		results, err = st.index.SearchVector(req.Vector, req.K, req.EfSearch)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "neighbors: %v", err)
+		return
+	}
+	items := make([]neighborItem, len(results))
+	for i, res := range results {
+		items[i] = neighborItem{Token: res.Name, Score: res.Score}
+	}
+	writeJSON(w, http.StatusOK, neighborsResponse{
+		Token:     req.Token,
+		K:         req.K,
+		Dim:       st.index.Dim(),
+		CacheHit:  cacheHit,
+		Neighbors: items,
+	})
+}
+
+// intParam parses an optional integer query parameter.
+func intParam(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.Atoi(s)
+}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/dataset"
 )
@@ -50,7 +51,23 @@ func (s *Server) reloadLocked() (int64, error) {
 	if err := validateCandidate(cur.res, res); err != nil {
 		return 0, fmt.Errorf("serve: reload rejected, still serving generation %d: %w", cur.gen, err)
 	}
-	next := newStore(res, s.cfg, s.metrics)
+	// The index reloads with the bundle when an IndexLoader is
+	// configured; otherwise the current index (possibly nil) carries
+	// forward. A candidate index that fails to load or validate rejects
+	// the whole reload — serving a new embedding against a stale index
+	// would silently return neighbors from the wrong vector space.
+	ix := cur.index
+	if s.cfg.IndexLoader != nil {
+		cand, err := s.cfg.IndexLoader()
+		if err != nil {
+			return 0, fmt.Errorf("serve: reload rejected, still serving generation %d: load candidate index: %w", cur.gen, err)
+		}
+		if err := validateIndex(res, cand); err != nil {
+			return 0, fmt.Errorf("serve: reload rejected, still serving generation %d: %w", cur.gen, err)
+		}
+		ix = cand
+	}
+	next := newStore(res, ix, s.cfg, s.metrics)
 	next.gen = cur.gen + 1
 	s.st.Store(next)
 	s.metrics.generation.Set(float64(next.gen))
@@ -108,6 +125,30 @@ func canaryProbe(cand *core.Result) error {
 	}
 	if want := cand.FeatureWidth(mode); len(out) != want {
 		return fmt.Errorf("canary probe: got %d features, want %d", len(out), want)
+	}
+	return nil
+}
+
+// validateIndex checks a candidate ANN index against the bundle it
+// will serve with: the dimensions must agree, every probed index entry
+// must name an entity the embedding actually holds, and a canary
+// search must answer — an index built from a different embedding (or a
+// corrupt one that decoded anyway) is rejected before the swap.
+func validateIndex(cand *core.Result, ix *ann.Index) error {
+	if ix == nil || ix.Len() == 0 {
+		return errors.New("candidate ANN index is empty")
+	}
+	if ix.Dim() != cand.Embedding.Dim {
+		return fmt.Errorf("candidate ANN index dim %d != candidate embedding dim %d", ix.Dim(), cand.Embedding.Dim)
+	}
+	names := ix.Names()
+	for _, probe := range []int{0, len(names) / 2, len(names) - 1} {
+		if _, ok := cand.Embedding.Vector(names[probe]); !ok {
+			return fmt.Errorf("candidate ANN index entry %q is not in the candidate embedding (index built from a different bundle?)", names[probe])
+		}
+	}
+	if _, err := ix.SearchName(names[0], 1, 0); err != nil {
+		return fmt.Errorf("candidate ANN index canary search: %w", err)
 	}
 	return nil
 }

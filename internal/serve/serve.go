@@ -9,6 +9,9 @@
 //
 //	POST /v1/featurize        rows in, dense feature vectors out
 //	GET  /v1/embedding/{token} one embedding vector
+//	GET  /v1/neighbors        top-k approximate nearest neighbors of a
+//	POST /v1/neighbors        token (GET) or raw vector (POST), when an
+//	                          ANN index is configured
 //	GET  /healthz             liveness
 //	GET  /metrics             Prometheus text (?format=json for the
 //	                          legacy JSON snapshot)
@@ -28,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -68,6 +72,18 @@ type Config struct {
 	// flight blocked on it — the old store keeps serving while the
 	// candidate loads and validates. Nil disables hot reload.
 	Loader func() (*core.Result, error)
+	// Index, when non-nil, enables GET/POST /v1/neighbors: top-k
+	// approximate-nearest-neighbor queries against this HNSW index.
+	// The index must cover the served embedding (same entity names and
+	// dimension). Nil means /v1/neighbors answers 503.
+	Index *ann.Index
+	// IndexLoader reloads the ANN index alongside the bundle during hot
+	// reload. When nil, reloads carry the current index forward
+	// unchanged; when set, the candidate index is loaded and validated
+	// against the candidate bundle (dimension match, canary search)
+	// before either is swapped in — a bad index rejects the whole
+	// reload, exactly like a bad bundle.
+	IndexLoader func() (*ann.Index, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +138,10 @@ type Server struct {
 	// testHookPanic, when set, is invoked inside the featurize handler
 	// and may panic — the seam the panic-recovery test uses.
 	testHookPanic func()
+	// testHookNeighbors, when set, runs inside the neighbors handler
+	// after admission (limiter slot held, store pinned) — the seam the
+	// reload-pinning test uses to hold a query in flight.
+	testHookNeighbors func()
 }
 
 // New wraps a built or bundle-loaded Result in a Server. The Result's
@@ -135,7 +155,7 @@ func New(res *core.Result, cfg Config) *Server {
 		logger:  cfg.Logger,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
-	first := newStore(res, cfg, m)
+	first := newStore(res, cfg.Index, cfg, m)
 	first.gen = 1
 	s.st.Store(first)
 	m.generation.Set(1)
@@ -152,6 +172,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/featurize", s.instrument("featurize", true, s.withStore(s.handleFeaturize)))
 	mux.Handle("GET /v1/embedding/{token}", s.instrument("embedding", true, s.withStore(s.handleEmbedding)))
+	neighbors := s.instrument("neighbors", true, s.withStore(s.handleNeighbors))
+	mux.Handle("GET /v1/neighbors", neighbors)
+	mux.Handle("POST /v1/neighbors", neighbors)
 	mux.Handle("GET /healthz", s.instrument("healthz", false, s.withStore(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("metrics", false, http.HandlerFunc(s.handleMetrics)))
 	mux.Handle("POST /admin/reload", s.instrument("reload", false, http.HandlerFunc(s.handleReload)))

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/parallel"
@@ -31,6 +32,16 @@ type store struct {
 	metrics *metrics
 	workers int
 
+	// index is the optional ANN index behind /v1/neighbors. Like the
+	// embedding it is immutable after load, so searches need no
+	// locking; a hot reload swaps in a whole new store with the new
+	// index, and pinned requests keep searching the old one.
+	index *ann.Index
+	// annCache memoizes token-keyed neighbor queries (raw-vector
+	// queries are not cached: their keys would be unbounded). Nil when
+	// the index is absent or caching is disabled.
+	annCache *lruCache
+
 	// gen is the bundle generation this store serves: 1 for the store
 	// loaded at startup, +1 per successful reload.
 	gen int64
@@ -41,12 +52,20 @@ type store struct {
 	closeOnce sync.Once
 }
 
-func newStore(res *core.Result, cfg Config, m *metrics) *store {
-	s := &store{res: res, metrics: m, workers: cfg.Workers}
+func newStore(res *core.Result, ix *ann.Index, cfg Config, m *metrics) *store {
+	s := &store{res: res, index: ix, metrics: m, workers: cfg.Workers}
 	s.refs.Store(1) // the serving reference
 	if cfg.CacheSize > 0 {
 		s.cache = newLRU(cfg.CacheSize)
 		m.setRowCache(cfg.CacheSize, s.cache.len)
+	}
+	if ix != nil && cfg.CacheSize > 0 {
+		s.annCache = newLRU(cfg.CacheSize)
+	}
+	if ix != nil {
+		m.annIndexSize.Set(float64(ix.Len()))
+	} else {
+		m.annIndexSize.Set(0)
 	}
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(cfg.BatchWindow, cfg.BatchMax, s.runBatch)
@@ -133,7 +152,7 @@ func (s *store) featurizeRows(ctx context.Context, jobs []*rowJob) (int, error) 
 		misses = misses[:0:0]
 		for _, j := range jobs {
 			if v, ok := s.cache.get(j.key); ok {
-				j.out = v
+				j.out = v.([]float64)
 				hits++
 				continue
 			}
@@ -179,6 +198,43 @@ func (s *store) compute(ctx context.Context, jobs []*rowJob) error {
 		}
 		return nil
 	})
+}
+
+// neighborsByName answers a token-keyed neighbor query through the
+// per-store LRU: identical (token, k, ef) queries against one index
+// generation share one search. The returned slice is shared with the
+// cache; callers must not mutate it.
+func (s *store) neighborsByName(token string, k, ef int) ([]ann.Result, bool, error) {
+	if s.annCache == nil {
+		res, err := s.index.SearchName(token, k, ef)
+		return res, false, err
+	}
+	key := annCacheKey(token, k, ef)
+	if v, ok := s.annCache.get(key); ok {
+		s.metrics.annCacheHits.Inc()
+		return v.([]ann.Result), true, nil
+	}
+	s.metrics.annCacheMisses.Inc()
+	res, err := s.index.SearchName(token, k, ef)
+	if err != nil {
+		return nil, false, err
+	}
+	s.annCache.put(key, res)
+	return res, false, nil
+}
+
+// annCacheKey renders the identity of a token-keyed neighbor query.
+// The 0x1e separator cannot appear in a token drawn from the embedding
+// vocabulary's printable keys, so distinct queries cannot collide.
+func annCacheKey(token string, k, ef int) string {
+	var b strings.Builder
+	b.Grow(len(token) + 12)
+	b.WriteString(token)
+	b.WriteByte(0x1e)
+	b.WriteString(strconv.Itoa(k))
+	b.WriteByte(0x1e)
+	b.WriteString(strconv.Itoa(ef))
+	return b.String()
 }
 
 // runBatch is the batcher's executor: one gathered batch, featurized in

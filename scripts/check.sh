@@ -199,3 +199,82 @@ printf '%s\n' "$LAST_ROW" >> "$SMOKE/csv/price_info.csv"
 grep -q 'cache: textify=partial tables=2/3 graph=rebuilt embed=rebuilt' "$SMOKE/cache_mut.log"
 
 echo "stage-cache smoke test passed"
+
+# --- ANN index smoke test ---------------------------------------------
+# The HNSW index artifact end to end: `leva embed -index` publishes it
+# (durably, content-addressed in the stage cache), `leva neighbors`
+# queries it from the shell, levad serves it behind /v1/neighbors, and
+# one SIGHUP hot-reloads bundle and index together without dropping the
+# endpoint.
+"$SMOKE/bin/leva" embed -data "$SMOKE/csv" -dim 8 -seed 7 -workers 1 \
+    -cache "$CACHE" -out "$SMOKE/ann_emb.tsv" -bundle "$SMOKE/bundle_ann" \
+    -index "$SMOKE/index" > "$SMOKE/ann_embed.log"
+grep -q 'saved ANN index' "$SMOKE/ann_embed.log"
+test -s "$SMOKE/index/index.bin"
+test -s "$SMOKE/index/MANIFEST.json"
+
+# Rebuilding with the same inputs serves the index from the stage cache.
+"$SMOKE/bin/leva" embed -data "$SMOKE/csv" -dim 8 -seed 7 -workers 1 \
+    -cache "$CACHE" -out "$SMOKE/ann_emb2.tsv" -index "$SMOKE/index2" \
+    > "$SMOKE/ann_embed2.log"
+grep -q 'vectors, cached' "$SMOKE/ann_embed2.log"
+cmp "$SMOKE/index/index.bin" "$SMOKE/index2/index.bin"
+
+# Shell query: row entities are keyed "table:rowIdx".
+"$SMOKE/bin/leva" neighbors -index "$SMOKE/index" -token "expenses:0" -k 5 \
+    > "$SMOKE/neighbors.tsv"
+test "$(wc -l < "$SMOKE/neighbors.tsv")" -eq 5
+
+rm -f "$SMOKE/addr"
+"$SMOKE/bin/levad" -bundle "$SMOKE/bundle_ann" -index "$SMOKE/index" \
+    -addr 127.0.0.1:0 -ready-file "$SMOKE/addr" 2>"$SMOKE/levad_ann.log" &
+LEVAD_PID=$!
+i=0
+while [ ! -s "$SMOKE/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "levad (ann run) never became ready" >&2
+        cat "$SMOKE/levad_ann.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE/addr")
+
+curl -fsS "http://$ADDR/healthz" | grep -q '"annVectors"'
+curl -fsS "http://$ADDR/v1/neighbors?token=expenses:0&k=5" \
+    | grep -q '"neighbors"'
+curl -fsS -X POST "http://$ADDR/v1/neighbors" \
+    -H 'Content-Type: application/json' \
+    -d '{"token":"expenses:0","k":3}' | grep -q '"neighbors"'
+# An unknown token is a clean 404, not an error page.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' \
+    "http://$ADDR/v1/neighbors?token=definitely-not-indexed")
+test "$CODE" = "404"
+curl -fsS "http://$ADDR/metrics" | grep -q '^leva_ann_index_size [1-9]'
+curl -fsS "http://$ADDR/metrics" | grep -q '^leva_ann_queries_total'
+
+# Republish bundle AND index with a new seed, hot-reload, and query the
+# swapped-in index.
+"$SMOKE/bin/leva" embed -data "$SMOKE/csv" -dim 8 -seed 9 -workers 1 \
+    -cache "$CACHE" -out "$SMOKE/ann_emb3.tsv" -bundle "$SMOKE/bundle_ann" \
+    -index "$SMOKE/index" > /dev/null
+kill -HUP "$LEVAD_PID"
+i=0
+until curl -fsS "http://$ADDR/healthz" | grep -q '"generation":2'; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "ann hot reload never completed" >&2
+        cat "$SMOKE/levad_ann.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/v1/neighbors?token=expenses:0&k=5" \
+    | grep -q '"neighbors"'
+curl -fsS "http://$ADDR/metrics" | grep -q '^leva_reloads_total 1$'
+
+kill -TERM "$LEVAD_PID"
+wait "$LEVAD_PID"
+
+echo "ann index smoke test passed"
