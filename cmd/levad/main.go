@@ -12,22 +12,30 @@
 //	GET  /v1/embedding/{token}  one embedding vector
 //	GET  /v1/neighbors          top-k ANN neighbors by token (with -index)
 //	POST /v1/neighbors          top-k ANN neighbors by token or raw vector
-//	GET  /healthz              liveness (+ serving bundle generation)
+//	GET  /healthz              liveness + degradation (per-breaker state)
 //	GET  /metrics              Prometheus text (?format=json for JSON)
 //	POST /admin/reload         hot-reload the bundle (and index) directory
+//	GET  /admin/chaos          chaos-harness state (POST reconfigures;
+//	                           503 unless started with -chaos)
 //
 // With -debug-addr, a second listener serves net/http/pprof under
 // /debug/pprof/ and a JSON metric dump at /debug/vars — bind it to
 // loopback in production.
 //
-// The daemon sheds load with 429s past -max-inflight, times out
-// individual requests at -request-timeout, logs one structured JSON
-// record per request to stderr, and on SIGINT/SIGTERM stops accepting
-// connections and drains in-flight requests for up to -drain-timeout
-// before exiting. SIGHUP (or POST /admin/reload) re-reads the bundle
-// directory and swaps it in without dropping in-flight requests; a
-// bundle that fails validation is rejected and the current one keeps
-// serving. See docs/SERVING.md.
+// The daemon admits load through an adaptive AIMD limiter capped at
+// -max-inflight (excess requests queue up to -queue for -queue-timeout,
+// then shed with 429 + Retry-After), honors client deadlines sent as
+// X-Leva-Deadline-Ms, circuit-breaks its dependencies (ANN searches
+// degrade to exact brute-force scans marked "degraded":true; pass
+// -no-fallback for 503s instead), times out individual requests at
+// -request-timeout, logs one structured JSON record per request to
+// stderr, and on SIGINT/SIGTERM stops accepting connections and drains
+// in-flight requests for up to -drain-timeout before exiting. SIGHUP
+// (or POST /admin/reload) re-reads the bundle directory and swaps it in
+// without dropping in-flight requests; a bundle that fails validation
+// is rejected and the current one keeps serving. -chaos arms seeded
+// request-level fault injection for resilience drills. See
+// docs/SERVING.md and docs/OPERATIONS.md.
 package main
 
 import (
@@ -48,6 +56,7 @@ import (
 
 	leva "repro"
 	"repro/internal/ann"
+	"repro/internal/resilience"
 	"repro/internal/serve"
 )
 
@@ -65,7 +74,14 @@ func run(ctx context.Context, args []string) error {
 	bundle := fs.String("bundle", "", "deployment bundle directory (required; from `leva embed -bundle`)")
 	indexDir := fs.String("index", "", "ANN index directory (from `leva embed -index`); enables /v1/neighbors")
 	addr := fs.String("addr", ":9090", "HTTP listen address (use 127.0.0.1:0 for an ephemeral port)")
-	maxInFlight := fs.Int("max-inflight", 64, "concurrent requests admitted before shedding 429s")
+	maxInFlight := fs.Int("max-inflight", 64, "adaptive concurrency ceiling: admitted requests before queueing and shedding 429s")
+	queueLen := fs.Int("queue", 16, "requests allowed to wait for an admission slot (0 sheds immediately at the limit)")
+	queueTimeout := fs.Duration("queue-timeout", 100*time.Millisecond, "max wait in the admission queue before shedding 429")
+	depTimeout := fs.Duration("dep-timeout", 2*time.Second, "per-call budget for circuit-broken dependencies like the ANN index (0 disables)")
+	breakerFailures := fs.Int("breaker-failures", 5, "consecutive dependency failures that trip its circuit breaker")
+	breakerOpenFor := fs.Duration("breaker-open-for", 5*time.Second, "how long a tripped breaker rejects calls before probing recovery")
+	chaosSpec := fs.String("chaos", "", "arm the chaos harness with a fault spec, e.g. 'seed=1;ann:err=0.3,lat=400ms' (targets: http, ann, rowcache; empty = no fault injection, ever)")
+	noFallback := fs.Bool("no-fallback", false, "answer 503 instead of degraded brute-force neighbor scans when the ANN dependency is broken")
 	reqTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request handler budget (503 on expiry)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	cacheSize := fs.Int("cache", 4096, "LRU entries for fully-featurized rows (0 disables)")
@@ -91,19 +107,38 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	cfg := serve.Config{
-		Addr:           *addr,
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *reqTimeout,
-		CacheSize:      *cacheSize,
-		BatchWindow:    *batchWindow,
-		BatchMax:       *batchMax,
-		Workers:        *workers,
+		Addr:              *addr,
+		MaxInFlight:       *maxInFlight,
+		QueueLen:          *queueLen,
+		QueueTimeout:      *queueTimeout,
+		DependencyTimeout: *depTimeout,
+		BreakerFailures:   *breakerFailures,
+		BreakerOpenFor:    *breakerOpenFor,
+		DisableFallback:   *noFallback,
+		RequestTimeout:    *reqTimeout,
+		CacheSize:         *cacheSize,
+		BatchWindow:       *batchWindow,
+		BatchMax:          *batchMax,
+		Workers:           *workers,
 	}
 	if *cacheSize <= 0 {
 		cfg.CacheSize = -1
 	}
 	if *reqTimeout <= 0 {
 		cfg.RequestTimeout = -1
+	}
+	if *queueLen <= 0 {
+		cfg.QueueLen = -1
+	}
+	if *depTimeout <= 0 {
+		cfg.DependencyTimeout = -1
+	}
+	if *chaosSpec != "" {
+		chaos, err := resilience.ParseSpec(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		cfg.Chaos = chaos
 	}
 	if !*quiet {
 		cfg.Logger = logger

@@ -1,0 +1,61 @@
+package ann
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BruteForceVector returns the exact k nearest stored vectors to q by
+// scanning every vector — no graph traversal, no approximation. It is
+// the serving layer's degraded mode: when the HNSW path is circuit-
+// broken, an O(n·dim) scan still answers correctly, just slower.
+// Ranking and tie-breaking match SearchVector exactly (descending
+// score, ties by ascending id).
+func (ix *Index) BruteForceVector(q []float64, k int) ([]Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("ann: query has dim %d, index has dim %d", len(q), ix.dim)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ann: k must be positive, got %d", k)
+	}
+	if ix.opts.Metric == MetricCosine {
+		qn := make([]float64, len(q))
+		copy(qn, q)
+		normalize(qn)
+		q = qn
+	}
+	return ix.results(ix.scan(q, k, -1)), nil
+}
+
+// BruteForceName returns the exact k nearest neighbors of an indexed
+// entity (excluding itself) by full scan — the degraded-mode
+// counterpart of SearchName. Unknown names return an error wrapping
+// ErrUnknownName.
+func (ix *Index) BruteForceName(name string, k int) ([]Result, error) {
+	id, ok := ix.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownName, name)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ann: k must be positive, got %d", k)
+	}
+	return ix.results(ix.scan(ix.vec(id), k, id)), nil
+}
+
+// scan computes the exact top-k candidates for q over every stored
+// vector, skipping exclude (pass -1 to keep all). q must already be
+// normalized for MetricCosine.
+func (ix *Index) scan(q []float64, k int, exclude int32) []cand {
+	cands := make([]cand, 0, ix.Len())
+	for id := int32(0); int(id) < ix.Len(); id++ {
+		if id == exclude {
+			continue
+		}
+		cands = append(cands, cand{ix.dist(q, id), id})
+	}
+	sort.Slice(cands, func(i, j int) bool { return candLess(cands[i], cands[j]) })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}

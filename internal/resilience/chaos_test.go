@@ -1,0 +1,188 @@
+package resilience
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("seed=42;ann:err=0.3,lat=400ms;http:stall=0.05,stallfor=1s")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if got := c.Seed(); got != 42 {
+		t.Fatalf("Seed = %d, want 42", got)
+	}
+	if !c.Enabled() {
+		t.Fatal("parsed chaos should start enabled")
+	}
+	ann := c.RuleFor("ann")
+	if ann.ErrRate != 0.3 || ann.Latency != 400*time.Millisecond || ann.LatencyRate != 1 {
+		t.Fatalf("ann rule = %+v, want err 0.3, lat 400ms, latrate defaulted to 1", ann)
+	}
+	httpRule := c.RuleFor("http")
+	if httpRule.StallRate != 0.05 || httpRule.StallFor != time.Second {
+		t.Fatalf("http rule = %+v", httpRule)
+	}
+	if got := c.Targets(); len(got) != 2 || got[0] != "ann" || got[1] != "http" {
+		t.Fatalf("Targets = %v", got)
+	}
+}
+
+func TestParseSpecEmptyAndSeedOnly(t *testing.T) {
+	for _, spec := range []string{"", "seed=7", " ; ; "} {
+		c, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		if len(c.Targets()) != 0 {
+			t.Fatalf("ParseSpec(%q) produced rules: %v", spec, c.Targets())
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		spec, wantSub string
+	}{
+		{"seed=abc", "bad seed"},
+		{"noassign", "neither seed"},
+		{"ann:err", "not <key>=<value>"},
+		{"ann:bogus=1", "unknown key"},
+		{"ann:err=1.5", "probability"},
+		{"ann:err=-0.1", "probability"},
+		{"ann:lat=fast", "lat=fast"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSpec(tc.spec); err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseSpec(%q) err = %v, want containing %q", tc.spec, err, tc.wantSub)
+		}
+	}
+}
+
+func TestChaosDeterministicUnderSeed(t *testing.T) {
+	run := func() []Decision {
+		c, err := ParseSpec("seed=9;ann:err=0.5,lat=1ms,latrate=0.5,stall=0.5")
+		if err != nil {
+			t.Fatalf("ParseSpec: %v", err)
+		}
+		out := make([]Decision, 100)
+		for i := range out {
+			out[i] = c.Decide("ann")
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged under same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Sanity: with these rates the schedule is not all-zero.
+	var injected bool
+	for _, d := range a {
+		if d.Err || d.Delay > 0 || d.Stall {
+			injected = true
+			break
+		}
+	}
+	if !injected {
+		t.Fatal("no faults injected over 100 draws at 50% rates")
+	}
+}
+
+func TestChaosReseedReplays(t *testing.T) {
+	c := NewChaos(3)
+	c.SetRule("x", Rule{ErrRate: 0.5})
+	first := make([]Decision, 20)
+	for i := range first {
+		first[i] = c.Decide("x")
+	}
+	c.Reseed(3)
+	for i := range first {
+		if got := c.Decide("x"); got != first[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+}
+
+func TestChaosDisabledAndNilInjectNothing(t *testing.T) {
+	c := NewChaos(1)
+	c.SetRule("x", Rule{ErrRate: 1})
+	c.Enable(false)
+	for i := 0; i < 10; i++ {
+		if d := c.Decide("x"); d != (Decision{}) {
+			t.Fatalf("disabled chaos injected %+v", d)
+		}
+	}
+	c.Enable(true)
+	if d := c.Decide("x"); !d.Err {
+		t.Fatal("re-enabled chaos at ErrRate 1 did not inject")
+	}
+
+	var nilChaos *Chaos
+	if nilChaos.Enabled() {
+		t.Fatal("nil chaos reports enabled")
+	}
+	if d := nilChaos.Decide("x"); d != (Decision{}) {
+		t.Fatalf("nil chaos injected %+v", d)
+	}
+	nilChaos.Enable(true) // must not panic
+}
+
+func TestChaosUnknownTargetInjectsNothing(t *testing.T) {
+	c := NewChaos(1)
+	c.SetRule("ann", Rule{ErrRate: 1})
+	if d := c.Decide("other"); d != (Decision{}) {
+		t.Fatalf("unknown target injected %+v", d)
+	}
+}
+
+func TestChaosOnInject(t *testing.T) {
+	c := NewChaos(1)
+	counts := map[string]int{}
+	c.OnInject = func(target, kind string) { counts[target+"/"+kind]++ }
+	c.SetRule("ann", Rule{ErrRate: 1, Latency: time.Millisecond, StallRate: 1})
+	c.Decide("ann")
+	for _, k := range []string{"ann/error", "ann/latency", "ann/stall"} {
+		if counts[k] != 1 {
+			t.Fatalf("counts = %v, want one of each kind", counts)
+		}
+	}
+}
+
+func TestSleepRespectsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Minute); err != context.Canceled {
+		t.Fatalf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0) = %v", err)
+	}
+	start := time.Now()
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep(1ms) = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("Sleep(1ms) overslept")
+	}
+}
+
+func TestParseDeadline(t *testing.T) {
+	d, ok, err := ParseDeadline("")
+	if d != 0 || ok || err != nil {
+		t.Fatalf("ParseDeadline(\"\") = %v %v %v, want 0 false nil", d, ok, err)
+	}
+	d, ok, err = ParseDeadline("1500")
+	if err != nil || !ok || d != 1500*time.Millisecond {
+		t.Fatalf("ParseDeadline(1500) = %v %v %v", d, ok, err)
+	}
+	for _, bad := range []string{"abc", "1.5", "0", "-10"} {
+		if _, _, err := ParseDeadline(bad); err == nil {
+			t.Errorf("ParseDeadline(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package resilience
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// Outcome is what a request admitted by the Limiter reports back when
+// it finishes; it is the only signal the AIMD control loop sees.
+type Outcome int
+
+const (
+	// OutcomeOK: the request completed within its budgets. Feeds the
+	// additive-increase side and the service-time estimate.
+	OutcomeOK Outcome = iota
+	// OutcomeDropped: the request exceeded its deadline or timed out —
+	// the congestion signal. Feeds the multiplicative decrease.
+	OutcomeDropped
+	// OutcomeIgnore: the request says nothing about capacity (client
+	// errors, validation failures). The limit is left alone.
+	OutcomeIgnore
+)
+
+// ErrSaturated is returned by Acquire when the limiter is at its limit
+// and the queue (if any) is full: shed immediately with a 429.
+var ErrSaturated = errors.New("resilience: limiter saturated")
+
+// ErrQueueTimeout is returned by Acquire when a queued request waited
+// QueueTimeout without a slot freeing: shed with a 429.
+var ErrQueueTimeout = errors.New("resilience: queue wait timed out")
+
+// LimiterConfig tunes a Limiter. The zero value gets production
+// defaults.
+type LimiterConfig struct {
+	// MaxLimit is the hard concurrency ceiling the adaptive limit can
+	// never exceed. Default 64.
+	MaxLimit int
+	// MinLimit is the floor the multiplicative decrease can never go
+	// below — the trickle that keeps probing capacity during sustained
+	// overload. Default 1.
+	MinLimit int
+	// InitialLimit is the starting limit. Default MaxLimit (optimistic:
+	// behave exactly like a fixed limiter until congestion appears).
+	InitialLimit int
+	// QueueLen bounds requests waiting for a slot beyond the limit.
+	// 0 disables queueing (immediate shed at the limit).
+	QueueLen int
+	// QueueTimeout bounds one request's wait in the queue. Default
+	// 100ms; negative waits until the request's own context expires.
+	QueueTimeout time.Duration
+	// BackoffRatio is the multiplicative-decrease factor applied on
+	// OutcomeDropped, in (0, 1). Default 0.75.
+	BackoffRatio float64
+	// OnBackoff, when set, observes each multiplicative decrease.
+	OnBackoff func()
+}
+
+func (c LimiterConfig) withDefaults() LimiterConfig {
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 64
+	}
+	if c.MinLimit <= 0 {
+		c.MinLimit = 1
+	}
+	if c.MinLimit > c.MaxLimit {
+		c.MinLimit = c.MaxLimit
+	}
+	if c.InitialLimit <= 0 {
+		c.InitialLimit = c.MaxLimit
+	}
+	if c.InitialLimit > c.MaxLimit {
+		c.InitialLimit = c.MaxLimit
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 100 * time.Millisecond
+	}
+	if c.BackoffRatio <= 0 || c.BackoffRatio >= 1 {
+		c.BackoffRatio = 0.75
+	}
+	return c
+}
+
+// Limiter is an adaptive (AIMD) concurrency limiter with a short
+// bounded FIFO queue. Under healthy traffic it admits up to the
+// current limit and the limit climbs back toward MaxLimit; when
+// admitted requests start getting dropped (timeouts, expired
+// deadlines) the limit shrinks multiplicatively, converting sustained
+// overload into fast 429s instead of a growing pile of doomed work.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu       sync.Mutex
+	limit    float64
+	inflight int
+	waiters  *list.List // of *waiter, FIFO
+
+	// ewmaService is the exponentially weighted moving average of
+	// successful requests' service time — the basis for Retry-After.
+	ewmaService time.Duration
+}
+
+// waiter is one queued Acquire. granted is flipped under the limiter
+// lock so a grant racing a timeout resolves exactly one way.
+type waiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+// NewLimiter returns a limiter at its initial limit.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	cfg = cfg.withDefaults()
+	return &Limiter{
+		cfg:     cfg,
+		limit:   float64(cfg.InitialLimit),
+		waiters: list.New(),
+	}
+}
+
+// Acquire requests an admission slot, queueing briefly when the
+// limiter is at its limit. On success it returns a release function
+// the caller MUST invoke exactly once with the request's outcome. On
+// failure it returns ErrSaturated (queue full or disabled),
+// ErrQueueTimeout (queued too long), or the context's error.
+func (l *Limiter) Acquire(ctx context.Context) (release func(Outcome), err error) {
+	l.mu.Lock()
+	if l.inflight < l.limitNow() {
+		l.inflight++
+		l.mu.Unlock()
+		return l.releaseFunc(time.Now()), nil
+	}
+	if l.cfg.QueueLen <= 0 || l.waiters.Len() >= l.cfg.QueueLen {
+		l.mu.Unlock()
+		return nil, ErrSaturated
+	}
+	w := &waiter{ch: make(chan struct{})}
+	elem := l.waiters.PushBack(w)
+	l.mu.Unlock()
+
+	var timeout <-chan time.Time
+	if l.cfg.QueueTimeout > 0 {
+		t := time.NewTimer(l.cfg.QueueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-w.ch:
+		return l.releaseFunc(time.Now()), nil
+	case <-timeout:
+		err = ErrQueueTimeout
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	l.mu.Lock()
+	if w.granted {
+		// The grant beat the timeout: the slot is ours after all — but
+		// the caller is done waiting, so hand it straight back.
+		l.inflight--
+		l.grantLocked()
+		l.mu.Unlock()
+		return nil, err
+	}
+	l.waiters.Remove(elem)
+	l.mu.Unlock()
+	return nil, err
+}
+
+// releaseFunc builds the one-shot release closure for an admitted
+// request that started service at start.
+func (l *Limiter) releaseFunc(start time.Time) func(Outcome) {
+	var once sync.Once
+	return func(out Outcome) {
+		once.Do(func() { l.release(out, time.Since(start)) })
+	}
+}
+
+func (l *Limiter) release(out Outcome, served time.Duration) {
+	l.mu.Lock()
+	switch out {
+	case OutcomeOK:
+		// Additive increase: ~+1 per limit's worth of successes.
+		l.limit = math.Min(float64(l.cfg.MaxLimit), l.limit+1/math.Max(l.limit, 1))
+		const alpha = 0.2
+		if l.ewmaService == 0 {
+			l.ewmaService = served
+		} else {
+			l.ewmaService = time.Duration(float64(l.ewmaService)*(1-alpha) + float64(served)*alpha)
+		}
+	case OutcomeDropped:
+		l.limit = math.Max(float64(l.cfg.MinLimit), l.limit*l.cfg.BackoffRatio)
+		if l.cfg.OnBackoff != nil {
+			l.cfg.OnBackoff()
+		}
+	}
+	l.inflight--
+	l.grantLocked()
+	l.mu.Unlock()
+}
+
+// grantLocked hands freed slots to queued waiters in FIFO order.
+// Called with the lock held.
+func (l *Limiter) grantLocked() {
+	for l.inflight < l.limitNow() && l.waiters.Len() > 0 {
+		w := l.waiters.Remove(l.waiters.Front()).(*waiter)
+		w.granted = true
+		l.inflight++
+		close(w.ch)
+	}
+}
+
+// limitNow is the integer admission limit (never below MinLimit).
+// Called with the lock held.
+func (l *Limiter) limitNow() int {
+	n := int(l.limit)
+	if n < l.cfg.MinLimit {
+		n = l.cfg.MinLimit
+	}
+	return n
+}
+
+// Limit returns the current adaptive limit (fractional: the AIMD state
+// between integer steps).
+func (l *Limiter) Limit() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limit
+}
+
+// InFlight returns the number of admitted, unreleased requests.
+func (l *Limiter) InFlight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+// QueueDepth returns the number of requests waiting for admission.
+func (l *Limiter) QueueDepth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.waiters.Len()
+}
+
+// RetryAfter estimates how long a shed client should back off: the
+// observed service-time EWMA, floored at one second (Retry-After is an
+// integer-seconds header, and sub-second retries would stampede).
+func (l *Limiter) RetryAfter() time.Duration {
+	l.mu.Lock()
+	ewma := l.ewmaService
+	l.mu.Unlock()
+	if ewma < time.Second {
+		return time.Second
+	}
+	// Round up to whole seconds so the header never understates.
+	return time.Duration(math.Ceil(ewma.Seconds())) * time.Second
+}

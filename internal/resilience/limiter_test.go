@@ -1,0 +1,233 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLimiterAdmitsUpToLimitThenSheds(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 2, QueueLen: 0})
+
+	rel1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire 1: %v", err)
+	}
+	rel2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire 2: %v", err)
+	}
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Acquire 3 = %v, want ErrSaturated (queue disabled)", err)
+	}
+	rel1(OutcomeOK)
+	rel2(OutcomeOK)
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+}
+
+func TestLimiterQueueGrantsFIFO(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 1, QueueLen: 2, QueueTimeout: time.Minute})
+
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	type result struct {
+		idx int
+		rel func(Outcome)
+		err error
+	}
+	results := make(chan result, 2)
+	started := make(chan int, 2)
+	for i := 1; i <= 2; i++ {
+		i := i
+		go func() {
+			started <- i
+			r, err := l.Acquire(context.Background())
+			results <- result{i, r, err}
+		}()
+		<-started
+		// Wait until this goroutine is actually queued before starting
+		// the next, so FIFO order is deterministic.
+		deadline := time.Now().Add(2 * time.Second)
+		for l.QueueDepth() < i {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued (depth %d)", i, l.QueueDepth())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Queue full now.
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("Acquire with full queue = %v, want ErrSaturated", err)
+	}
+
+	rel(OutcomeOK)
+	first := <-results
+	if first.err != nil || first.idx != 1 {
+		t.Fatalf("first grant = waiter %d err %v, want waiter 1", first.idx, first.err)
+	}
+	first.rel(OutcomeOK)
+	second := <-results
+	if second.err != nil || second.idx != 2 {
+		t.Fatalf("second grant = waiter %d err %v, want waiter 2", second.idx, second.err)
+	}
+	second.rel(OutcomeOK)
+}
+
+func TestLimiterQueueTimeout(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 1, QueueLen: 1, QueueTimeout: 10 * time.Millisecond})
+
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer rel(OutcomeOK)
+
+	start := time.Now()
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("queued Acquire = %v, want ErrQueueTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("queue timeout took %v", elapsed)
+	}
+	if got := l.QueueDepth(); got != 0 {
+		t.Fatalf("QueueDepth after timeout = %d, want 0", got)
+	}
+}
+
+func TestLimiterQueueRespectsContext(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 1, QueueLen: 1, QueueTimeout: time.Minute})
+
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer rel(OutcomeOK)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx)
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for l.QueueDepth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued Acquire after cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestLimiterAIMD(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 16, InitialLimit: 8, MinLimit: 1, BackoffRatio: 0.5})
+
+	// One drop halves the limit.
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	rel(OutcomeDropped)
+	if got := l.Limit(); got != 4 {
+		t.Fatalf("limit after drop = %v, want 4", got)
+	}
+
+	// Successes climb it back additively (~1/limit per success).
+	before := l.Limit()
+	for i := 0; i < 4; i++ {
+		rel, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		rel(OutcomeOK)
+	}
+	after := l.Limit()
+	if after <= before || after > before+1.01 {
+		t.Fatalf("limit after 4 successes = %v, want in (%v, %v]", after, before, before+1.01)
+	}
+
+	// Drops can never push it below MinLimit; OutcomeIgnore leaves it alone.
+	for i := 0; i < 20; i++ {
+		rel, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		rel(OutcomeDropped)
+	}
+	if got := l.Limit(); got < 1 {
+		t.Fatalf("limit floor violated: %v", got)
+	}
+	floor := l.Limit()
+	rel, err = l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	rel(OutcomeIgnore)
+	if got := l.Limit(); got != floor {
+		t.Fatalf("OutcomeIgnore moved the limit: %v -> %v", floor, got)
+	}
+}
+
+func TestLimiterLimitNeverExceedsMax(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 2})
+	for i := 0; i < 50; i++ {
+		rel, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("Acquire: %v", err)
+		}
+		rel(OutcomeOK)
+	}
+	if got := l.Limit(); got > 2 {
+		t.Fatalf("limit exceeded MaxLimit: %v", got)
+	}
+}
+
+func TestLimiterOnBackoff(t *testing.T) {
+	var backoffs int
+	l := NewLimiter(LimiterConfig{MaxLimit: 8, OnBackoff: func() { backoffs++ }})
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	rel(OutcomeDropped)
+	if backoffs != 1 {
+		t.Fatalf("backoffs = %d, want 1", backoffs)
+	}
+}
+
+func TestLimiterReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 4})
+	rel, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	rel(OutcomeOK)
+	rel(OutcomeOK) // second call must be a no-op
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight after double release = %d, want 0", got)
+	}
+}
+
+func TestLimiterRetryAfter(t *testing.T) {
+	l := NewLimiter(LimiterConfig{MaxLimit: 4})
+	if got := l.RetryAfter(); got != time.Second {
+		t.Fatalf("RetryAfter with no history = %v, want 1s floor", got)
+	}
+	// Feed a slow service time; Retry-After rounds up to whole seconds.
+	l.mu.Lock()
+	l.ewmaService = 2500 * time.Millisecond
+	l.mu.Unlock()
+	if got := l.RetryAfter(); got != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // featurizeRequest is the POST /v1/featurize body. Rows are JSON
@@ -58,6 +59,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeErrorReason is writeError with a machine-readable taxonomy tag:
+// clients branch on "reason" (capacity, queue_timeout, client_gone,
+// breaker_open, chaos_injected, dependency_timeout, bad_deadline,
+// deadline_exceeded, chaos_disabled, no_index) instead of parsing the
+// human-facing message.
+func writeErrorReason(w http.ResponseWriter, status int, reason, format string, args ...any) {
+	writeJSON(w, status, map[string]string{
+		"error":  fmt.Sprintf(format, args...),
+		"reason": reason,
+	})
 }
 
 // handleFeaturize computes features against st — the store pinned at
@@ -185,17 +198,32 @@ func (s *Server) handleEmbedding(st *store, w http.ResponseWriter, r *http.Reque
 	writeJSON(w, http.StatusOK, embeddingResponse{Token: token, Dim: len(vec), Vector: vec})
 }
 
+// handleHealthz reports liveness plus degradation: status flips to
+// "degraded" while any circuit breaker is off closed, and the
+// per-breaker states are listed so a load balancer (or operator) can
+// drain a browning-out replica before it starts shedding hard.
 func (s *Server) handleHealthz(st *store, w http.ResponseWriter, _ *http.Request) {
 	annVectors := 0
 	if st.index != nil {
 		annVectors = st.index.Len()
 	}
+	status := "ok"
+	breakers := make(map[string]string, len(depNames))
+	for _, dep := range depNames {
+		state := s.breakers[dep].State()
+		breakers[dep] = state.String()
+		if state != resilience.StateClosed {
+			status = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"vectors":    st.res.Embedding.Len(),
-		"dim":        st.res.Embedding.Dim,
-		"annVectors": annVectors,
-		"generation": st.gen,
+		"status":       status,
+		"vectors":      st.res.Embedding.Len(),
+		"dim":          st.res.Embedding.Dim,
+		"annVectors":   annVectors,
+		"generation":   st.gen,
+		"breakers":     breakers,
+		"chaosEnabled": s.chaos.Enabled(),
 	})
 }
 
@@ -204,7 +232,7 @@ func (s *Server) handleHealthz(st *store, w http.ResponseWriter, _ *http.Request
 // before the registry migration — both render from one instrument set).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "json" {
-		writeJSON(w, http.StatusOK, s.metrics.snapshot())
+		writeJSON(w, http.StatusOK, s.fullSnapshot())
 		return
 	}
 	w.Header().Set("Content-Type", obs.TextContentType)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/resilience"
 )
 
 // Serving metric family names. The catalog — every family, its labels
@@ -42,6 +43,19 @@ const (
 	metricReloadFailures  = "leva_reload_failures_total"
 	metricReloadDuration  = "leva_reload_last_duration_seconds"
 	metricReloadUnix      = "leva_reload_last_unix_seconds"
+
+	metricAbandoned          = "leva_resilience_abandoned_total"
+	metricBackoffs           = "leva_resilience_backoffs_total"
+	metricBreakerState       = "leva_resilience_breaker_state"
+	metricBreakerTransitions = "leva_resilience_breaker_transitions_total"
+	metricChaosEnabled       = "leva_resilience_chaos_enabled"
+	metricChaosInjections    = "leva_resilience_chaos_injections_total"
+	metricDegraded           = "leva_resilience_degraded_total"
+	metricDepCalls           = "leva_resilience_dep_calls_total"
+	metricLimit              = "leva_resilience_limit"
+	metricQueueDepth         = "leva_resilience_queue_depth"
+	metricShedRetryAfter     = "leva_shed_retry_after_seconds"
+	metricShedByReason       = "leva_shed_total"
 )
 
 // trackedStatuses are the response codes counted individually; anything
@@ -50,7 +64,7 @@ var trackedStatuses = []int{200, 400, 404, 413, 429, 500, 503}
 
 // endpointNames are the fixed endpoint label values — one per route in
 // Server.Handler.
-var endpointNames = []string{"featurize", "embedding", "neighbors", "healthz", "metrics", "reload"}
+var endpointNames = []string{"featurize", "embedding", "neighbors", "healthz", "metrics", "reload", "chaos"}
 
 // metrics is the daemon-wide instrument set behind GET /metrics, one
 // per Server (tests assert exact per-instance counts). Every value
@@ -78,6 +92,17 @@ type metrics struct {
 	annCacheMisses *obs.Counter
 	annIndexSize   *obs.Gauge
 
+	abandoned          *obs.CounterVec // by reason (deadline, disconnect)
+	backoffs           *obs.Counter
+	breakerState       *obs.GaugeVec   // by dep
+	breakerTransitions *obs.CounterVec // by dep, to
+	chaosEnabled       *obs.Gauge
+	chaosInjections    *obs.CounterVec // by target, kind
+	degraded           *obs.CounterVec // by endpoint
+	depCalls           *obs.CounterVec // by dep, outcome
+	shedByReason       *obs.CounterVec // by reason
+	shedRetryAfter     *obs.Gauge
+
 	generation        *obs.Gauge
 	reloads           *obs.Counter
 	reloadFailures    *obs.Counter
@@ -90,6 +115,12 @@ type metrics struct {
 	// rendering, hence the atomic.Value (holds func() int).
 	cacheCapacity atomic.Int64
 	cacheLenFn    atomic.Value // func() int
+
+	// limitFn and queueDepthFn read the admission limiter, which is
+	// created after the metrics (atomic.Value holds func() float64 so a
+	// bare metrics set — the golden test's case — renders zeros).
+	limitFn      atomic.Value // func() float64
+	queueDepthFn atomic.Value // func() float64
 }
 
 func newMetrics() *metrics {
@@ -140,6 +171,26 @@ func newMetrics() *metrics {
 			"Duration of the last reload attempt."),
 		lastReloadUnix: r.Gauge(metricReloadUnix,
 			"Unix time of the last reload attempt (0 = never)."),
+		abandoned: r.CounterVec(metricAbandoned,
+			"Requests abandoned mid-flight, by reason (deadline = X-Leva-Deadline-Ms expired, disconnect = client closed the connection).", "reason"),
+		backoffs: r.Counter(metricBackoffs,
+			"Multiplicative decreases of the adaptive concurrency limit (each marks observed congestion)."),
+		breakerState: r.GaugeVec(metricBreakerState,
+			"Circuit breaker state, by dependency (0 = closed, 1 = half-open, 2 = open).", "dep"),
+		breakerTransitions: r.CounterVec(metricBreakerTransitions,
+			"Circuit breaker state transitions, by dependency and new state.", "dep", "to"),
+		chaosEnabled: r.Gauge(metricChaosEnabled,
+			"Whether chaos fault injection is active (1) or not (0)."),
+		chaosInjections: r.CounterVec(metricChaosInjections,
+			"Faults injected by the chaos harness, by target and kind (error, latency, stall).", "target", "kind"),
+		degraded: r.CounterVec(metricDegraded,
+			"Requests answered in a degraded mode (brute-force neighbor scan, row-cache bypass), by endpoint.", "endpoint"),
+		depCalls: r.CounterVec(metricDepCalls,
+			"Guarded dependency calls, by dependency and outcome (ok, error, timeout, canceled, open).", "dep", "outcome"),
+		shedByReason: r.CounterVec(metricShedByReason,
+			"Requests shed with 429, by reason (capacity, queue_timeout, client_gone).", "reason"),
+		shedRetryAfter: r.Gauge(metricShedRetryAfter,
+			"Retry-After value of the most recent shed response."),
 	}
 	r.Register(obs.NewGaugeFunc(metricUptime,
 		"Seconds since this server was created.",
@@ -149,6 +200,22 @@ func newMetrics() *metrics {
 		func() float64 {
 			if fn, ok := m.cacheLenFn.Load().(func() int); ok && fn != nil {
 				return float64(fn())
+			}
+			return 0
+		}))
+	r.Register(obs.NewGaugeFunc(metricLimit,
+		"Current adaptive concurrency limit (AIMD: climbs on success, falls on congestion).",
+		func() float64 {
+			if fn, ok := m.limitFn.Load().(func() float64); ok && fn != nil {
+				return fn()
+			}
+			return 0
+		}))
+	r.Register(obs.NewGaugeFunc(metricQueueDepth,
+		"Requests waiting in the admission queue.",
+		func() float64 {
+			if fn, ok := m.queueDepthFn.Load().(func() float64); ok && fn != nil {
+				return fn()
 			}
 			return 0
 		}))
@@ -170,6 +237,13 @@ func (m *metrics) setRowCache(capacity int, lenFn func() int) {
 	if lenFn != nil {
 		m.cacheLenFn.Store(lenFn)
 	}
+}
+
+// setLimiter points the admission gauges at the server's limiter.
+// Called once at Server construction.
+func (m *metrics) setLimiter(l *resilience.Limiter) {
+	m.limitFn.Store(func() float64 { return l.Limit() })
+	m.queueDepthFn.Store(func() float64 { return float64(l.QueueDepth()) })
 }
 
 // recordReload accounts one reload attempt. gen is the new generation
@@ -240,9 +314,22 @@ type reloadSnapshot struct {
 	LastError      string  `json:"lastError,omitempty"`
 }
 
+// resilienceSnapshot is the wire form of the admission/breaker/chaos
+// state — new in the resilience PR, additive to the legacy schema.
+type resilienceSnapshot struct {
+	Limit          float64           `json:"limit"`
+	QueueDepth     int               `json:"queueDepth"`
+	ShedByReason   map[string]int64  `json:"shedByReason,omitempty"`
+	AbandonedTotal int64             `json:"abandonedTotal"`
+	DegradedTotal  int64             `json:"degradedTotal"`
+	Breakers       map[string]string `json:"breakers"`
+	ChaosEnabled   bool              `json:"chaosEnabled"`
+}
+
 // metricsSnapshot is the GET /metrics?format=json response body — the
 // pre-obs JSON schema, field for field, derived from the same registry
-// instruments the Prometheus exposition renders.
+// instruments the Prometheus exposition renders (plus the additive
+// "resilience" section).
 type metricsSnapshot struct {
 	UptimeSeconds       float64                     `json:"uptimeSeconds"`
 	InFlight            int64                       `json:"inFlight"`
@@ -252,6 +339,7 @@ type metricsSnapshot struct {
 	ResponsesByStatus   map[string]int64            `json:"responsesByStatus"`
 	Cache               cacheSnapshot               `json:"cache"`
 	Reload              reloadSnapshot              `json:"reload"`
+	Resilience          resilienceSnapshot          `json:"resilience"`
 	RowsFeaturizedTotal int64                       `json:"rowsFeaturizedTotal"`
 	BatchesTotal        int64                       `json:"batchesTotal"`
 	BatchedRowsTotal    int64                       `json:"batchedRowsTotal"`
@@ -315,6 +403,38 @@ func (m *metrics) snapshot() metricsSnapshot {
 	}
 	if hits+misses > 0 {
 		snap.Cache.HitRate = float64(hits) / float64(hits+misses)
+	}
+	return snap
+}
+
+// fullSnapshot is the metrics snapshot plus the live resilience state,
+// read from the server (breaker states advance with the clock, so they
+// are read from the breakers themselves, not the lagging gauges).
+func (s *Server) fullSnapshot() metricsSnapshot {
+	m := s.metrics
+	snap := m.snapshot()
+	snap.Resilience = resilienceSnapshot{
+		Limit:        s.limiter.Limit(),
+		QueueDepth:   s.limiter.QueueDepth(),
+		Breakers:     make(map[string]string, len(depNames)),
+		ChaosEnabled: s.chaos.Enabled(),
+	}
+	for _, dep := range depNames {
+		snap.Resilience.Breakers[dep] = s.breakers[dep].State().String()
+	}
+	for _, reason := range shedReasons {
+		if n := int64(m.shedByReason.With(reason).Value()); n > 0 {
+			if snap.Resilience.ShedByReason == nil {
+				snap.Resilience.ShedByReason = make(map[string]int64)
+			}
+			snap.Resilience.ShedByReason[reason] = n
+		}
+	}
+	for _, reason := range []string{"deadline", "disconnect"} {
+		snap.Resilience.AbandonedTotal += int64(m.abandoned.With(reason).Value())
+	}
+	for _, endpoint := range []string{"featurize", "neighbors"} {
+		snap.Resilience.DegradedTotal += int64(m.degraded.With(endpoint).Value())
 	}
 	return snap
 }

@@ -103,6 +103,26 @@ const goldenServeMeta = `# HELP leva_ann_build_seconds Wall time of HNSW index b
 # TYPE leva_reload_last_unix_seconds gauge
 # HELP leva_reloads_total Hot-reload attempts.
 # TYPE leva_reloads_total counter
+# HELP leva_resilience_abandoned_total Requests abandoned mid-flight, by reason (deadline = X-Leva-Deadline-Ms expired, disconnect = client closed the connection).
+# TYPE leva_resilience_abandoned_total counter
+# HELP leva_resilience_backoffs_total Multiplicative decreases of the adaptive concurrency limit (each marks observed congestion).
+# TYPE leva_resilience_backoffs_total counter
+# HELP leva_resilience_breaker_state Circuit breaker state, by dependency (0 = closed, 1 = half-open, 2 = open).
+# TYPE leva_resilience_breaker_state gauge
+# HELP leva_resilience_breaker_transitions_total Circuit breaker state transitions, by dependency and new state.
+# TYPE leva_resilience_breaker_transitions_total counter
+# HELP leva_resilience_chaos_enabled Whether chaos fault injection is active (1) or not (0).
+# TYPE leva_resilience_chaos_enabled gauge
+# HELP leva_resilience_chaos_injections_total Faults injected by the chaos harness, by target and kind (error, latency, stall).
+# TYPE leva_resilience_chaos_injections_total counter
+# HELP leva_resilience_degraded_total Requests answered in a degraded mode (brute-force neighbor scan, row-cache bypass), by endpoint.
+# TYPE leva_resilience_degraded_total counter
+# HELP leva_resilience_dep_calls_total Guarded dependency calls, by dependency and outcome (ok, error, timeout, canceled, open).
+# TYPE leva_resilience_dep_calls_total counter
+# HELP leva_resilience_limit Current adaptive concurrency limit (AIMD: climbs on success, falls on congestion).
+# TYPE leva_resilience_limit gauge
+# HELP leva_resilience_queue_depth Requests waiting in the admission queue.
+# TYPE leva_resilience_queue_depth gauge
 # HELP leva_rowcache_capacity Row-cache capacity in entries (0 = cache disabled).
 # TYPE leva_rowcache_capacity gauge
 # HELP leva_rowcache_hits_total Featurized-row cache hits.
@@ -113,6 +133,10 @@ const goldenServeMeta = `# HELP leva_ann_build_seconds Wall time of HNSW index b
 # TYPE leva_rowcache_size gauge
 # HELP leva_rows_featurized_total Rows featurized by the serving path.
 # TYPE leva_rows_featurized_total counter
+# HELP leva_shed_retry_after_seconds Retry-After value of the most recent shed response.
+# TYPE leva_shed_retry_after_seconds gauge
+# HELP leva_shed_total Requests shed with 429, by reason (capacity, queue_timeout, client_gone).
+# TYPE leva_shed_total counter
 # HELP leva_uptime_seconds Seconds since this server was created.
 # TYPE leva_uptime_seconds gauge`
 

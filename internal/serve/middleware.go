@@ -1,10 +1,14 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"time"
+
+	"repro/internal/resilience"
 )
 
 // statusRecorder captures the response status and size for metrics and
@@ -33,21 +37,26 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 
 // instrument wraps a handler with the serving middleware stack, from
 // the outside in: metrics + structured logging, then panic recovery,
-// then (for limited endpoints) the per-request timeout, then the
-// concurrency limiter. The limiter sits inside the timeout handler so
-// a timed-out request's admission slot is released only when its work
-// actually finishes — otherwise abandoned handlers could stack up past
-// MaxInFlight. Panic recovery sits outside the timeout handler because
-// http.TimeoutHandler re-panics its handler's panics on the caller's
-// goroutine.
+// then (for limited endpoints) client-deadline propagation, chaos
+// injection, the per-request timeout, and the admission limiter. The
+// limiter sits inside the timeout handler so a timed-out request's
+// admission slot is released only when its work actually finishes —
+// otherwise abandoned handlers could stack up past MaxInFlight. The
+// deadline layer sits outside the timeout handler: TimeoutHandler
+// derives its context from the request's, so whichever budget is
+// shorter — client deadline or server timeout — cancels the work and
+// produces the timed-out 503. Panic recovery sits outside the timeout
+// handler because http.TimeoutHandler re-panics its handler's panics
+// on the caller's goroutine.
 func (s *Server) instrument(name string, limited bool, h http.Handler) http.Handler {
 	if limited {
 		h = s.limit(h)
 		if s.cfg.RequestTimeout > 0 {
 			// TimeoutHandler answers 503 and cancels the request
 			// context, which the store checks between rows.
-			h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+			h = http.TimeoutHandler(h, s.cfg.RequestTimeout, `{"error":"request timed out","reason":"timeout"}`)
 		}
+		h = s.withDeadline(s.withChaosHTTP(h))
 	}
 	inner := h
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -104,19 +113,40 @@ func (s *Server) serveRecovered(name string, h http.Handler, rec *statusRecorder
 	h.ServeHTTP(rec, r)
 }
 
-// limit admits at most MaxInFlight concurrent requests; the rest shed
-// immediately with 429 so saturation degrades into fast, explicit
+// limit is the adaptive admission controller: requests acquire a slot
+// from the AIMD limiter (queueing briefly at the limit) and report
+// their outcome on release — a request whose deadline expired is the
+// congestion signal that shrinks the limit. Shed requests get a 429
+// with a named reason and a Retry-After derived from observed service
+// time, so saturation degrades into fast, explicit, back-off-able
 // rejections instead of unbounded queueing.
 func (s *Server) limit(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-			h.ServeHTTP(w, r)
-		default:
+		release, err := s.limiter.Acquire(r.Context())
+		if err != nil {
+			reason := "capacity"
+			switch {
+			case errors.Is(err, resilience.ErrQueueTimeout):
+				reason = "queue_timeout"
+			case r.Context().Err() != nil:
+				reason = "client_gone"
+			}
+			retry := s.limiter.RetryAfter()
 			s.metrics.shed.Inc()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "server saturated: %d requests already in flight", s.cfg.MaxInFlight)
+			s.metrics.shedByReason.With(reason).Inc()
+			s.metrics.shedRetryAfter.Set(retry.Seconds())
+			retryAfterHeader(w, retry)
+			writeErrorReason(w, http.StatusTooManyRequests, reason,
+				"server saturated: concurrency limit %d reached", int(s.limiter.Limit()))
+			return
 		}
+		defer func() {
+			out := resilience.OutcomeOK
+			if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+				out = resilience.OutcomeDropped
+			}
+			release(out)
+		}()
+		h.ServeHTTP(w, r)
 	})
 }

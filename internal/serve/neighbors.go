@@ -1,12 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
 
 	"repro/internal/ann"
+	"repro/internal/resilience"
 )
 
 // neighborsRequest is the POST /v1/neighbors body. Exactly one of
@@ -32,10 +34,14 @@ type neighborItem struct {
 }
 
 type neighborsResponse struct {
-	Token     string         `json:"token,omitempty"`
-	K         int            `json:"k"`
-	Dim       int            `json:"dim"`
-	CacheHit  bool           `json:"cacheHit"`
+	Token    string `json:"token,omitempty"`
+	K        int    `json:"k"`
+	Dim      int    `json:"dim"`
+	CacheHit bool   `json:"cacheHit"`
+	// Degraded marks an answer computed by the exact brute-force
+	// fallback because the ANN dependency was circuit-broken or
+	// failing: correct, but slower and uncached.
+	Degraded  bool           `json:"degraded,omitempty"`
 	Neighbors []neighborItem `json:"neighbors"`
 }
 
@@ -54,7 +60,7 @@ func (s *Server) handleNeighbors(st *store, w http.ResponseWriter, r *http.Reque
 		s.testHookNeighbors()
 	}
 	if st.index == nil {
-		writeError(w, http.StatusServiceUnavailable, "no ANN index loaded (start with -index, or rebuild with leva embed -index)")
+		writeErrorReason(w, http.StatusServiceUnavailable, "no_index", "no ANN index loaded (start with -index, or rebuild with leva embed -index)")
 		return
 	}
 	var req neighborsRequest
@@ -104,23 +110,58 @@ func (s *Server) handleNeighbors(st *store, w http.ResponseWriter, r *http.Reque
 		return
 	}
 
+	if req.Token == "" && len(req.Vector) != st.index.Dim() {
+		writeError(w, http.StatusBadRequest, "vector has %d dimensions, index has %d", len(req.Vector), st.index.Dim())
+		return
+	}
+
+	// The HNSW search runs as a guarded dependency call: circuit
+	// breaker, time budget, chaos faults. A dependency failure drops
+	// one rung down the degradation ladder — an exact brute-force scan
+	// (marked "degraded":true) — or, with fallback disabled, a named
+	// 503. Client errors (unknown token, bad k) pass straight through.
 	var (
 		results  []ann.Result
 		cacheHit bool
-		err      error
+		degraded bool
 	)
-	if req.Token != "" {
-		results, cacheHit, err = st.neighborsByName(req.Token, req.K, req.EfSearch)
-		if errors.Is(err, ann.ErrUnknownName) {
-			writeError(w, http.StatusNotFound, "%v", err)
+	err := s.depCall(r.Context(), depANN, func(context.Context) error {
+		var e error
+		if req.Token != "" {
+			results, cacheHit, e = st.neighborsByName(req.Token, req.K, req.EfSearch)
+		} else {
+			results, e = st.index.SearchVector(req.Vector, req.K, req.EfSearch)
+		}
+		return e
+	})
+	if isDepFailure(err) {
+		if s.cfg.DisableFallback {
+			reason := "dependency_timeout"
+			switch {
+			case errors.Is(err, resilience.ErrOpen):
+				reason = "breaker_open"
+				retryAfterHeader(w, s.breakers[depANN].RetryAfter())
+			case errors.Is(err, resilience.ErrInjected):
+				reason = "chaos_injected"
+			}
+			writeErrorReason(w, http.StatusServiceUnavailable, reason, "neighbors unavailable: %v", err)
 			return
 		}
-	} else {
-		if len(req.Vector) != st.index.Dim() {
-			writeError(w, http.StatusBadRequest, "vector has %d dimensions, index has %d", len(req.Vector), st.index.Dim())
-			return
+		s.metrics.degraded.With("neighbors").Inc()
+		degraded, cacheHit = true, false
+		if req.Token != "" {
+			results, err = st.index.BruteForceName(req.Token, req.K)
+		} else {
+			results, err = st.index.BruteForceVector(req.Vector, req.K)
 		}
-		results, err = st.index.SearchVector(req.Vector, req.K, req.EfSearch)
+	}
+	if errors.Is(err, ann.ErrUnknownName) {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		writeErrorReason(w, http.StatusServiceUnavailable, "client_gone", "request canceled: %v", err)
+		return
 	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "neighbors: %v", err)
@@ -135,6 +176,7 @@ func (s *Server) handleNeighbors(st *store, w http.ResponseWriter, r *http.Reque
 		K:         req.K,
 		Dim:       st.index.Dim(),
 		CacheHit:  cacheHit,
+		Degraded:  degraded,
 		Neighbors: items,
 	})
 }

@@ -9,11 +9,15 @@ import (
 	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/resilience"
 )
 
 // ErrReloadDisabled reports a reload attempt on a Server configured
 // without a bundle Loader.
 var ErrReloadDisabled = errors.New("serve: hot reload disabled: no bundle loader configured")
+
+// errServerClosed reports a reload attempt after Shutdown.
+var errServerClosed = errors.New("serve: reload refused: server is shut down")
 
 // Reload swaps the serving bundle with zero downtime: the candidate is
 // loaded (manifest-verified by the loader), validated against the
@@ -27,18 +31,49 @@ var ErrReloadDisabled = errors.New("serve: hot reload disabled: no bundle loader
 // request racing a signal) run one after another, each against the
 // then-current store. Every outcome and its duration is recorded in
 // /metrics.
+//
+// Reload is itself a circuit-broken dependency: repeated candidate
+// failures trip the "reload" breaker and further attempts fail fast
+// (wrapping resilience.ErrOpen) until the cooling period admits a
+// probe — an operator republishing a bad bundle in a retry loop gets
+// one clear signal instead of a validation storm. A reload that does
+// succeed resets the ANN and row-cache breakers: those dependencies
+// were just replaced and validated, so their failure history is stale
+// by construction.
 func (s *Server) Reload() error {
+	done, berr := s.breakers[depReload].Allow()
+	if berr != nil {
+		s.metrics.depCalls.With(depReload, "open").Inc()
+		return fmt.Errorf("serve: reload refused (%d consecutive failures, retry in %s): %w",
+			s.cfg.BreakerFailures, s.breakers[depReload].RetryAfter().Round(time.Second), berr)
+	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
 	start := time.Now()
 	gen, err := s.reloadLocked()
 	s.metrics.recordReload(time.Since(start), gen, err)
-	return err
+	// Config states (reload disabled, server shut down) say nothing
+	// about bundle health; only real candidate failures count.
+	benign := errors.Is(err, ErrReloadDisabled) || errors.Is(err, errServerClosed)
+	done(err == nil || benign)
+	if err != nil {
+		if benign {
+			s.metrics.depCalls.With(depReload, "canceled").Inc()
+		} else {
+			s.metrics.depCalls.With(depReload, "error").Inc()
+		}
+		return err
+	}
+	s.metrics.depCalls.With(depReload, "ok").Inc()
+	for _, dep := range []string{depANN, depRowCache} {
+		s.breakers[dep].Reset()
+	}
+	return nil
 }
 
 func (s *Server) reloadLocked() (int64, error) {
 	if s.closed {
-		return 0, errors.New("serve: reload refused: server is shut down")
+		return 0, errServerClosed
 	}
 	if s.cfg.Loader == nil {
 		return 0, ErrReloadDisabled
@@ -67,7 +102,7 @@ func (s *Server) reloadLocked() (int64, error) {
 		}
 		ix = cand
 	}
-	next := newStore(res, ix, s.cfg, s.metrics)
+	next := newStore(res, ix, s.cfg, s.metrics, s.guards)
 	next.gen = cur.gen + 1
 	s.st.Store(next)
 	s.metrics.generation.Set(float64(next.gen))
@@ -178,6 +213,11 @@ func stageProvenance(res *core.Result) map[string]string {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if err := s.Reload(); err != nil {
+		if errors.Is(err, resilience.ErrOpen) {
+			retryAfterHeader(w, s.breakers[depReload].RetryAfter())
+			writeErrorReason(w, http.StatusServiceUnavailable, "breaker_open", "%v", err)
+			return
+		}
 		status := http.StatusInternalServerError
 		if errors.Is(err, ErrReloadDisabled) {
 			status = http.StatusServiceUnavailable

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+// Dependency names: one circuit breaker each, fixed for the life of the
+// server. The ANN index and row cache degrade (brute-force scan, cache
+// bypass); reload fails fast.
+const (
+	depANN      = "ann"
+	depReload   = "reload"
+	depRowCache = "rowcache"
+)
+
+// depNames is the fixed breaker set, in display order.
+var depNames = []string{depANN, depReload, depRowCache}
+
+// shedReasons are the fixed leva_shed_total label values: capacity
+// (limit reached, queue full or disabled), queue_timeout (queued too
+// long), client_gone (caller vanished while queued).
+var shedReasons = []string{"capacity", "queue_timeout", "client_gone"}
+
+// guards bundles the fault-tolerance machinery a store needs on its
+// read path. One guards value is shared by every store generation —
+// breaker history must survive hot reloads (a reload explicitly resets
+// the breakers it repairs; a swap must not do so implicitly).
+type guards struct {
+	chaos    *resilience.Chaos
+	breakers map[string]*resilience.Breaker
+}
+
+// newBreakers builds the per-dependency breaker set, wired into the
+// state gauge and transition counter.
+func (s *Server) newBreakers() map[string]*resilience.Breaker {
+	bs := make(map[string]*resilience.Breaker, len(depNames))
+	for _, dep := range depNames {
+		dep := dep
+		bs[dep] = resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: s.cfg.BreakerFailures,
+			OpenFor:          s.cfg.BreakerOpenFor,
+			OnStateChange: func(from, to resilience.State) {
+				s.metrics.breakerState.With(dep).Set(float64(to))
+				s.metrics.breakerTransitions.With(dep, to.String()).Inc()
+				if s.logger != nil {
+					s.logger.Info("breaker transition",
+						"dep", dep, "from", from.String(), "to", to.String())
+				}
+			},
+		})
+		s.metrics.breakerState.With(dep).Set(float64(resilience.StateClosed))
+	}
+	return bs
+}
+
+// isDepFailure reports whether err indicts a dependency (and should
+// trigger degradation) rather than the caller: a breaker rejection, an
+// injected fault, or a dependency-budget timeout. Everything else —
+// unknown tokens, bad dimensions — is a client error and says nothing
+// about the dependency's health.
+func isDepFailure(err error) bool {
+	return errors.Is(err, resilience.ErrOpen) ||
+		errors.Is(err, resilience.ErrInjected) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// depCall runs fn against a circuit-broken dependency: breaker
+// admission first, then the dependency time budget, then any chaos
+// faults scheduled for this call, then fn itself. The breaker sees
+// every dependency failure and no client error.
+func (s *Server) depCall(ctx context.Context, dep string, fn func(context.Context) error) error {
+	done, err := s.breakers[dep].Allow()
+	if err != nil {
+		s.metrics.depCalls.With(dep, "open").Inc()
+		return err
+	}
+	callCtx := ctx
+	if s.cfg.DependencyTimeout > 0 {
+		var cancel context.CancelFunc
+		callCtx, cancel = context.WithTimeout(ctx, s.cfg.DependencyTimeout)
+		defer cancel()
+	}
+	d := s.chaos.Decide(dep)
+	if d.Delay > 0 {
+		if resilience.Sleep(callCtx, d.Delay) != nil {
+			if ctx.Err() != nil {
+				// The caller stopped waiting: not the dependency's fault.
+				done(true)
+				s.metrics.depCalls.With(dep, "canceled").Inc()
+				return ctx.Err()
+			}
+			done(false)
+			s.metrics.depCalls.With(dep, "timeout").Inc()
+			return context.DeadlineExceeded
+		}
+	}
+	if d.Err {
+		done(false)
+		s.metrics.depCalls.With(dep, "error").Inc()
+		return resilience.ErrInjected
+	}
+	err = fn(callCtx)
+	if isDepFailure(err) {
+		done(false)
+		s.metrics.depCalls.With(dep, "error").Inc()
+	} else {
+		done(true)
+		s.metrics.depCalls.With(dep, "ok").Inc()
+	}
+	return err
+}
+
+// withDeadline folds the client's X-Leva-Deadline-Ms budget into the
+// request context — downstream work (batching, featurization, injected
+// chaos latency, the dependency budget) all descend from it, so the
+// whole pipeline stops the moment the caller stops waiting. Abandoned
+// requests are counted by why they were abandoned.
+func (s *Server) withDeadline(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d, ok, err := resilience.ParseDeadline(r.Header.Get(resilience.DeadlineHeader))
+		if err != nil {
+			writeErrorReason(w, http.StatusBadRequest, "bad_deadline", "%v", err)
+			return
+		}
+		parent := r.Context()
+		if ok {
+			ctx, cancel := context.WithTimeout(parent, d)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h.ServeHTTP(w, r)
+		switch {
+		case ok && errors.Is(r.Context().Err(), context.DeadlineExceeded) && parent.Err() == nil:
+			s.metrics.abandoned.With("deadline").Inc()
+		case parent.Err() != nil:
+			s.metrics.abandoned.With("disconnect").Inc()
+		}
+	})
+}
+
+// withChaosHTTP is the request-level chaos layer: per the "http" target
+// rule it delays requests, fails them outright with a named 503, or
+// stalls their response bodies mid-write. Inert unless the server was
+// built with a chaos source and it is enabled.
+func (s *Server) withChaosHTTP(h http.Handler) http.Handler {
+	if s.chaos == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := s.chaos.Decide("http")
+		if d.Delay > 0 {
+			if resilience.Sleep(r.Context(), d.Delay) != nil {
+				writeErrorReason(w, http.StatusServiceUnavailable, "deadline_exceeded",
+					"request abandoned during injected latency")
+				return
+			}
+		}
+		if d.Err {
+			writeErrorReason(w, http.StatusServiceUnavailable, "chaos_injected",
+				"chaos: injected request failure")
+			return
+		}
+		if d.Stall {
+			w = &stallWriter{ResponseWriter: w, ctx: r.Context(), stall: d.StallFor}
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// stallWriter injects a mid-body hang: the first write is split after
+// one byte and the remainder held back for the stall duration. The
+// response stays complete and valid — the fault is the hang itself,
+// which clients without read deadlines will feel and clients with them
+// will abandon.
+type stallWriter struct {
+	http.ResponseWriter
+	ctx     context.Context
+	stall   time.Duration
+	stalled bool
+}
+
+func (sw *stallWriter) Write(p []byte) (int, error) {
+	if sw.stalled || len(p) < 2 {
+		return sw.ResponseWriter.Write(p)
+	}
+	sw.stalled = true
+	n, err := sw.ResponseWriter.Write(p[:1])
+	if err != nil {
+		return n, err
+	}
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+	_ = resilience.Sleep(sw.ctx, sw.stall)
+	m, err := sw.ResponseWriter.Write(p[1:])
+	return n + m, err
+}
+
+// chaosState is the GET /admin/chaos response and the POST body: a
+// millisecond-typed wire form of the chaos source's configuration.
+type chaosState struct {
+	Enabled bool                 `json:"enabled"`
+	Seed    int64                `json:"seed"`
+	Rules   map[string]chaosRule `json:"rules"`
+}
+
+type chaosRule struct {
+	ErrRate     float64 `json:"errRate"`
+	LatencyMs   float64 `json:"latencyMs"`
+	LatencyRate float64 `json:"latencyRate"`
+	StallRate   float64 `json:"stallRate"`
+	StallForMs  float64 `json:"stallForMs"`
+}
+
+// handleChaos is GET/POST /admin/chaos — the runtime window into the
+// chaos harness. GET reports the current configuration; POST updates
+// it (partial: only provided fields change; a provided seed resets the
+// fault schedule). Servers started without -chaos answer 503: fault
+// injection can never be switched on in a process that was not
+// deliberately launched with it.
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	if s.chaos == nil {
+		writeErrorReason(w, http.StatusServiceUnavailable, "chaos_disabled",
+			"no chaos source configured (start levad with -chaos)")
+		return
+	}
+	if r.Method == http.MethodPost {
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		var req struct {
+			Enabled *bool                `json:"enabled"`
+			Seed    *int64               `json:"seed"`
+			Rules   map[string]chaosRule `json:"rules"`
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "malformed request: %v", err)
+			return
+		}
+		if req.Seed != nil {
+			s.chaos.Reseed(*req.Seed)
+		}
+		for target, rule := range req.Rules {
+			s.chaos.SetRule(target, resilience.Rule{
+				ErrRate:     rule.ErrRate,
+				Latency:     time.Duration(rule.LatencyMs * float64(time.Millisecond)),
+				LatencyRate: rule.LatencyRate,
+				StallRate:   rule.StallRate,
+				StallFor:    time.Duration(rule.StallForMs * float64(time.Millisecond)),
+			})
+		}
+		if req.Enabled != nil {
+			s.chaos.Enable(*req.Enabled)
+			if *req.Enabled {
+				s.metrics.chaosEnabled.Set(1)
+			} else {
+				s.metrics.chaosEnabled.Set(0)
+			}
+		}
+	}
+	state := chaosState{
+		Enabled: s.chaos.Enabled(),
+		Seed:    s.chaos.Seed(),
+		Rules:   map[string]chaosRule{},
+	}
+	for _, target := range s.chaos.Targets() {
+		rule := s.chaos.RuleFor(target)
+		state.Rules[target] = chaosRule{
+			ErrRate:     rule.ErrRate,
+			LatencyMs:   float64(rule.Latency) / float64(time.Millisecond),
+			LatencyRate: rule.LatencyRate,
+			StallRate:   rule.StallRate,
+			StallForMs:  float64(rule.StallFor) / float64(time.Millisecond),
+		}
+	}
+	writeJSON(w, http.StatusOK, state)
+}
+
+// retryAfterHeader sets Retry-After, rounding d up to whole seconds
+// with a floor of 1 (the header is integer-valued, and 0 would invite
+// an immediate stampede).
+func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}

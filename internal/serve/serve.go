@@ -12,14 +12,21 @@
 //	GET  /v1/neighbors        top-k approximate nearest neighbors of a
 //	POST /v1/neighbors        token (GET) or raw vector (POST), when an
 //	                          ANN index is configured
-//	GET  /healthz             liveness
+//	GET  /healthz             liveness + degradation (per-breaker state)
 //	GET  /metrics             Prometheus text (?format=json for the
 //	                          legacy JSON snapshot)
+//	GET  /admin/chaos         chaos-harness state (POST to reconfigure;
+//	                          503 unless started with a chaos source)
 //
-// The HTTP layer carries the production plumbing: a concurrency
-// limiter that sheds excess load with 429s, per-request timeouts,
-// structured request logging, and graceful shutdown that drains
-// in-flight requests. cmd/levad is the daemon around this package.
+// The HTTP layer carries the production plumbing: deadline propagation
+// (clients bound their wait with X-Leva-Deadline-Ms and the context
+// flows through featurize/batch/neighbors), an adaptive AIMD
+// concurrency limiter with a short bounded queue that sheds excess
+// load with Retry-After-carrying 429s, per-dependency circuit breakers
+// with degraded fallbacks (brute-force neighbor scans, cache bypass),
+// per-request timeouts, structured request logging, and graceful
+// shutdown that drains in-flight requests. internal/resilience holds
+// the mechanisms; cmd/levad is the daemon around this package.
 package serve
 
 import (
@@ -34,6 +41,7 @@ import (
 	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/resilience"
 )
 
 // Config tunes the serving daemon. The zero value gets sensible
@@ -42,9 +50,37 @@ import (
 type Config struct {
 	// Addr is the listen address. Default ":9090".
 	Addr string
-	// MaxInFlight bounds concurrently admitted featurize/embedding
-	// requests; excess requests are shed with 429. Default 64.
+	// MaxInFlight is the adaptive concurrency limiter's hard ceiling:
+	// at most this many featurize/embedding/neighbors requests run at
+	// once, and the AIMD limit starts here and can only fall below it
+	// under congestion. Excess requests queue briefly (see QueueLen),
+	// then shed with 429 + Retry-After. Default 64.
 	MaxInFlight int
+	// QueueLen bounds requests waiting for an admission slot beyond the
+	// limit. Default 16; negative disables queueing (immediate shed at
+	// the limit).
+	QueueLen int
+	// QueueTimeout bounds one request's wait in the admission queue.
+	// Default 100ms.
+	QueueTimeout time.Duration
+	// DependencyTimeout is the per-call time budget for circuit-broken
+	// dependencies (the ANN index). Default 2s; negative disables.
+	DependencyTimeout time.Duration
+	// BreakerFailures is the consecutive-failure count that trips a
+	// dependency's circuit breaker. Default 5.
+	BreakerFailures int
+	// BreakerOpenFor is how long a tripped breaker rejects calls before
+	// admitting recovery probes. Default 5s.
+	BreakerOpenFor time.Duration
+	// Chaos, when non-nil, arms the request-level chaos harness: faults
+	// from this seeded source are injected per its rules ("http", "ann",
+	// "rowcache" targets) and /admin/chaos can reconfigure it at
+	// runtime. Nil — the default — means no fault injection, ever.
+	Chaos *resilience.Chaos
+	// DisableFallback turns off degraded serving: a breaker-open or
+	// failing ANN dependency answers 503 with an error taxonomy instead
+	// of falling back to an exact brute-force scan.
+	DisableFallback bool
 	// RequestTimeout bounds one request's handler time; timed-out
 	// requests get 503. Default 10s; negative disables.
 	RequestTimeout time.Duration
@@ -93,6 +129,24 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 64
 	}
+	if c.QueueLen == 0 {
+		c.QueueLen = 16
+	}
+	if c.QueueLen < 0 {
+		c.QueueLen = 0
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 100 * time.Millisecond
+	}
+	if c.DependencyTimeout == 0 {
+		c.DependencyTimeout = 2 * time.Second
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerOpenFor <= 0 {
+		c.BreakerOpenFor = 5 * time.Second
+	}
 	if c.RequestTimeout == 0 {
 		c.RequestTimeout = 10 * time.Second
 	}
@@ -120,9 +174,17 @@ type Server struct {
 	st      atomic.Pointer[store]
 	metrics *metrics
 	logger  *slog.Logger
-	sem     chan struct{}
 	httpSrv *http.Server
 	ln      net.Listener
+
+	// limiter is the adaptive admission controller behind every
+	// data-plane endpoint; breakers guard the dependencies (see
+	// depNames); chaos is the optional fault source; guards hands the
+	// breaker/chaos pair to each store generation.
+	limiter  *resilience.Limiter
+	breakers map[string]*resilience.Breaker
+	chaos    *resilience.Chaos
+	guards   *guards
 
 	// reloadMu serializes reloads (and the shutdown/reload handoff):
 	// overlapping SIGHUPs queue behind each other instead of
@@ -153,9 +215,26 @@ func New(res *core.Result, cfg Config) *Server {
 		cfg:     cfg,
 		metrics: m,
 		logger:  cfg.Logger,
-		sem:     make(chan struct{}, cfg.MaxInFlight),
+		chaos:   cfg.Chaos,
 	}
-	first := newStore(res, cfg.Index, cfg, m)
+	s.limiter = resilience.NewLimiter(resilience.LimiterConfig{
+		MaxLimit:     cfg.MaxInFlight,
+		QueueLen:     cfg.QueueLen,
+		QueueTimeout: cfg.QueueTimeout,
+		OnBackoff:    m.backoffs.Inc,
+	})
+	m.setLimiter(s.limiter)
+	s.breakers = s.newBreakers()
+	s.guards = &guards{chaos: s.chaos, breakers: s.breakers}
+	if s.chaos != nil {
+		s.chaos.OnInject = func(target, kind string) {
+			m.chaosInjections.With(target, kind).Inc()
+		}
+		if s.chaos.Enabled() {
+			m.chaosEnabled.Set(1)
+		}
+	}
+	first := newStore(res, cfg.Index, cfg, m, s.guards)
 	first.gen = 1
 	s.st.Store(first)
 	m.generation.Set(1)
@@ -178,6 +257,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /healthz", s.instrument("healthz", false, s.withStore(s.handleHealthz)))
 	mux.Handle("GET /metrics", s.instrument("metrics", false, http.HandlerFunc(s.handleMetrics)))
 	mux.Handle("POST /admin/reload", s.instrument("reload", false, http.HandlerFunc(s.handleReload)))
+	chaos := s.instrument("chaos", false, http.HandlerFunc(s.handleChaos))
+	mux.Handle("GET /admin/chaos", chaos)
+	mux.Handle("POST /admin/chaos", chaos)
 	return mux
 }
 

@@ -42,6 +42,11 @@ type store struct {
 	// the index is absent or caching is disabled.
 	annCache *lruCache
 
+	// guards carries the server's circuit breakers and chaos source —
+	// shared across store generations so breaker history survives a hot
+	// reload. Nil in direct store tests.
+	guards *guards
+
 	// gen is the bundle generation this store serves: 1 for the store
 	// loaded at startup, +1 per successful reload.
 	gen int64
@@ -52,8 +57,8 @@ type store struct {
 	closeOnce sync.Once
 }
 
-func newStore(res *core.Result, ix *ann.Index, cfg Config, m *metrics) *store {
-	s := &store{res: res, index: ix, metrics: m, workers: cfg.Workers}
+func newStore(res *core.Result, ix *ann.Index, cfg Config, m *metrics, g *guards) *store {
+	s := &store{res: res, index: ix, metrics: m, workers: cfg.Workers, guards: g}
 	s.refs.Store(1) // the serving reference
 	if cfg.CacheSize > 0 {
 		s.cache = newLRU(cfg.CacheSize)
@@ -142,13 +147,45 @@ func cacheKey(j *rowJob) string {
 	return b.String()
 }
 
+// cacheGate decides — once per request — whether the row cache may be
+// used, routing the decision through the rowcache circuit breaker and
+// chaos target. The in-memory LRU cannot fail on its own; the breaker
+// exists so injected cache faults (and any future remote cache) brown
+// out into cache bypass — every row recomputed, correctness kept —
+// instead of failed requests.
+func (s *store) cacheGate() bool {
+	if s.cache == nil {
+		return false
+	}
+	g := s.guards
+	if g == nil || g.breakers[depRowCache] == nil {
+		return true
+	}
+	done, err := g.breakers[depRowCache].Allow()
+	if err != nil {
+		s.metrics.depCalls.With(depRowCache, "open").Inc()
+		s.metrics.degraded.With("featurize").Inc()
+		return false
+	}
+	if d := g.chaos.Decide(depRowCache); d.Err {
+		done(false)
+		s.metrics.depCalls.With(depRowCache, "error").Inc()
+		s.metrics.degraded.With("featurize").Inc()
+		return false
+	}
+	done(true)
+	s.metrics.depCalls.With(depRowCache, "ok").Inc()
+	return true
+}
+
 // featurizeRows fills every job's out vector, serving from the cache
 // where possible, and reports the number of cache hits. Returned
 // vectors may be shared with the cache; callers must not mutate them.
 func (s *store) featurizeRows(ctx context.Context, jobs []*rowJob) (int, error) {
 	hits := 0
 	misses := jobs
-	if s.cache != nil {
+	useCache := s.cacheGate()
+	if useCache {
 		misses = misses[:0:0]
 		for _, j := range jobs {
 			if v, ok := s.cache.get(j.key); ok {
@@ -171,7 +208,7 @@ func (s *store) featurizeRows(ctx context.Context, jobs []*rowJob) (int, error) 
 		if err != nil {
 			return hits, err
 		}
-		if s.cache != nil {
+		if useCache {
 			for _, j := range misses {
 				s.cache.put(j.key, j.out)
 			}

@@ -278,3 +278,127 @@ kill -TERM "$LEVAD_PID"
 wait "$LEVAD_PID"
 
 echo "ann index smoke test passed"
+
+# --- chaos / resilience smoke test ------------------------------------
+# Arm the chaos harness against the ANN dependency (30% injected errors,
+# 400ms injected latency on half the calls, against a 200ms dependency
+# budget) and require: every neighbor query still answers a complete 200
+# within the curl budget (degraded answers fall back to the exact scan,
+# never a hung or hybrid response), the breaker transitions are visible
+# on /metrics, a saturation burst sheds 429s carrying Retry-After, and
+# disabling chaos at runtime recovers full, non-degraded service.
+rm -f "$SMOKE/addr"
+"$SMOKE/bin/levad" -bundle "$SMOKE/bundle_ann" -index "$SMOKE/index" \
+    -addr 127.0.0.1:0 -ready-file "$SMOKE/addr" \
+    -chaos 'seed=1;ann:err=0.3,lat=400ms,latrate=0.5' \
+    -dep-timeout 200ms -breaker-failures 3 -breaker-open-for 1s \
+    -max-inflight 2 -queue 0 2>"$SMOKE/levad_chaos.log" &
+LEVAD_PID=$!
+i=0
+while [ ! -s "$SMOKE/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "levad (chaos run) never became ready" >&2
+        cat "$SMOKE/levad_chaos.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE/addr")
+
+curl -fsS "http://$ADDR/healthz" | grep -q '"chaosEnabled":true'
+curl -fsS "http://$ADDR/admin/chaos" | grep -q '"ann"'
+
+: > "$SMOKE/chaos_codes"
+i=0
+while [ "$i" -lt 100 ]; do
+    i=$((i + 1))
+    curl -s --max-time 2 -o "$SMOKE/chaos_body" -w '%{http_code}\n' \
+        "http://$ADDR/v1/neighbors?token=expenses:0&k=5" >> "$SMOKE/chaos_codes"
+    # Hybrid guard: a degraded answer must never claim a cache hit.
+    if grep -q '"degraded":true' "$SMOKE/chaos_body" \
+        && grep -q '"cacheHit":true' "$SMOKE/chaos_body"; then
+        echo "hybrid response: degraded and cacheHit both true" >&2
+        exit 1
+    fi
+done
+# Bounded tail latency: --max-time 2 turns a hang into a non-200 line.
+if grep -qv '^200$' "$SMOKE/chaos_codes"; then
+    echo "non-200 responses under ANN chaos (fallback must keep serving):" >&2
+    sort "$SMOKE/chaos_codes" | uniq -c >&2
+    exit 1
+fi
+curl -fsS "http://$ADDR/metrics" > "$SMOKE/chaos_metrics"
+grep -q 'leva_resilience_degraded_total{endpoint="neighbors"} [1-9]' "$SMOKE/chaos_metrics"
+grep -q 'leva_resilience_chaos_injections_total{target="ann"' "$SMOKE/chaos_metrics"
+grep -q 'leva_resilience_breaker_transitions_total{dep="ann",to="open"} [1-9]' "$SMOKE/chaos_metrics"
+
+# Saturation burst: 12 concurrent queries against 2 admission slots and
+# no queue must shed — with 429s that carry Retry-After. Re-arm the
+# harness with pure sub-budget latency first (no errors), so the breaker
+# closes and every admitted request holds its slot for ~150ms.
+curl -fsS -X POST "http://$ADDR/admin/chaos" -H 'Content-Type: application/json' \
+    -d '{"rules": {"ann": {"errRate": 0, "latencyMs": 150, "latencyRate": 1}}}' \
+    > /dev/null
+i=0
+until curl -fsS "http://$ADDR/healthz" | grep -q '"status":"ok"'; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "ann breaker never closed under success-only chaos" >&2
+        curl -fsS "http://$ADDR/healthz" >&2 || true
+        exit 1
+    fi
+    curl -s -o /dev/null "http://$ADDR/v1/neighbors?token=expenses:0&k=5"
+    sleep 0.1
+done
+: > "$SMOKE/burst_codes"
+rm -f "$SMOKE"/chaos_hdr_*
+# Subshell so the bare wait sees only the burst curls, not the daemon.
+(
+    i=0
+    while [ "$i" -lt 12 ]; do
+        i=$((i + 1))
+        curl -s --max-time 2 -o /dev/null -D "$SMOKE/chaos_hdr_$i" \
+            -w '%{http_code}\n' "http://$ADDR/v1/neighbors?token=expenses:0&k=5" \
+            >> "$SMOKE/burst_codes" &
+    done
+    wait
+)
+grep -q '^429$' "$SMOKE/burst_codes"
+SHED=0
+for f in "$SMOKE"/chaos_hdr_*; do
+    if grep -q ' 429' "$f"; then
+        SHED=1
+        grep -qi '^retry-after:' "$f"
+    fi
+done
+test "$SHED" = "1"
+curl -fsS "http://$ADDR/metrics" | grep -q 'leva_shed_total{reason='
+
+# Recovery: disable chaos at runtime, drive traffic until the breaker
+# probes its way closed, then require clean (non-degraded) service.
+curl -fsS -X POST "http://$ADDR/admin/chaos" -H 'Content-Type: application/json' \
+    -d '{"enabled": false}' | grep -q '"enabled":false'
+i=0
+until curl -fsS "http://$ADDR/healthz" | grep -q '"status":"ok"'; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "breaker never recovered after chaos was disabled" >&2
+        curl -fsS "http://$ADDR/healthz" >&2 || true
+        exit 1
+    fi
+    curl -s -o /dev/null "http://$ADDR/v1/neighbors?token=expenses:0&k=5"
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/v1/neighbors?token=expenses:0&k=5" > "$SMOKE/chaos_clean"
+grep -q '"neighbors"' "$SMOKE/chaos_clean"
+if grep -q '"degraded":true' "$SMOKE/chaos_clean"; then
+    echo "still degraded after recovery" >&2
+    exit 1
+fi
+curl -fsS "http://$ADDR/metrics" | grep -q 'leva_resilience_chaos_enabled 0'
+
+kill -TERM "$LEVAD_PID"
+wait "$LEVAD_PID"
+
+echo "chaos resilience smoke test passed"
