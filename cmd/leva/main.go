@@ -12,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,8 @@ func main() {
 		err = runInspect(os.Args[2:])
 	case "neighbors":
 		err = runNeighbors(os.Args[2:])
+	case "bundle":
+		err = runBundle(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -59,6 +62,8 @@ func usage() {
   leva train -data <csv dir> -base <table> -target <column> [-dim N] [-method ...] [-seed N] [-workers N] [-cache DIR | -no-cache] [-metrics-dump]
   leva apply -bundle <dir> -data <csv dir> -table <name> [-out features.tsv] [-exclude col1,col2]
   leva neighbors -index <dir> -token <entity> [-k N] [-ef N]
+  leva bundle info <dir>
+  leva bundle convert -in <dir> -out <dir> [-format binary|legacy]
   leva inspect -data <csv dir>`)
 }
 
@@ -235,6 +240,109 @@ func runNeighbors(args []string) error {
 	for _, r := range results {
 		fmt.Printf("%s\t%g\n", r.Name, r.Score)
 	}
+	return nil
+}
+
+// runBundle dispatches the bundle maintenance subcommands: info
+// (inspect a saved bundle without serving it) and convert (rewrite a
+// bundle between the legacy JSON layout and the binary layout).
+func runBundle(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("bundle: want a subcommand: info or convert")
+	}
+	switch args[0] {
+	case "info":
+		return runBundleInfo(args[1:])
+	case "convert":
+		return runBundleConvert(args[1:])
+	default:
+		return fmt.Errorf("bundle: unknown subcommand %q (want info or convert)", args[0])
+	}
+}
+
+// runBundleInfo prints what a bundle holds: format version, integrity
+// status, embedding shape, fitted column order per table, payload
+// section sizes, and the provenance of the build that produced it.
+func runBundleInfo(args []string) error {
+	fs := flag.NewFlagSet("bundle info", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("bundle info: want exactly one bundle directory argument")
+	}
+	info, err := leva.ReadBundleInfo(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(info)
+	}
+	layout := "binary (bundle.bin)"
+	if info.FormatVersion < leva.BundleFormatVersion {
+		layout = "legacy JSON (config.json + textify.json + embedding.tsv)"
+	}
+	verified := "verified against MANIFEST.json"
+	if !info.Verified {
+		verified = "NO integrity manifest"
+	}
+	fmt.Printf("bundle %s\n", info.Dir)
+	fmt.Printf("  format:        version %d, %s (%s)\n", info.FormatVersion, layout, verified)
+	fmt.Printf("  embedding:     %d entities x %d dims (%s, %s featurization)\n",
+		info.Entities, info.Dim, info.MethodUsed, info.Featurization)
+	fmt.Printf("  payload:       %d bytes total (symbols %d, arena %d)\n",
+		info.PayloadBytes, info.SymbolBytes, info.ArenaBytes)
+	if info.UnseenFallbackDims > 0 {
+		fmt.Printf("  unseen fallback dims: %d\n", info.UnseenFallbackDims)
+	}
+	fmt.Printf("  columns:\n")
+	for _, tc := range info.Columns {
+		fmt.Printf("    %s: %s\n", tc.Table, strings.Join(tc.Columns, ", "))
+	}
+	if c := info.StageCache; c != nil && c.Enabled {
+		fmt.Printf("  build cache:   textify=%s tables=%d/%d graph=%s embed=%s\n",
+			c.Textify, c.TablesReused, c.TablesReused+c.TablesRebuilt, c.Graph, c.Embed)
+	}
+	if info.UnweightedFallback {
+		fmt.Printf("  build note:    fell back to the unweighted graph (memory budget)\n")
+	}
+	return nil
+}
+
+// runBundleConvert rewrites a bundle into the requested layout — the
+// migration tool between legacy JSON bundles and the binary format.
+// Featurization is unchanged by conversion in either direction.
+func runBundleConvert(args []string) error {
+	fs := flag.NewFlagSet("bundle convert", flag.ExitOnError)
+	in := fs.String("in", "", "source bundle directory")
+	out := fs.String("out", "", "destination bundle directory (crash-safely replaced if it exists)")
+	format := fs.String("format", "binary", "target layout: binary (current formatVersion) or legacy (version 3 JSON)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("bundle convert: -in and -out are required")
+	}
+	res, err := leva.LoadBundleWarn(*in, func(msg string) { fmt.Fprintln(os.Stderr, "leva: warning:", msg) })
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "binary":
+		err = res.SaveBundle(*out)
+	case "legacy":
+		err = res.SaveBundleLegacy(*out)
+	default:
+		return fmt.Errorf("bundle convert: unknown -format %q (want binary or legacy)", *format)
+	}
+	if err != nil {
+		return err
+	}
+	info, err := leva.ReadBundleInfo(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("converted %s -> %s (format version %d, %d entities x %d dims, %d payload bytes)\n",
+		*in, *out, info.FormatVersion, info.Entities, info.Dim, info.PayloadBytes)
 	return nil
 }
 

@@ -100,6 +100,98 @@ func TestRunEmbedThenApplyBundle(t *testing.T) {
 	}
 }
 
+// TestRunBundleInfoAndConvert drives the bundle maintenance commands
+// end to end: embed -> info on the binary bundle -> convert to the
+// legacy layout -> info again -> convert back -> apply must produce
+// identical features from the twice-converted bundle.
+func TestRunBundleInfoAndConvert(t *testing.T) {
+	dir := writeTestCSVs(t)
+	bundle := filepath.Join(t.TempDir(), "bundle")
+	out := filepath.Join(t.TempDir(), "emb.tsv")
+	if err := runEmbed([]string{"-data", dir, "-out", out, "-bundle", bundle,
+		"-dim", "8", "-method", "mf"}); err != nil {
+		t.Fatal(err)
+	}
+
+	text := captureStdout(t, func() {
+		if err := runBundle([]string{"info", bundle}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{"version 4", "binary (bundle.bin)", "verified against", "orders:", "customers:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("bundle info output missing %q:\n%s", want, text)
+		}
+	}
+
+	legacy := filepath.Join(t.TempDir(), "legacy")
+	if err := runBundle([]string{"convert", "-in", bundle, "-out", legacy, "-format", "legacy"}); err != nil {
+		t.Fatal(err)
+	}
+	text = captureStdout(t, func() {
+		if err := runBundle([]string{"info", legacy}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(text, "version 3") || !strings.Contains(text, "legacy JSON") {
+		t.Errorf("legacy bundle info wrong:\n%s", text)
+	}
+
+	upgraded := filepath.Join(t.TempDir(), "upgraded")
+	if err := runBundle([]string{"convert", "-in", legacy, "-out", upgraded, "-format", "binary"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The twice-converted bundle must featurize byte-identically.
+	want := applyFeatures(t, bundle, dir)
+	got := applyFeatures(t, upgraded, dir)
+	if want != got {
+		t.Error("features changed across binary -> legacy -> binary conversion")
+	}
+
+	if err := runBundle([]string{"nonsense"}); err == nil {
+		t.Error("unknown bundle subcommand accepted")
+	}
+	if err := runBundle(nil); err == nil {
+		t.Error("bare bundle command accepted")
+	}
+	if err := runBundle([]string{"convert", "-in", bundle, "-out", legacy, "-format", "xml"}); err == nil {
+		t.Error("unknown convert format accepted")
+	}
+}
+
+func applyFeatures(t *testing.T, bundle, data string) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "features.tsv")
+	if err := runApply([]string{"-bundle", bundle, "-data", data,
+		"-table", "orders", "-exclude", "label", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
 func TestRunApplyErrors(t *testing.T) {
 	if err := runApply(nil); err == nil {
 		t.Error("missing flags accepted")

@@ -33,7 +33,9 @@
 // in-flight requests for up to -drain-timeout before exiting. SIGHUP
 // (or POST /admin/reload) re-reads the bundle directory and swaps it in
 // without dropping in-flight requests; a bundle that fails validation
-// is rejected and the current one keeps serving. -chaos arms seeded
+// is rejected and the current one keeps serving. -mmap memory-maps the
+// bundle payload so loads and reloads cost page-table setup plus an
+// integrity hash instead of copying every vector. -chaos arms seeded
 // request-level fault injection for resilience drills. See
 // docs/SERVING.md and docs/OPERATIONS.md.
 package main
@@ -88,6 +90,7 @@ func run(ctx context.Context, args []string) error {
 	batchWindow := fs.Duration("batch-window", 0, "micro-batch gather window for concurrent lookups (0 disables)")
 	batchMax := fs.Int("batch-max", 64, "max rows per micro-batch")
 	workers := fs.Int("workers", 0, "featurization worker goroutines per batch (0 = all cores)")
+	mmapBundle := fs.Bool("mmap", false, "memory-map the bundle payload instead of reading it (binary bundles on supporting platforms; reloads then cost page-table setup plus an integrity hash, not a vector copy)")
 	readyFile := fs.String("ready-file", "", "write the bound address to this file once serving (for scripts; with -debug-addr, the debug address goes to <ready-file>.debug)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this separate address (disabled when empty; keep it private)")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
@@ -101,7 +104,8 @@ func run(ctx context.Context, args []string) error {
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	warn := func(msg string) { logger.Warn("bundle", slog.String("warning", msg)) }
-	res, err := leva.LoadBundleWarn(*bundle, warn)
+	loadOpts := leva.LoadOptions{Warn: warn, MMap: *mmapBundle}
+	res, err := leva.LoadBundleOpts(*bundle, loadOpts)
 	if err != nil {
 		return err
 	}
@@ -147,7 +151,7 @@ func run(ctx context.Context, args []string) error {
 	// atomically publish a new bundle in place (SaveBundle's rename
 	// protocol) and SIGHUP the daemon without dropping a request.
 	cfg.Loader = func() (*leva.Result, error) {
-		return leva.LoadBundleWarn(*bundle, warn)
+		return leva.LoadBundleOpts(*bundle, loadOpts)
 	}
 	if *indexDir != "" {
 		ix, err := ann.Load(*indexDir)

@@ -260,7 +260,7 @@ func TestRunRefusesCorruptBundle(t *testing.T) {
 	if err := res.SaveBundle(dir); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, "embedding.tsv")
+	path := filepath.Join(dir, "bundle.bin")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -273,7 +273,7 @@ func TestRunRefusesCorruptBundle(t *testing.T) {
 	if err == nil {
 		t.Fatal("daemon started on a corrupt bundle")
 	}
-	if !strings.Contains(err.Error(), "embedding.tsv") {
+	if !strings.Contains(err.Error(), "bundle.bin") {
 		t.Errorf("startup error does not name the corrupt file: %v", err)
 	}
 }

@@ -114,12 +114,19 @@ type Result struct {
 // Index is an immutable HNSW graph over a fixed vector collection.
 // All methods are safe for concurrent use once Build returns.
 type Index struct {
-	opts   Options
-	dim    int
-	names  []string
+	opts  Options
+	dim   int
+	names []string
+	// Exactly one of byName and syms resolves names to ids: BuildVectors
+	// and Decode populate the map, Build over an Embedding shares the
+	// embedding's interned symbol table instead (no per-name map
+	// entries).
 	byName map[string]int32
+	syms   *embed.SymbolTable
 	// vecs holds all vectors row-major (n x dim), unit-normalized for
-	// MetricCosine.
+	// MetricCosine. For a dot-metric Build it aliases the embedding's
+	// arena directly — zero copies; the index and the embedding are both
+	// immutable after construction.
 	vecs     []float64
 	levels   []int32
 	links    [][][]int32 // links[node][layer] = neighbor ids
@@ -127,16 +134,71 @@ type Index struct {
 	maxLevel int32
 }
 
-// Build indexes every vector of e under opts.
+// idOf resolves an entity name to its node id.
+func (ix *Index) idOf(name string) (int32, bool) {
+	if ix.syms != nil {
+		id, ok := ix.syms.Lookup(name)
+		return int32(id), ok
+	}
+	id, ok := ix.byName[name]
+	return id, ok
+}
+
+// Build indexes every vector of e under opts. Unlike BuildVectors it
+// does not copy per entity: the name table is the embedding's interned
+// symbol table, and the vector block is the embedding's contiguous
+// arena — aliased directly for MetricDot, copied once (one memmove,
+// then normalized in place) for MetricCosine. The graph construction
+// arithmetic is identical to BuildVectors', so the two produce the same
+// index for the same input.
 func Build(e *embed.Embedding, opts Options) (*Index, error) {
 	if e == nil || e.Len() == 0 {
 		return nil, errors.New("ann: cannot build an index over an empty embedding")
 	}
-	vecs := make([][]float64, e.Len())
-	for i := range vecs {
-		vecs[i] = e.Matrix().Row(i)
+	opts = opts.withDefaults()
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
-	return BuildVectors(e.Names(), vecs, opts)
+	n, dim := e.Len(), e.Dim
+	if n > math.MaxInt32 {
+		return nil, fmt.Errorf("ann: %d vectors exceeds the int32 id space", n)
+	}
+	if dim == 0 {
+		return nil, errors.New("ann: zero-dimensional vectors")
+	}
+	st := e.Symbols()
+	// Duplicate names would make id resolution ambiguous; the sorted
+	// permutation makes the scan linear.
+	sorted := st.SortedIDs()
+	for i := 1; i < len(sorted); i++ {
+		if st.At(int(sorted[i])) == st.At(int(sorted[i-1])) {
+			return nil, fmt.Errorf("ann: duplicate name %q", st.At(int(sorted[i])))
+		}
+	}
+	start := time.Now()
+	ix := &Index{
+		opts:   opts,
+		dim:    dim,
+		names:  e.Names(),
+		syms:   st,
+		levels: make([]int32, n),
+		links:  make([][][]int32, n),
+		entry:  -1,
+	}
+	arena := e.Matrix().Data
+	if opts.Metric == MetricCosine {
+		ix.vecs = make([]float64, len(arena))
+		copy(ix.vecs, arena)
+		for i := 0; i < n; i++ {
+			normalize(ix.vecs[i*dim : (i+1)*dim])
+		}
+	} else {
+		ix.vecs = arena
+	}
+	ix.wire(rand.New(rand.NewSource(opts.Seed)))
+	buildsTotal.Inc()
+	buildSeconds.ObserveDuration(time.Since(start))
+	return ix, nil
 }
 
 // BuildVectors indexes the given vectors, where vecs[i] is the vector
@@ -189,21 +251,23 @@ func BuildVectors(names []string, vecs [][]float64, opts Options) (*Index, error
 		}
 	}
 
-	// Draw every node's level up front from one seeded stream, then
-	// insert sequentially: the only randomness in the whole build.
-	rng := rand.New(rand.NewSource(opts.Seed))
-	mL := 1 / math.Log(float64(opts.M))
+	ix.wire(rand.New(rand.NewSource(opts.Seed)))
+	buildsTotal.Inc()
+	buildSeconds.ObserveDuration(time.Since(start))
+	return ix, nil
+}
+
+// wire draws every node's level up front from one seeded stream (the
+// only randomness in the whole build), then inserts sequentially.
+func (ix *Index) wire(rng *rand.Rand) {
+	mL := 1 / math.Log(float64(ix.opts.M))
 	for i := range ix.levels {
 		ix.levels[i] = drawLevel(rng, mL)
 		ix.links[i] = make([][]int32, ix.levels[i]+1)
 	}
-	for i := 0; i < n; i++ {
+	for i := range ix.levels {
 		ix.insert(int32(i))
 	}
-
-	buildsTotal.Inc()
-	buildSeconds.ObserveDuration(time.Since(start))
-	return ix, nil
 }
 
 func drawLevel(rng *rand.Rand, mL float64) int32 {
@@ -232,7 +296,7 @@ func (ix *Index) Names() []string { return ix.names }
 
 // Has reports whether name is indexed.
 func (ix *Index) Has(name string) bool {
-	_, ok := ix.byName[name]
+	_, ok := ix.idOf(name)
 	return ok
 }
 
@@ -289,7 +353,7 @@ func (ix *Index) SearchVector(q []float64, k, ef int) ([]Result, error) {
 // excluding the entity itself. Unknown names return an error wrapping
 // ErrUnknownName.
 func (ix *Index) SearchName(name string, k, ef int) ([]Result, error) {
-	id, ok := ix.byName[name]
+	id, ok := ix.idOf(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownName, name)
 	}

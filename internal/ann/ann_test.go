@@ -171,6 +171,43 @@ func TestBuildByteIdentical(t *testing.T) {
 	}
 }
 
+// TestBuildArenaMatchesBuildVectors pins the zero-copy Build fast path
+// (interned symbol table + shared arena) to the copying BuildVectors
+// path: for the same embedding and options the two must produce
+// byte-identical Encode output under both metrics — the fast path may
+// not change a single bit of the graph.
+func TestBuildArenaMatchesBuildVectors(t *testing.T) {
+	e := benchmarkEmbedding(t)
+	rows := make([][]float64, e.Len())
+	for i := range rows {
+		rows[i] = append([]float64(nil), e.Matrix().Row(i)...)
+	}
+	for _, metric := range []ann.Metric{ann.MetricCosine, ann.MetricDot} {
+		opts := ann.Options{M: 8, EfConstruction: 60, Seed: 9, Metric: metric}
+		fast, err := ann.Build(e, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := ann.BuildVectors(e.Names(), rows, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(fast.Encode(), slow.Encode()) {
+			t.Fatalf("%s: arena build and copying build produced different indexes", metric)
+		}
+		// The arena path must leave the embedding's vectors untouched
+		// (cosine normalization must copy, dot must not write at all).
+		for i := range rows {
+			row := e.Matrix().Row(i)
+			for j := range row {
+				if row[j] != rows[i][j] {
+					t.Fatalf("%s: Build mutated the embedding arena at [%d][%d]", metric, i, j)
+				}
+			}
+		}
+	}
+}
+
 // TestConcurrentSearchIsDeterministic hammers one index from many
 // goroutines (run under -race by scripts/check.sh) and requires every
 // answer to equal the single-threaded reference.

@@ -32,7 +32,7 @@ func (ix *Index) BruteForceVector(q []float64, k int) ([]Result, error) {
 // counterpart of SearchName. Unknown names return an error wrapping
 // ErrUnknownName.
 func (ix *Index) BruteForceName(name string, k int) ([]Result, error) {
-	id, ok := ix.byName[name]
+	id, ok := ix.idOf(name)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownName, name)
 	}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+// benchBundle builds one mid-sized deployment and saves it in both
+// layouts, once per benchmark binary.
+var (
+	benchBundleOnce sync.Once
+	benchBundleV4   string
+	benchBundleV3   string
+	benchBundleErr  error
+)
+
+func benchBundleDirs(b *testing.B) (v4, v3 string) {
+	b.Helper()
+	benchBundleOnce.Do(func() {
+		spec := synth.Student(synth.StudentOptions{Students: 300, Seed: 2})
+		res, err := BuildEmbedding(spec.DB, Config{Dim: 32, Seed: 2, Method: embed.MethodMF})
+		if err != nil {
+			benchBundleErr = err
+			return
+		}
+		if benchBundleV4, benchBundleErr = os.MkdirTemp("", "leva-bench-v4-*"); benchBundleErr != nil {
+			return
+		}
+		if benchBundleErr = res.SaveBundle(benchBundleV4); benchBundleErr != nil {
+			return
+		}
+		if benchBundleV3, benchBundleErr = os.MkdirTemp("", "leva-bench-v3-*"); benchBundleErr != nil {
+			return
+		}
+		benchBundleErr = res.SaveBundleLegacy(benchBundleV3)
+	})
+	if benchBundleErr != nil {
+		b.Fatal(benchBundleErr)
+	}
+	return benchBundleV4, benchBundleV3
+}
+
+// BenchmarkBundleLoad compares the two load paths over the same
+// deployment: the legacy JSON/TSV decode (per-entity string and vector
+// allocations) against the binary view construction (one buffer, a
+// hash, and slice headers). Run with -benchmem; the allocs/op column is
+// the point of the format migration.
+func BenchmarkBundleLoad(b *testing.B) {
+	v4, v3 := benchBundleDirs(b)
+	b.Run("v3-json", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := LoadBundle(v3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v4-binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := LoadBundle(v4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if durable.MapSupported {
+		b.Run("v4-mmap", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := LoadBundleOpts(v4, LoadOptions{MMap: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestBundleLoadAllocRatio turns the benchmark's headline into a
+// regression gate: loading the binary format must allocate at least 10x
+// fewer objects than loading the same deployment from the legacy JSON
+// format.
+func TestBundleLoadAllocRatio(t *testing.T) {
+	spec := synth.Student(synth.StudentOptions{Students: 150, Seed: 2})
+	res, err := BuildEmbedding(spec.DB, Config{Dim: 16, Seed: 2, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4Dir, v3Dir := t.TempDir(), t.TempDir()
+	if err := res.SaveBundle(v4Dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.SaveBundleLegacy(v3Dir); err != nil {
+		t.Fatal(err)
+	}
+	legacy := testing.AllocsPerRun(5, func() {
+		if _, err := LoadBundle(v3Dir); err != nil {
+			t.Fatal(err)
+		}
+	})
+	binary := testing.AllocsPerRun(5, func() {
+		if _, err := LoadBundle(v4Dir); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if binary*10 > legacy {
+		t.Errorf("binary load allocates %.0f objects vs %.0f for legacy — want at least 10x fewer", binary, legacy)
+	}
+}

@@ -127,12 +127,12 @@ func TestSaveBundleCrashPointSweep(t *testing.T) {
 }
 
 // TestSaveBundleReportsFullDisk pins the regression the durability work
-// started from: an embedding write whose flush/close fails (a full
-// disk) must fail the save, not report success over a truncated file.
+// started from: a payload write whose flush/close fails (a full disk)
+// must fail the save, not report success over a truncated file.
 func TestSaveBundleReportsFullDisk(t *testing.T) {
 	oldRes, _ := faultFixture(t)
 	for _, op := range []durable.Op{durable.OpSync, durable.OpClose} {
-		for k := 1; k <= 4; k++ { // 3 payload files + manifest
+		for k := 1; k <= 2; k++ { // bundle.bin + manifest
 			dir := filepath.Join(t.TempDir(), "bundle")
 			ffs := durable.NewFaultFS(durable.OS())
 			ffs.FailAt(op, k)
@@ -150,10 +150,19 @@ func TestSaveBundleReportsFullDisk(t *testing.T) {
 // start, middle, and end of every bundle file — payloads and manifest —
 // and requires LoadBundle to reject each mutation with an error naming
 // the damaged file (manifest damage may be reported through the file
-// whose record it corrupted; either way MANIFEST.json is named).
+// whose record it corrupted; either way MANIFEST.json is named). Both
+// layouts are swept: the binary bundle and the legacy JSON one.
 func TestLoadBundleRejectsSingleByteCorruption(t *testing.T) {
-	dir := savedBundle(t)
-	files := []string{bundleConfigFile, bundleTextifyFile, bundleEmbeddingFile, durable.ManifestName}
+	t.Run("binary", func(t *testing.T) {
+		sweepByteCorruption(t, savedBundle(t), []string{bundleBinFile, durable.ManifestName})
+	})
+	t.Run("legacy", func(t *testing.T) {
+		sweepByteCorruption(t, savedLegacyBundle(t),
+			[]string{bundleConfigFile, bundleTextifyFile, bundleEmbeddingFile, durable.ManifestName})
+	})
+}
+
+func sweepByteCorruption(t *testing.T, dir string, files []string) {
 	for _, name := range files {
 		path := filepath.Join(dir, name)
 		orig, err := os.ReadFile(path)
@@ -189,11 +198,27 @@ func TestLoadBundleRejectsSingleByteCorruption(t *testing.T) {
 }
 
 // TestLoadBundleRejectsTruncation cuts each payload file in half — the
-// classic torn-write outcome — and requires a named rejection.
+// classic torn-write outcome — and requires a named rejection, for both
+// layouts.
 func TestLoadBundleRejectsTruncation(t *testing.T) {
+	t.Run(bundleBinFile, func(t *testing.T) {
+		dir := savedBundle(t)
+		path := filepath.Join(dir, bundleBinFile)
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, orig[:len(orig)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err = LoadBundle(dir)
+		if err == nil || !strings.Contains(err.Error(), bundleBinFile) {
+			t.Fatalf("truncated %s not rejected by name: %v", bundleBinFile, err)
+		}
+	})
 	for _, name := range []string{bundleConfigFile, bundleTextifyFile, bundleEmbeddingFile} {
 		t.Run(name, func(t *testing.T) {
-			dir := savedBundle(t)
+			dir := savedLegacyBundle(t)
 			path := filepath.Join(dir, name)
 			orig, err := os.ReadFile(path)
 			if err != nil {

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,15 +15,17 @@ import (
 	"repro/internal/synth"
 )
 
-// fuzzBundle lazily builds one small bundle whose payload files seed
-// and host the decoder fuzzing below.
+// fuzzBundle lazily builds one small bundle — saved in the legacy JSON
+// layout, whose per-file decoders the three legacy fuzzers below target
+// — whose payload files seed and host the decoder fuzzing.
 var (
 	fuzzBundleOnce sync.Once
 	fuzzBundleDir  string
+	fuzzBundleRes  *Result
 	fuzzBundleErr  error
 )
 
-func fuzzBundle(t testing.TB) string {
+func fuzzBundleResult(t testing.TB) *Result {
 	t.Helper()
 	fuzzBundleOnce.Do(func() {
 		spec := synth.Student(synth.StudentOptions{Students: 15, Seed: 5})
@@ -30,15 +34,22 @@ func fuzzBundle(t testing.TB) string {
 			fuzzBundleErr = err
 			return
 		}
+		fuzzBundleRes = res
 		fuzzBundleDir, fuzzBundleErr = os.MkdirTemp("", "leva-fuzz-bundle-*")
 		if fuzzBundleErr != nil {
 			return
 		}
-		fuzzBundleErr = res.SaveBundle(fuzzBundleDir)
+		fuzzBundleErr = res.SaveBundleLegacy(fuzzBundleDir)
 	})
 	if fuzzBundleErr != nil {
 		t.Fatal(fuzzBundleErr)
 	}
+	return fuzzBundleRes
+}
+
+func fuzzBundle(t testing.TB) string {
+	t.Helper()
+	fuzzBundleResult(t)
 	return fuzzBundleDir
 }
 
@@ -147,12 +158,69 @@ func FuzzLoadBundleEmbedding(f *testing.F) {
 // rejected by the integrity check before any decoder runs.
 func TestManifestScreensBeforeDecoding(t *testing.T) {
 	dir := savedBundle(t)
-	path := filepath.Join(dir, bundleTextifyFile)
-	if err := os.WriteFile(path, []byte(`{"tables": {}}`), 0o644); err != nil {
+	path := filepath.Join(dir, bundleBinFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
 		t.Fatal(err)
 	}
-	_, err := LoadBundle(dir)
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadBundle(dir)
 	if err == nil || !strings.Contains(err.Error(), durable.ManifestName) {
 		t.Fatalf("manifest did not screen the corrupted payload: %v", err)
 	}
+}
+
+// FuzzBundleV4 feeds arbitrary bytes to the binary bundle decoder. The
+// properties: it never panics; every rejection wraps exactly one of the
+// named errors (ErrBadMagic, ErrVersion, ErrCorrupt); and any input it
+// accepts re-encodes stably — encode(decode(input)) is a fixed point of
+// decode∘encode, so a hostile-but-valid file cannot round-trip into a
+// different bundle.
+func FuzzBundleV4(f *testing.F) {
+	res := fuzzBundleResult(f)
+	valid, err := encodeBundleV4(res)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:len(bundleMagic)+8])
+	f.Add([]byte(bundleMagic))
+	f.Add([]byte("LEVAHNSW not this format"))
+	f.Add([]byte{})
+	// Version 99 header with zero sections.
+	hdr := append([]byte(bundleMagic), 99, 0, 0, 0, 0, 0, 0, 0)
+	f.Add(hdr)
+	// Claimed section beyond EOF.
+	lying := append([]byte(bundleMagic), 4, 0, 0, 0, 1, 0, 0, 0)
+	lying = append(lying, make([]byte, 24)...)
+	lying[len(bundleMagic)+8+8] = 0xFF // offset 255, unaligned and out of range
+	f.Add(lying)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := decodeBundleV4(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection is not a named bundle error: %v", err)
+			}
+			return
+		}
+		enc, err := encodeBundleV4(dec)
+		if err != nil {
+			t.Fatalf("accepted input failed to re-encode: %v", err)
+		}
+		dec2, err := decodeBundleV4(enc)
+		if err != nil {
+			t.Fatalf("re-encoded bundle failed to decode: %v", err)
+		}
+		enc2, err := encodeBundleV4(dec2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("re-encode is not stable: %d vs %d bytes", len(enc), len(enc2))
+		}
+	})
 }

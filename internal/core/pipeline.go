@@ -190,6 +190,9 @@ type Result struct {
 	UnweightedFallback bool
 	Timings            Timings
 	Config             Config
+	// BundleFormat is the on-disk format version this Result was loaded
+	// from (0 for Results built in-process rather than loaded).
+	BundleFormat int
 
 	// mu guards Timings.Featurize accrual from concurrent
 	// FeaturizeWithMode calls.

@@ -14,11 +14,16 @@
 package durable
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 )
+
+// ErrMapUnsupported reports that MapFile is not implemented for this
+// platform; callers fall back to a plain read (see MapSupported).
+var ErrMapUnsupported = errors.New("durable: file mapping not supported on this platform")
 
 // File is the writable handle durable code uses: plain writes plus the
 // two calls that decide durability, Sync and Close. Both return errors

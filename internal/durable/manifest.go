@@ -84,6 +84,28 @@ func ReadManifest(dir string) (*Manifest, error) {
 	return &m, nil
 }
 
+// VerifyData checks already-read (or mapped) bytes against the
+// manifest's record for name — the single-read verification path: a
+// reader that must consume a payload file anyway hashes the bytes it
+// already holds instead of having VerifyDir read the file a second
+// time.
+func (m *Manifest) VerifyData(name string, data []byte) error {
+	e := m.Entry(name)
+	if e == nil {
+		return fmt.Errorf("durable: %s is not listed in %s", name, ManifestName)
+	}
+	if int64(len(data)) != e.Size {
+		return fmt.Errorf("durable: %s is %d bytes but %s records %d (truncated or torn write)",
+			name, len(data), ManifestName, e.Size)
+	}
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != e.SHA256 {
+		return fmt.Errorf("durable: %s fails its SHA-256 check against %s (file or manifest corrupt)",
+			name, ManifestName)
+	}
+	return nil
+}
+
 // VerifyDir checks every file listed in dir's manifest against its
 // recorded size and SHA-256 and returns the parsed manifest. Any
 // mismatch comes back as an error naming the offending file, so a torn

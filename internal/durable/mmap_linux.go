@@ -1,0 +1,48 @@
+//go:build linux
+
+package durable
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MapSupported reports whether MapFile can memory-map on this platform.
+const MapSupported = true
+
+// MapFile memory-maps path read-only and returns the file's bytes as a
+// view over the mapping (no read, no copy — pages fault in on access).
+// The mapping is page-aligned, so any 8-aligned offset within the file
+// is 8-aligned in memory, which is what the bundle arena's zero-copy
+// float64 view relies on.
+//
+// The mapping is intentionally never unmapped: callers hand out string
+// and slice views into it with no lifetime tracking, and a clean
+// file-backed read-only mapping costs address space, not resident
+// memory, once the kernel evicts its pages. A serving process that hot
+// reloads N times retains N mappings — bounded and observable, unlike
+// a dangling view into an unmapped page, which is a SIGSEGV.
+func MapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return []byte{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("durable: %s is %d bytes, too large to map", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("durable: mmap %s: %w", path, err)
+	}
+	return data, nil
+}

@@ -1,0 +1,12 @@
+//go:build !linux
+
+package durable
+
+// MapSupported reports whether MapFile can memory-map on this platform.
+const MapSupported = false
+
+// MapFile is unavailable off linux; callers check MapSupported (or the
+// returned ErrMapUnsupported) and fall back to os.ReadFile.
+func MapFile(path string) ([]byte, error) {
+	return nil, ErrMapUnsupported
+}

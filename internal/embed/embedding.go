@@ -9,43 +9,79 @@ package embed
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/matrix"
 )
 
 // Embedding maps node names to dense vectors. Row nodes are keyed
 // "table:rowIdx"; value nodes are keyed by their token.
+//
+// Internally the names live in an interned SymbolTable (one byte blob
+// plus offsets, binary-searched on lookup) and the vectors in one
+// contiguous row-major arena — the exact layout the version-4 bundle
+// format stores, so a loaded bundle's embedding is a set of views over
+// the file bytes rather than a decoded copy. The public API (Vector /
+// Names / Has / Matrix) is unchanged from the map-backed days.
 type Embedding struct {
 	// Dim is the vector dimensionality.
 	Dim     int
-	names   []string
-	index   map[string]int
-	vectors *matrix.Dense // len(names) x Dim
+	syms    *SymbolTable
+	vectors *matrix.Dense // Len() x Dim arena
+
+	namesOnce sync.Once
+	names     []string // lazily materialized Names() slice
 }
 
 // NewEmbedding wraps a dense matrix whose i-th row is the vector for
-// names[i].
+// names[i]. The names are interned (copied once into the symbol
+// table); the matrix is retained as-is.
 func NewEmbedding(names []string, vectors *matrix.Dense) *Embedding {
 	if len(names) != vectors.Rows {
 		panic(fmt.Sprintf("embed: %d names for %d vectors", len(names), vectors.Rows))
 	}
-	idx := make(map[string]int, len(names))
-	for i, n := range names {
-		idx[n] = i
+	st, err := NewSymbolTable(names)
+	if err != nil {
+		panic(err.Error()) // only reachable past a 4 GiB token blob
 	}
-	return &Embedding{Dim: vectors.Cols, names: names, index: idx, vectors: vectors}
+	e := &Embedding{Dim: vectors.Cols, syms: st, vectors: vectors}
+	e.names = append([]string(nil), names...)
+	return e
+}
+
+// NewEmbeddingTable wraps an already-built symbol table and vector
+// arena without copying either — the zero-copy path of the bundle
+// reader. arena row i is the vector for table symbol i.
+func NewEmbeddingTable(st *SymbolTable, arena *matrix.Dense) (*Embedding, error) {
+	if st.Len() != arena.Rows {
+		return nil, fmt.Errorf("embed: %d symbols for %d vectors", st.Len(), arena.Rows)
+	}
+	return &Embedding{Dim: arena.Cols, syms: st, vectors: arena}, nil
 }
 
 // Len returns the number of embedded entities.
-func (e *Embedding) Len() int { return len(e.names) }
+func (e *Embedding) Len() int { return e.syms.Len() }
 
-// Names returns the embedded entity names in index order (shared).
-func (e *Embedding) Names() []string { return e.names }
+// Symbols returns the interned name table (shared, immutable).
+func (e *Embedding) Symbols() *SymbolTable { return e.syms }
+
+// Names returns the embedded entity names in index order (shared). For
+// an embedding loaded zero-copy from a bundle the slice is materialized
+// on first call (string views over the interned blob, no byte copies)
+// and cached.
+func (e *Embedding) Names() []string {
+	e.namesOnce.Do(func() {
+		if e.names == nil {
+			e.names = e.syms.AppendNames(nil)
+		}
+	})
+	return e.names
+}
 
 // Vector returns the vector for name and whether it exists. The slice
 // is shared with the embedding; callers must not mutate it.
 func (e *Embedding) Vector(name string) ([]float64, bool) {
-	i, ok := e.index[name]
+	i, ok := e.syms.Lookup(name)
 	if !ok {
 		return nil, false
 	}
@@ -54,8 +90,7 @@ func (e *Embedding) Vector(name string) ([]float64, bool) {
 
 // Has reports whether name is embedded.
 func (e *Embedding) Has(name string) bool {
-	_, ok := e.index[name]
-	return ok
+	return e.syms.Has(name)
 }
 
 // Matrix returns the underlying vectors (shared).
@@ -73,7 +108,7 @@ func (e *Embedding) ReduceDim(k int) *Embedding {
 		return e
 	}
 	pca := matrix.FitPCA(e.vectors, k)
-	return NewEmbedding(e.names, pca.Transform(e.vectors))
+	return NewEmbedding(e.Names(), pca.Transform(e.vectors))
 }
 
 // Subset returns a new embedding restricted to the given names; names
@@ -93,7 +128,7 @@ func (e *Embedding) Subset(names []string) *Embedding {
 // SortedNames returns the embedded names in lexical order (for
 // deterministic iteration in tests and experiments).
 func (e *Embedding) SortedNames() []string {
-	out := append([]string(nil), e.names...)
+	out := append([]string(nil), e.Names()...)
 	sort.Strings(out)
 	return out
 }

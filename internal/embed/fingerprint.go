@@ -19,8 +19,9 @@ const (
 func (e *Embedding) Fingerprint() string {
 	h := fingerprint.New("leva/embedding-content/v1")
 	h.Int(int64(e.Dim))
-	h.Int(int64(len(e.names)))
-	for i, n := range e.names {
+	names := e.Names()
+	h.Int(int64(len(names)))
+	for i, n := range names {
 		h.String(n)
 		for _, v := range e.vectors.Row(i) {
 			h.Float(v)

@@ -15,7 +15,7 @@ import (
 // through ReadTSV and is trivially consumable from any language.
 func (e *Embedding) WriteTSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, name := range e.names {
+	for _, name := range e.Names() {
 		if strings.ContainsAny(name, "\t\n") {
 			return fmt.Errorf("embed: name %q contains a separator", name)
 		}

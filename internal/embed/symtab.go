@@ -1,0 +1,164 @@
+package embed
+
+import (
+	"fmt"
+	"sort"
+	"unsafe"
+)
+
+// SymbolTable is an interned, binary-searchable collection of entity
+// names. All token bytes live in one contiguous blob, sliced by an
+// offsets array; a separate permutation orders the tokens
+// lexicographically for lookup. Nothing is a per-token heap object, so
+// a table decoded from a version-4 bundle is three slice headers over
+// the file's own bytes — no string allocations, no map construction.
+//
+// The table preserves insertion order: symbol i is the i-th name the
+// table was built with, and vector arenas are laid out in the same
+// order. Insertion order is load-bearing everywhere an id is (ANN
+// node ids, TSV line order, fingerprints), which is why the blob is
+// not itself sorted; the permutation carries the sortedness instead.
+//
+// A SymbolTable is immutable after construction and safe for
+// concurrent readers. Callers must never mutate the slices handed to
+// FromParts or returned by Blob/Offsets/SortedIDs: At and Names return
+// strings aliasing the blob's bytes.
+type SymbolTable struct {
+	blob []byte   // concatenated token bytes, insertion order
+	offs []uint32 // len n+1; token i = blob[offs[i]:offs[i+1]]
+	perm []int32  // lexicographic order: At(perm[0]) <= At(perm[1]) <= ...
+}
+
+// NewSymbolTable interns names (in the given order) into a fresh table.
+// Token bytes are copied once into one allocation.
+func NewSymbolTable(names []string) (*SymbolTable, error) {
+	total := 0
+	for _, n := range names {
+		total += len(n)
+	}
+	if total > maxSymbolBlob {
+		return nil, fmt.Errorf("embed: symbol table blob would be %d bytes; the format caps it at %d", total, maxSymbolBlob)
+	}
+	st := &SymbolTable{
+		blob: make([]byte, 0, total),
+		offs: make([]uint32, 1, len(names)+1),
+		perm: make([]int32, len(names)),
+	}
+	for i, n := range names {
+		st.blob = append(st.blob, n...)
+		st.offs = append(st.offs, uint32(len(st.blob)))
+		st.perm[i] = int32(i)
+	}
+	// Ties (duplicate names) break by ascending id so the permutation —
+	// and therefore the encoded bundle — is fully input-determined.
+	sort.Slice(st.perm, func(a, b int) bool {
+		sa, sb := st.At(int(st.perm[a])), st.At(int(st.perm[b]))
+		if sa != sb {
+			return sa < sb
+		}
+		return st.perm[a] < st.perm[b]
+	})
+	return st, nil
+}
+
+// maxSymbolBlob bounds the token blob so offsets always fit in uint32.
+const maxSymbolBlob = 1<<32 - 1
+
+// FromParts wraps pre-built table components without copying — the
+// zero-decode path of the version-4 bundle reader. The components are
+// validated structurally (monotonic offsets spanning exactly the blob,
+// perm a permutation in non-decreasing token order) so a corrupt or
+// hostile file cannot produce a table whose methods panic or
+// mis-search. The slices are retained; callers must not mutate them.
+func FromParts(blob []byte, offs []uint32, perm []int32) (*SymbolTable, error) {
+	if len(offs) == 0 {
+		return nil, fmt.Errorf("embed: symbol table has no offsets")
+	}
+	n := len(offs) - 1
+	if len(perm) != n {
+		return nil, fmt.Errorf("embed: symbol table has %d offsets for %d permutation entries", n, len(perm))
+	}
+	if offs[0] != 0 || int64(offs[n]) != int64(len(blob)) {
+		return nil, fmt.Errorf("embed: symbol offsets span [%d, %d), blob has %d bytes", offs[0], offs[n], len(blob))
+	}
+	for i := 0; i < n; i++ {
+		if offs[i] > offs[i+1] {
+			return nil, fmt.Errorf("embed: symbol offsets decrease at %d (%d > %d)", i, offs[i], offs[i+1])
+		}
+	}
+	st := &SymbolTable{blob: blob, offs: offs, perm: perm}
+	seen := make([]bool, n)
+	for i, p := range perm {
+		if p < 0 || int(p) >= n || seen[p] {
+			return nil, fmt.Errorf("embed: symbol permutation entry %d is %d (not a permutation of 0..%d)", i, p, n-1)
+		}
+		seen[p] = true
+		if i > 0 && st.At(int(perm[i-1])) > st.At(int(p)) {
+			return nil, fmt.Errorf("embed: symbol permutation is not in sorted token order at %d", i)
+		}
+	}
+	return st, nil
+}
+
+// Len returns the number of interned symbols.
+func (st *SymbolTable) Len() int { return len(st.offs) - 1 }
+
+// At returns symbol i (insertion order) as a string aliasing the blob —
+// zero copy, zero allocation. The result is valid as long as the table
+// is; callers must treat it as immutable (it always is for strings).
+func (st *SymbolTable) At(i int) string {
+	lo, hi := st.offs[i], st.offs[i+1]
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&st.blob[lo], int(hi-lo))
+}
+
+// Lookup returns the insertion-order id of name via binary search over
+// the sorted permutation. It performs no allocations. When the table
+// holds duplicate names (legal but degenerate), one of their ids is
+// returned deterministically (the first in sorted-permutation order).
+func (st *SymbolTable) Lookup(name string) (int, bool) {
+	lo, hi := 0, len(st.perm)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if st.At(int(st.perm[mid])) < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(st.perm) && st.At(int(st.perm[lo])) == name {
+		return int(st.perm[lo]), true
+	}
+	return 0, false
+}
+
+// Has reports whether name is interned.
+func (st *SymbolTable) Has(name string) bool {
+	_, ok := st.Lookup(name)
+	return ok
+}
+
+// AppendNames appends every symbol in insertion order. The appended
+// strings alias the blob (no byte copies).
+func (st *SymbolTable) AppendNames(dst []string) []string {
+	n := st.Len()
+	if dst == nil {
+		dst = make([]string, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, st.At(i))
+	}
+	return dst
+}
+
+// Blob returns the interned token bytes (shared; do not mutate).
+func (st *SymbolTable) Blob() []byte { return st.blob }
+
+// Offsets returns the token boundary offsets (shared; do not mutate).
+func (st *SymbolTable) Offsets() []uint32 { return st.offs }
+
+// SortedIDs returns the lexicographic permutation (shared; do not
+// mutate): At(SortedIDs()[0]) is the smallest token.
+func (st *SymbolTable) SortedIDs() []int32 { return st.perm }

@@ -222,6 +222,7 @@ func (s *Server) handleHealthz(st *store, w http.ResponseWriter, _ *http.Request
 		"dim":          st.res.Embedding.Dim,
 		"annVectors":   annVectors,
 		"generation":   st.gen,
+		"bundleFormat": st.res.BundleFormat,
 		"breakers":     breakers,
 		"chaosEnabled": s.chaos.Enabled(),
 	})

@@ -293,13 +293,13 @@ func TestReloadCorruptBundleNeverServes(t *testing.T) {
 	if err := altFixture(t).SaveBundle(dir); err != nil {
 		t.Fatal(err)
 	}
-	embPath := filepath.Join(dir, "embedding.tsv")
-	data, err := os.ReadFile(embPath)
+	binPath := filepath.Join(dir, "bundle.bin")
+	data, err := os.ReadFile(binPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data[len(data)/2] ^= 0xFF
-	if err := os.WriteFile(embPath, data, 0o644); err != nil {
+	if err := os.WriteFile(binPath, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -311,7 +311,7 @@ func TestReloadCorruptBundleNeverServes(t *testing.T) {
 	if err == nil {
 		t.Fatal("corrupt candidate bundle accepted")
 	}
-	if !strings.Contains(err.Error(), "embedding.tsv") {
+	if !strings.Contains(err.Error(), "bundle.bin") {
 		t.Errorf("rejection does not name the corrupt file: %v", err)
 	}
 	if !vecEqual(featurizeOnce(t, ts.URL), offlineVec(t, loaded)) {

@@ -157,12 +157,34 @@ func LoadBundle(dir string) (*Result, error) { return core.LoadBundle(dir) }
 
 // LoadBundleWarn is LoadBundle with a hook for non-fatal conditions:
 // warn is called (when non-nil) with a human-readable message for
-// recoverable states such as a bundle predating integrity manifests or
-// a crash-interrupted save that was rolled back to its previous
-// complete version. Corruption — checksum mismatches, truncated or
-// missing files — is always a hard error naming the offending file.
+// recoverable states such as a legacy-format bundle, one predating
+// integrity manifests, or a crash-interrupted save that was rolled back
+// to its previous complete version. Corruption — checksum mismatches,
+// truncated or missing files — is always a hard error naming the
+// offending file.
 func LoadBundleWarn(dir string, warn func(msg string)) (*Result, error) {
 	return core.LoadBundleWarn(dir, warn)
+}
+
+// LoadOptions tunes LoadBundleOpts: a warning hook and an optional
+// mmap fast path for binary bundles.
+type LoadOptions = core.LoadOptions
+
+// LoadBundleOpts is LoadBundle with explicit options. With MMap set
+// (and a supporting platform), the bundle's payload is memory-mapped
+// instead of read, so a reload costs page-table setup plus the
+// integrity hash rather than a full copy of the vectors.
+func LoadBundleOpts(dir string, opts LoadOptions) (*Result, error) {
+	return core.LoadBundleOpts(dir, opts)
+}
+
+// BundleInfo describes a saved bundle without loading it for serving.
+type BundleInfo = core.BundleInfo
+
+// ReadBundleInfo inspects the bundle at dir: format version, dimension,
+// entity count, fitted column order, section sizes, build provenance.
+func ReadBundleInfo(dir string) (*BundleInfo, error) {
+	return core.ReadBundleInfo(dir)
 }
 
 // AutoTuneOptions bounds the automatic configuration search.

@@ -65,9 +65,10 @@ echo "levad smoke test passed"
 # --- corruption smoke test --------------------------------------------
 # A single flipped byte in a published bundle must be refused — by the
 # daemon at startup and by `leva apply` — with an error that names the
-# integrity check, never silently served.
+# integrity check, never silently served. Bundles are one binary file
+# (bundle.bin, formatVersion 4) sealed by MANIFEST.json.
 cp -r "$SMOKE/bundle" "$SMOKE/bundle_corrupt"
-printf '\000' | dd of="$SMOKE/bundle_corrupt/embedding.tsv" \
+printf '\377' | dd of="$SMOKE/bundle_corrupt/bundle.bin" \
     bs=1 count=1 seek=12 conv=notrunc 2>/dev/null
 
 if "$SMOKE/bin/leva" apply -bundle "$SMOKE/bundle_corrupt" -data "$SMOKE/csv" \
@@ -75,7 +76,7 @@ if "$SMOKE/bin/leva" apply -bundle "$SMOKE/bundle_corrupt" -data "$SMOKE/csv" \
     echo "leva apply accepted a corrupt bundle" >&2
     exit 1
 fi
-grep -q 'embedding.tsv' "$SMOKE/apply_corrupt.log"
+grep -q 'bundle.bin' "$SMOKE/apply_corrupt.log"
 grep -qi 'MANIFEST\|SHA-256' "$SMOKE/apply_corrupt.log"
 
 if "$SMOKE/bin/levad" -bundle "$SMOKE/bundle_corrupt" -addr 127.0.0.1:0 \
@@ -83,7 +84,7 @@ if "$SMOKE/bin/levad" -bundle "$SMOKE/bundle_corrupt" -addr 127.0.0.1:0 \
     echo "levad served a corrupt bundle" >&2
     exit 1
 fi
-grep -q 'embedding.tsv' "$SMOKE/levad_corrupt.log"
+grep -q 'bundle.bin' "$SMOKE/levad_corrupt.log"
 
 echo "corruption smoke test passed"
 
@@ -402,3 +403,72 @@ kill -TERM "$LEVAD_PID"
 wait "$LEVAD_PID"
 
 echo "chaos resilience smoke test passed"
+
+# --- bundle migration smoke test --------------------------------------
+# The binary (formatVersion 4) and legacy JSON (formatVersion 3)
+# layouts must be interchangeable on the wire: convert the ann bundle
+# to the legacy layout with `leva bundle convert`, serve both against
+# the same index (the v4 daemon with -mmap, exercising the zero-copy
+# fast path), and require byte-identical /v1/featurize and
+# /v1/neighbors responses. The legacy load must warn but still serve.
+"$SMOKE/bin/leva" bundle info "$SMOKE/bundle_ann" > "$SMOKE/info_v4.log"
+grep -q 'version 4' "$SMOKE/info_v4.log"
+grep -q 'bundle.bin' "$SMOKE/info_v4.log"
+
+"$SMOKE/bin/leva" bundle convert -in "$SMOKE/bundle_ann" \
+    -out "$SMOKE/bundle_legacy" -format legacy > "$SMOKE/convert.log"
+"$SMOKE/bin/leva" bundle info "$SMOKE/bundle_legacy" > "$SMOKE/info_v3.log"
+grep -q 'version 3' "$SMOKE/info_v3.log"
+grep -q 'legacy JSON' "$SMOKE/info_v3.log"
+
+FEAT_BODY='{"table":"expenses","rows":[{"name":"student_00001","gender":"female","school_name":"school_1"}],"exclude":["total_expenses"]}'
+
+rm -f "$SMOKE/addr"
+"$SMOKE/bin/levad" -bundle "$SMOKE/bundle_ann" -index "$SMOKE/index" -mmap \
+    -addr 127.0.0.1:0 -ready-file "$SMOKE/addr" 2>"$SMOKE/levad_v4.log" &
+LEVAD_PID=$!
+i=0
+while [ ! -s "$SMOKE/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "levad (v4 migration run) never became ready" >&2
+        cat "$SMOKE/levad_v4.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE/addr")
+curl -fsS "http://$ADDR/healthz" | grep -q '"bundleFormat":4'
+curl -fsS -X POST "http://$ADDR/v1/featurize" \
+    -H 'Content-Type: application/json' -d "$FEAT_BODY" > "$SMOKE/v4_features.json"
+curl -fsS "http://$ADDR/v1/neighbors?token=expenses:0&k=5" > "$SMOKE/v4_neighbors.json"
+kill -TERM "$LEVAD_PID"
+wait "$LEVAD_PID"
+
+rm -f "$SMOKE/addr"
+"$SMOKE/bin/levad" -bundle "$SMOKE/bundle_legacy" -index "$SMOKE/index" \
+    -addr 127.0.0.1:0 -ready-file "$SMOKE/addr" 2>"$SMOKE/levad_v3.log" &
+LEVAD_PID=$!
+i=0
+while [ ! -s "$SMOKE/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "levad (legacy migration run) never became ready" >&2
+        cat "$SMOKE/levad_v3.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE/addr")
+grep -q 'legacy JSON bundle' "$SMOKE/levad_v3.log"
+curl -fsS "http://$ADDR/healthz" | grep -q '"bundleFormat":3'
+curl -fsS -X POST "http://$ADDR/v1/featurize" \
+    -H 'Content-Type: application/json' -d "$FEAT_BODY" > "$SMOKE/v3_features.json"
+curl -fsS "http://$ADDR/v1/neighbors?token=expenses:0&k=5" > "$SMOKE/v3_neighbors.json"
+kill -TERM "$LEVAD_PID"
+wait "$LEVAD_PID"
+
+cmp "$SMOKE/v4_features.json" "$SMOKE/v3_features.json"
+cmp "$SMOKE/v4_neighbors.json" "$SMOKE/v3_neighbors.json"
+
+echo "bundle migration smoke test passed"
