@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	leva "repro"
 )
 
 // writeTestCSVs lays out a small joinable database on disk.
@@ -118,7 +120,7 @@ func TestRunBundleInfoAndConvert(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	for _, want := range []string{"version 4", "binary (bundle.bin)", "verified against", "orders:", "customers:"} {
+	for _, want := range []string{"version 5", "binary (bundle.bin)", "verified against", "orders:", "customers:"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("bundle info output missing %q:\n%s", want, text)
 		}
@@ -305,5 +307,54 @@ func TestRunEmbedMetricsDump(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("-metrics-dump output missing %q", want)
 		}
+	}
+}
+
+// TestRunEmbedQuantize: -quantize writes a bundle whose quant section
+// round-trips through LoadBundle, reports itself in bundle info, and
+// the -index build still answers neighbor queries.
+func TestRunEmbedQuantize(t *testing.T) {
+	dir := writeTestCSVs(t)
+	bundle := filepath.Join(t.TempDir(), "bundle")
+	index := filepath.Join(t.TempDir(), "index")
+	out := filepath.Join(t.TempDir(), "emb.tsv")
+	if err := runEmbed([]string{"-data", dir, "-out", out, "-bundle", bundle,
+		"-index", index, "-quantize", "-dim", "8", "-method", "mf", "-no-cache"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := leva.LoadBundle(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quant == nil {
+		t.Fatal("-quantize bundle loaded without a quant section")
+	}
+	if res.Quant.Rows != res.Embedding.Len() || res.Quant.Cols != res.Embedding.Dim {
+		t.Fatalf("quant shape %dx%d, embedding %dx%d",
+			res.Quant.Rows, res.Quant.Cols, res.Embedding.Len(), res.Embedding.Dim)
+	}
+	floatArena := int64(8 * res.Embedding.Len() * res.Embedding.Dim)
+	if res.Quant.Bytes()*4 > floatArena {
+		t.Errorf("quant arena %d bytes is not >=4x smaller than the float arena %d", res.Quant.Bytes(), floatArena)
+	}
+
+	text := captureStdout(t, func() {
+		if err := runBundle([]string{"info", bundle}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(text, "quantized:") {
+		t.Errorf("bundle info does not report the quant section:\n%s", text)
+	}
+
+	// The saved index stays portable float; a neighbors query resolves.
+	token := res.Embedding.Names()[0]
+	text = captureStdout(t, func() {
+		if err := runNeighbors([]string{"-index", index, "-token", token, "-k", "3"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(strings.Split(strings.TrimSpace(text), "\n")) != 3 {
+		t.Errorf("neighbors output:\n%s", text)
 	}
 }

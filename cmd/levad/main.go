@@ -35,7 +35,10 @@
 // without dropping in-flight requests; a bundle that fails validation
 // is rejected and the current one keeps serving. -mmap memory-maps the
 // bundle payload so loads and reloads cost page-table setup plus an
-// integrity hash instead of copying every vector. -chaos arms seeded
+// integrity hash instead of copying every vector. -quantize answers
+// neighbor searches from an int8-quantized arena (8x less memory
+// traffic) with an exact float64 re-rank of the final beam;
+// /v1/featurize is unaffected. -chaos arms seeded
 // request-level fault injection for resilience drills. See
 // docs/SERVING.md and docs/OPERATIONS.md.
 package main
@@ -91,6 +94,7 @@ func run(ctx context.Context, args []string) error {
 	batchMax := fs.Int("batch-max", 64, "max rows per micro-batch")
 	workers := fs.Int("workers", 0, "featurization worker goroutines per batch (0 = all cores)")
 	mmapBundle := fs.Bool("mmap", false, "memory-map the bundle payload instead of reading it (binary bundles on supporting platforms; reloads then cost page-table setup plus an integrity hash, not a vector copy)")
+	quantize := fs.Bool("quantize", false, "search the ANN index on int8-quantized vectors with float64 re-ranking (needs -index; uses the bundle's quant section when present, else quantizes at startup)")
 	readyFile := fs.String("ready-file", "", "write the bound address to this file once serving (for scripts; with -debug-addr, the debug address goes to <ready-file>.debug)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and /debug/vars on this separate address (disabled when empty; keep it private)")
 	quiet := fs.Bool("quiet", false, "disable per-request logging")
@@ -100,6 +104,9 @@ func run(ctx context.Context, args []string) error {
 	if *bundle == "" {
 		fs.Usage()
 		return fmt.Errorf("-bundle is required")
+	}
+	if *quantize && *indexDir == "" {
+		return fmt.Errorf("-quantize needs -index: only the ANN search path is quantized")
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -162,11 +169,32 @@ func run(ctx context.Context, args []string) error {
 			return fmt.Errorf("ANN index dim %d does not match bundle embedding dim %d (rebuild with leva embed -index)",
 				ix.Dim(), res.Embedding.Dim)
 		}
+		if *quantize {
+			// The bundle's quant section is adopted zero-copy when it
+			// matches the index layout; otherwise the index quantizes
+			// its own vectors. /v1/featurize stays on the float arena
+			// either way.
+			if err := ix.Quantize(res.Quant); err != nil {
+				return fmt.Errorf("quantize ANN index: %w", err)
+			}
+		}
 		cfg.Index = ix
 		// The index reloads from the same directory alongside the
 		// bundle, so one SIGHUP swaps both atomically (or neither).
 		cfg.IndexLoader = func() (*ann.Index, error) {
-			return ann.Load(*indexDir)
+			cand, err := ann.Load(*indexDir)
+			if err != nil {
+				return nil, err
+			}
+			if *quantize {
+				// Self-quantize: the initial bundle's quant section may
+				// not match a republished index, and re-deriving the
+				// arena from the candidate's own vectors always does.
+				if err := cand.Quantize(nil); err != nil {
+					return nil, err
+				}
+			}
+			return cand, nil
 		}
 	}
 	srv := serve.New(res, cfg)
@@ -175,8 +203,10 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	annVectors := 0
+	quantized := false
 	if cfg.Index != nil {
 		annVectors = cfg.Index.Len()
+		quantized = cfg.Index.Quantized()
 	}
 	logger.Info("serving",
 		slog.String("bundle", *bundle),
@@ -184,6 +214,7 @@ func run(ctx context.Context, args []string) error {
 		slog.Int("vectors", res.Embedding.Len()),
 		slog.Int("dim", res.Embedding.Dim),
 		slog.Int("annVectors", annVectors),
+		slog.Bool("quantized", quantized),
 		slog.String("method", string(res.MethodUsed)),
 	)
 

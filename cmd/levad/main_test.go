@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/core"
 	"repro/internal/embed"
 	"repro/internal/synth"
@@ -383,5 +384,105 @@ func TestDaemonDebugEndpoints(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not exit within 10s of SIGTERM")
+	}
+}
+
+// TestDaemonQuantizedServing: -quantize serves /v1/neighbors from the
+// int8 arena (healthz reports it) while /v1/featurize keeps answering
+// from the float arena, and -quantize without -index is refused.
+func TestDaemonQuantizedServing(t *testing.T) {
+	if err := run(context.Background(), []string{"-bundle", t.TempDir(), "-quantize"}); err == nil ||
+		!strings.Contains(err.Error(), "-index") {
+		t.Fatalf("-quantize without -index: err = %v, want a refusal naming -index", err)
+	}
+
+	spec := synth.Student(synth.StudentOptions{Students: 30, Seed: 9})
+	res, err := core.BuildEmbedding(spec.DB, core.Config{Dim: 6, Seed: 9, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Quant = embed.Quantize(res.Embedding.Matrix())
+	dir := t.TempDir()
+	if err := res.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ann.Build(res.Embedding, ann.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexDir := t.TempDir()
+	if err := ix.Save(indexDir); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	readyFile := filepath.Join(t.TempDir(), "addr")
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-bundle", dir, "-index", indexDir, "-quantize",
+			"-addr", "127.0.0.1:0", "-ready-file", readyFile, "-quiet",
+		})
+	}()
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(20 * time.Millisecond) {
+		if data, err := os.ReadFile(readyFile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v", err)
+		default:
+		}
+	}
+	if addr == "" {
+		t.Fatal("daemon never wrote the ready file")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz["quantized"] != true {
+		t.Errorf("healthz quantized = %v, want true", hz["quantized"])
+	}
+	if qb, ok := hz["quantBytes"].(float64); !ok || qb <= 0 {
+		t.Errorf("healthz quantBytes = %v, want > 0", hz["quantBytes"])
+	}
+
+	token := res.Embedding.Names()[0]
+	resp, err = http.Get("http://" + addr + "/v1/neighbors?token=" + token + "&k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nb struct {
+		Neighbors []struct {
+			Token string  `json:"token"`
+			Score float64 `json:"score"`
+		} `json:"neighbors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&nb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(nb.Neighbors) != 3 {
+		t.Fatalf("neighbors: status %d, %d results", resp.StatusCode, len(nb.Neighbors))
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit after cancel: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit within 10s of context cancel")
 	}
 }

@@ -132,6 +132,9 @@ type Index struct {
 	links    [][][]int32 // links[node][layer] = neighbor ids
 	entry    int32
 	maxLevel int32
+	// quant, when set by Quantize, routes graph traversal through the
+	// int8 arena with a float64 re-rank of the final beam (quant.go).
+	quant *embed.QuantizedMatrix
 }
 
 // idOf resolves an entity name to its node id.
@@ -386,6 +389,9 @@ func (ix *Index) results(hits []cand) []Result {
 // search runs the layered HNSW query and returns up to k candidates
 // sorted best-first. q must already be normalized for MetricCosine.
 func (ix *Index) search(q []float64, k, ef int) []cand {
+	if ix.quant != nil {
+		return ix.searchQuant(q, k, ef)
+	}
 	start := time.Now()
 	if ef <= 0 {
 		ef = ix.opts.EfSearch

@@ -19,9 +19,14 @@ var (
 	querySeconds = obs.NewHistogram("leva_ann_query_seconds",
 		"Latency of individual ANN searches.",
 		obs.LatencyBuckets)
+	quantQueriesTotal = obs.NewCounter("leva_quant_queries_total",
+		"ANN searches answered through the int8 quantized arena (subset of leva_ann_queries_total).")
+	quantRerankedTotal = obs.NewCounter("leva_quant_reranked_total",
+		"Candidates re-ranked in float64 after int8 graph traversal (the accuracy-restoring pass of quantized searches).")
 )
 
 // RegisterMetrics attaches the ANN-substrate metrics to r.
 func RegisterMetrics(r *obs.Registry) {
-	r.Register(buildsTotal, buildSeconds, queriesTotal, querySeconds)
+	r.Register(buildsTotal, buildSeconds, queriesTotal, querySeconds,
+		quantQueriesTotal, quantRerankedTotal)
 }

@@ -1,0 +1,166 @@
+package ann
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomCollection builds n clustered random vectors (clustered so
+// nearest-neighbor structure is non-trivial).
+func randomCollection(n, dim int, seed int64) ([]string, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	const clusters = 16
+	centers := make([][]float64, clusters)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64()
+		}
+	}
+	names := make([]string, n)
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		c := centers[i%clusters]
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = c[j] + 0.3*rng.NormFloat64()
+		}
+		names[i] = string(rune('a'+i%26)) + string(rune('0'+(i/26)%10)) + "-" + itoa(i)
+		vecs[i] = v
+	}
+	return names, vecs
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// TestQuantizedRecall asserts the tentpole accuracy bar: int8
+// traversal with float64 re-rank keeps recall@10 >= 0.95 against the
+// exact brute-force scan, under both metrics.
+func TestQuantizedRecall(t *testing.T) {
+	for _, metric := range []Metric{MetricCosine, MetricDot} {
+		t.Run(string(metric), func(t *testing.T) {
+			names, vecs := randomCollection(2000, 32, 11)
+			ix, err := BuildVectors(names, vecs, Options{Metric: metric, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ix.Quantize(nil); err != nil {
+				t.Fatal(err)
+			}
+			if !ix.Quantized() {
+				t.Fatal("index not quantized after Quantize")
+			}
+			rng := rand.New(rand.NewSource(99))
+			const k, queries = 10, 50
+			hits, want := 0, 0
+			for qi := 0; qi < queries; qi++ {
+				q := make([]float64, 32)
+				for j := range q {
+					q[j] = rng.NormFloat64()
+				}
+				exact, err := ix.BruteForceVector(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				approx, err := ix.SearchVector(q, k, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				truth := make(map[int]bool, k)
+				for _, r := range exact {
+					truth[r.ID] = true
+				}
+				for _, r := range approx {
+					if truth[r.ID] {
+						hits++
+					}
+				}
+				want += len(exact)
+			}
+			recall := float64(hits) / float64(want)
+			if recall < 0.95 {
+				t.Fatalf("quantized recall@%d = %.3f, want >= 0.95", k, recall)
+			}
+			t.Logf("quantized recall@%d = %.3f over %d queries", k, recall, queries)
+		})
+	}
+}
+
+// TestQuantizedDeterministic: quantized searches are as repeatable as
+// float ones (integer kernels, candLess tie-breaks).
+func TestQuantizedDeterministic(t *testing.T) {
+	names, vecs := randomCollection(500, 16, 3)
+	ix, err := BuildVectors(names, vecs, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Quantize(nil); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ix.SearchName(names[17], 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.SearchName(names[17], 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("quantized search not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+// TestQuantizedScoresExact: because the final beam is re-ranked in
+// float64, returned scores are bit-identical to the float index's
+// scores for the same hits.
+func TestQuantizedScoresExact(t *testing.T) {
+	names, vecs := randomCollection(800, 24, 5)
+	float, err := BuildVectors(names, vecs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := BuildVectors(names, vecs, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quant.Quantize(nil); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := float.SearchName(names[3], 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, err := quant.SearchName(names[3], 10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fscore := make(map[int]float64, len(fr))
+	for _, r := range fr {
+		fscore[r.ID] = r.Score
+	}
+	for _, r := range qr {
+		if want, ok := fscore[r.ID]; ok && want != r.Score {
+			t.Fatalf("hit %d: quantized score %v != float score %v", r.ID, r.Score, want)
+		}
+	}
+}
+
+// TestQuantizeDimGuard: dimensions past the int32-accumulator bound
+// are refused instead of silently overflowing.
+func TestQuantizeDimGuard(t *testing.T) {
+	ix := &Index{dim: maxQuantDim + 1}
+	if err := ix.Quantize(nil); err == nil {
+		t.Fatal("Quantize accepted a dimension past the int32 accumulation bound")
+	}
+}

@@ -58,13 +58,18 @@ const (
 //	    provenance) replacing the three JSON/TSV files; the load path
 //	    builds zero-copy views over one buffer instead of decoding
 //	    per-entity records
+//	5 — optional quant section: a symmetric int8 quantization of the
+//	    vector arena (per-row scale, zero point 0) that serving loads
+//	    zero-copy for int8 ANN search; bundles built without -quantize
+//	    are version 5 with no quant section, and version-4 files still
+//	    load unchanged
 //
 // LoadBundle reads every version up to the current one and rejects
 // anything newer or unrecognized instead of decoding garbage. Legacy
 // JSON bundles (versions 0–3) still load, reported through the warning
 // hook; SaveBundle always writes the current version, so saving a
 // loaded legacy bundle upgrades it.
-const BundleFormatVersion = 4
+const BundleFormatVersion = 5
 
 // bundleConfig is the legacy (format ≤ 3) config.json schema: the
 // subset of Config that affects deployment, plus build provenance.
@@ -276,11 +281,14 @@ func loadBundleBin(dir string, manifest *durable.Manifest, opts LoadOptions, war
 	path := filepath.Join(dir, bundleBinFile)
 	var data []byte
 	var err error
+	mapped := false
 	if opts.MMap {
 		if durable.MapSupported {
 			data, err = durable.MapFile(path)
 			if err != nil {
 				warn(fmt.Sprintf("core: load bundle: mmap %s failed (%v); falling back to a plain read", path, err))
+			} else {
+				mapped = true
 			}
 		} else {
 			warn(fmt.Sprintf("core: load bundle: mmap requested but unsupported on this platform; reading %s instead", path))
@@ -294,12 +302,21 @@ func loadBundleBin(dir string, manifest *durable.Manifest, opts LoadOptions, war
 	}
 	if manifest != nil {
 		if err := manifest.VerifyData(bundleBinFile, data); err != nil {
+			if mapped {
+				_ = durable.Unmap(data)
+			}
 			return nil, fmt.Errorf("core: load bundle: %s: %w", dir, err)
 		}
 	}
 	res, err := decodeBundleV4(data)
 	if err != nil {
+		if mapped {
+			_ = durable.Unmap(data)
+		}
 		return nil, fmt.Errorf("core: load bundle: %s: %w", path, err)
+	}
+	if mapped {
+		res.mapped = data
 	}
 	return res, nil
 }

@@ -13,13 +13,14 @@ import (
 // benchBundle builds one mid-sized deployment and saves it in both
 // layouts, once per benchmark binary.
 var (
-	benchBundleOnce sync.Once
-	benchBundleV4   string
-	benchBundleV3   string
-	benchBundleErr  error
+	benchBundleOnce  sync.Once
+	benchBundleV4    string
+	benchBundleV3    string
+	benchBundleQuant string
+	benchBundleErr   error
 )
 
-func benchBundleDirs(b *testing.B) (v4, v3 string) {
+func benchBundleDirs(b *testing.B) (v4, v3, quant string) {
 	b.Helper()
 	benchBundleOnce.Do(func() {
 		spec := synth.Student(synth.StudentOptions{Students: 300, Seed: 2})
@@ -37,12 +38,19 @@ func benchBundleDirs(b *testing.B) (v4, v3 string) {
 		if benchBundleV3, benchBundleErr = os.MkdirTemp("", "leva-bench-v3-*"); benchBundleErr != nil {
 			return
 		}
-		benchBundleErr = res.SaveBundleLegacy(benchBundleV3)
+		if benchBundleErr = res.SaveBundleLegacy(benchBundleV3); benchBundleErr != nil {
+			return
+		}
+		res.Quant = embed.Quantize(res.Embedding.Matrix())
+		if benchBundleQuant, benchBundleErr = os.MkdirTemp("", "leva-bench-quant-*"); benchBundleErr != nil {
+			return
+		}
+		benchBundleErr = res.SaveBundle(benchBundleQuant)
 	})
 	if benchBundleErr != nil {
 		b.Fatal(benchBundleErr)
 	}
-	return benchBundleV4, benchBundleV3
+	return benchBundleV4, benchBundleV3, benchBundleQuant
 }
 
 // BenchmarkBundleLoad compares the two load paths over the same
@@ -51,7 +59,7 @@ func benchBundleDirs(b *testing.B) (v4, v3 string) {
 // hash, and slice headers). Run with -benchmem; the allocs/op column is
 // the point of the format migration.
 func BenchmarkBundleLoad(b *testing.B) {
-	v4, v3 := benchBundleDirs(b)
+	v4, v3, quant := benchBundleDirs(b)
 	b.Run("v3-json", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -68,11 +76,39 @@ func BenchmarkBundleLoad(b *testing.B) {
 			}
 		}
 	})
+	b.Run("v5-quant", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := LoadBundle(quant)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Quant == nil {
+				b.Fatal("quant bundle loaded without its int8 arena")
+			}
+		}
+	})
 	if durable.MapSupported {
 		b.Run("v4-mmap", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := LoadBundleOpts(v4, LoadOptions{MMap: true}); err != nil {
+				res, err := LoadBundleOpts(v4, LoadOptions{MMap: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Unmap(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("v5-quant-mmap", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := LoadBundleOpts(quant, LoadOptions{MMap: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := res.Unmap(); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -276,9 +277,9 @@ func TestFutureManifestVersionRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	future := strings.Replace(string(data), `"formatVersion": 4`, `"formatVersion": 99`, 1)
+	future := strings.Replace(string(data), fmt.Sprintf(`"formatVersion": %d`, BundleFormatVersion), `"formatVersion": 99`, 1)
 	if future == string(data) {
-		t.Fatalf("manifest does not record formatVersion 4:\n%s", data)
+		t.Fatalf("manifest does not record formatVersion %d:\n%s", BundleFormatVersion, data)
 	}
 	if err := os.WriteFile(manPath, []byte(future), 0o644); err != nil {
 		t.Fatal(err)

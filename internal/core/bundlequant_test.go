@@ -1,0 +1,315 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/ann"
+	"repro/internal/durable"
+	"repro/internal/embed"
+	"repro/internal/matrix"
+	"repro/internal/synth"
+)
+
+func quantBundleResult(t *testing.T) *Result {
+	t.Helper()
+	spec := synth.Student(synth.StudentOptions{Students: 40, Seed: 13})
+	res, err := BuildEmbedding(spec.DB, Config{Dim: 8, Seed: 13, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Quant = embed.Quantize(res.Embedding.Matrix())
+	return res
+}
+
+// TestBundleQuantRoundTrip: a bundle saved with a quantized arena
+// restores it exactly — scales, bytes, shape — through both the read
+// and the mmap load path, and the float embedding is untouched.
+func TestBundleQuantRoundTrip(t *testing.T) {
+	res := quantBundleResult(t)
+	dir := t.TempDir() + "/bundle"
+	if err := res.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	load := func(opts LoadOptions) *Result {
+		t.Helper()
+		back, err := LoadBundleOpts(dir, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return back
+	}
+	checks := map[string]*Result{"read": load(LoadOptions{})}
+	if durable.MapSupported {
+		checks["mmap"] = load(LoadOptions{MMap: true})
+	}
+	for name, back := range checks {
+		if back.BundleFormat != BundleFormatVersion {
+			t.Errorf("%s: BundleFormat = %d, want %d", name, back.BundleFormat, BundleFormatVersion)
+		}
+		if back.Quant == nil {
+			t.Fatalf("%s: quant section not restored", name)
+		}
+		if back.Quant.Rows != res.Quant.Rows || back.Quant.Cols != res.Quant.Cols {
+			t.Errorf("%s: quant shape %dx%d, want %dx%d", name,
+				back.Quant.Rows, back.Quant.Cols, res.Quant.Rows, res.Quant.Cols)
+		}
+		if !reflect.DeepEqual(back.Quant.Scales, res.Quant.Scales) {
+			t.Errorf("%s: quant scales differ", name)
+		}
+		if !bytes.Equal(int8Bytes(back.Quant.Data), int8Bytes(res.Quant.Data)) {
+			t.Errorf("%s: quant data differs", name)
+		}
+		if !reflect.DeepEqual(back.Embedding.Matrix().Data, res.Embedding.Matrix().Data) {
+			t.Errorf("%s: float arena perturbed by quant section", name)
+		}
+		if name == "mmap" {
+			if err := back.Unmap(); err != nil {
+				t.Errorf("unmap: %v", err)
+			}
+			if err := back.Unmap(); err != nil {
+				t.Errorf("second unmap not idempotent: %v", err)
+			}
+		}
+	}
+}
+
+func int8Bytes(d []int8) []byte {
+	out := make([]byte, len(d))
+	for i, b := range d {
+		out[i] = byte(b)
+	}
+	return out
+}
+
+// TestBundleWithoutQuant: bundles built without -quantize stay
+// loadable with a nil Quant — the section is genuinely optional.
+func TestBundleWithoutQuant(t *testing.T) {
+	res := quantBundleResult(t)
+	res.Quant = nil
+	dir := t.TempDir() + "/bundle"
+	if err := res.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Quant != nil {
+		t.Fatal("bundle saved without Quant loaded with one")
+	}
+	info, err := ReadBundleInfo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.QuantBytes != 0 {
+		t.Errorf("QuantBytes = %d for an unquantized bundle", info.QuantBytes)
+	}
+}
+
+// TestBundleV4StillLoads: a version-4 file (header and config version
+// 4, no quant section) decodes unchanged — the v5 bump does not orphan
+// existing deployments.
+func TestBundleV4StillLoads(t *testing.T) {
+	res := quantBundleResult(t)
+	res.Quant = nil
+	enc, err := encodeBundleV4(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the file as its version-4 twin: header version byte and
+	// the config section's formatVersion field (same byte length, so
+	// every section offset is preserved).
+	v4 := bytes.Replace(enc, []byte(`"formatVersion":5`), []byte(`"formatVersion":4`), 1)
+	if bytes.Equal(v4, enc) {
+		t.Fatal("config formatVersion not found to patch")
+	}
+	v4[len(bundleMagic)] = 4
+	dec, err := decodeBundleV4(v4)
+	if err != nil {
+		t.Fatalf("version-4 bundle rejected: %v", err)
+	}
+	if dec.BundleFormat != 4 {
+		t.Errorf("BundleFormat = %d, want 4", dec.BundleFormat)
+	}
+	if dec.Quant != nil {
+		t.Error("version-4 bundle decoded with a quant arena")
+	}
+	if !reflect.DeepEqual(dec.Embedding.Matrix().Data, res.Embedding.Matrix().Data) {
+		t.Error("version-4 arena differs")
+	}
+}
+
+// TestQuantSectionIgnoredInV4File: a (hand-built) version-4 file that
+// smuggles a quant section id is decoded as if the section were not
+// there — v4 writers never emitted id 7.
+func TestQuantSectionIgnoredInV4File(t *testing.T) {
+	res := quantBundleResult(t)
+	enc, err := encodeBundleV4(res) // v5 with a real quant section
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4 := bytes.Replace(enc, []byte(`"formatVersion":5`), []byte(`"formatVersion":4`), 1)
+	v4[len(bundleMagic)] = 4
+	dec, err := decodeBundleV4(v4)
+	if err != nil {
+		t.Fatalf("v4 file with a quant section id rejected: %v", err)
+	}
+	if dec.Quant != nil {
+		t.Error("quant section honored inside a version-4 file")
+	}
+}
+
+// TestQuantShapeMismatchRejected: a quant section whose shape
+// disagrees with the arena is corruption, not a warning.
+func TestQuantShapeMismatchRejected(t *testing.T) {
+	res := quantBundleResult(t)
+	res.Quant = embed.Quantize(matrix.NewDense(3, res.Embedding.Dim))
+	if _, err := encodeBundleV4(res); err == nil {
+		t.Error("encoder accepted a quant arena of the wrong shape")
+	}
+
+	res.Quant = embed.Quantize(res.Embedding.Matrix())
+	enc, err := encodeBundleV4(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored quant row count (the second u32 of the quant
+	// section payload).
+	secs, _, err := bundleSections(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := secs[secQuant]
+	binary.LittleEndian.PutUint32(sec[4:], uint32(res.Quant.Rows-1))
+	if _, err := decodeBundleV4(enc); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mismatched quant shape not rejected as corrupt: %v", err)
+	}
+}
+
+// TestANNStageQuantCacheKey is the cache-poisoning regression: a
+// quantized stage and a float stage over the same embedding must have
+// different fingerprints, so neither ever serves the other's artifact
+// — cold/warm in every direction.
+func TestANNStageQuantCacheKey(t *testing.T) {
+	res := quantBundleResult(t)
+	cache := NewCache(t.TempDir())
+	floatStage := &ANNStage{Embedding: res.Embedding, Opts: ann.Options{Seed: 1}, Cache: cache}
+	quantStage := &ANNStage{Embedding: res.Embedding, Opts: ann.Options{Seed: 1}, Cache: cache, Quantize: true}
+	if floatStage.Fingerprint() == quantStage.Fingerprint() {
+		t.Fatal("quantized and float ANN stages share a fingerprint")
+	}
+
+	ix, cached, err := floatStage.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("cold float build reported cached")
+	}
+	if ix.Quantized() {
+		t.Fatal("float stage produced a quantized index")
+	}
+
+	// A -quantize rebuild right after: the float artifact must not
+	// satisfy it.
+	qix, cached, err := quantStage.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("quantized build served from the float stage's cache entry")
+	}
+	if !qix.Quantized() {
+		t.Fatal("quantized stage produced a float index")
+	}
+
+	// Warm re-runs hit their own entries and keep their arithmetic.
+	qix2, cached, err := quantStage.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || !qix2.Quantized() {
+		t.Fatalf("warm quantized run: cached=%v quantized=%v", cached, qix2.Quantized())
+	}
+	ix2, cached, err := floatStage.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || ix2.Quantized() {
+		t.Fatalf("warm float run: cached=%v quantized=%v", cached, ix2.Quantized())
+	}
+}
+
+// FuzzQuantSection feeds arbitrary bytes to the quant-section decoder:
+// it never panics, every rejection wraps ErrCorrupt, and any accepted
+// payload re-encodes byte-exactly (the section codec has exactly one
+// canonical form).
+func FuzzQuantSection(f *testing.F) {
+	q := embed.Quantize(matrix.FromRows([][]float64{{1, -2, 3}, {0.5, 0, -0.25}}))
+	valid := encodeQuantSection(q)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add(encodeQuantSection(embed.Quantize(matrix.NewDense(0, 0))))
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	// NaN scale: shape 1x0 with one bad scale word.
+	bad := make([]byte, 16)
+	binary.LittleEndian.PutUint32(bad[4:], 1)
+	binary.LittleEndian.PutUint64(bad[8:], math.Float64bits(math.NaN()))
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := decodeQuantSection(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("rejection is not ErrCorrupt: %v", err)
+			}
+			return
+		}
+		enc := encodeQuantSection(dec)
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted quant section did not re-encode byte-exactly: %d vs %d bytes", len(enc), len(data))
+		}
+	})
+}
+
+// TestQuantSectionDecodeNames: corrupt quant rejections surface
+// through LoadBundle with the payload file named, like every other
+// decode failure.
+func TestQuantSectionDecodeNames(t *testing.T) {
+	res := quantBundleResult(t)
+	dir := t.TempDir() + "/bundle"
+	if err := res.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a scale to NaN in place and drop the manifest so the
+	// structural decoder (not the hash check) sees it.
+	path := filepath.Join(dir, bundleBinFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, _, err := bundleSections(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(secs[secQuant][8:], math.Float64bits(math.NaN()))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, durable.ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadBundle(dir)
+	if err == nil || !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "bundle.bin") {
+		t.Errorf("NaN quant scale not rejected naming bundle.bin: %v", err)
+	}
+}

@@ -13,9 +13,9 @@ import (
 	"repro/internal/textify"
 )
 
-// Binary bundle format, version 4.
+// Binary bundle format, versions 4 and 5.
 //
-// A version-4 bundle directory holds one payload file, bundle.bin,
+// A binary bundle directory holds one payload file, bundle.bin,
 // sealed by the durable MANIFEST.json protocol. The file is designed
 // to be *viewed*, not decoded: the symbol table and the vector arena
 // are stored exactly as the in-memory Embedding wants them, so
@@ -26,7 +26,7 @@ import (
 // bundle.bin layout (all integers little-endian):
 //
 //	magic         8 bytes  "LEVABNDL"
-//	version       u32      4
+//	version       u32      4 or 5
 //	sectionCount  u32
 //	section table sectionCount × { id u32, reserved u32,
 //	                               offset u64, length u64 }
@@ -48,9 +48,19 @@ import (
 //	              8-byte header directly: n×dim f64 bits, row-major,
 //	              row i = vector of symbol i
 //	6 provenance  JSON: stageCache, unweightedFallback
+//	7 quant       (version 5, optional) symmetric int8 arena:
+//	              u32 cols, u32 rows, scales rows×f64 (the 8-byte
+//	              header keeps them 8-aligned), data rows×cols int8 —
+//	              row i quantizes arena row i, element b decodes to
+//	              b*scale[i]
 //
-// Encode is deterministic: equal Results produce byte-identical files,
-// and encode(decode(encode(x))) == encode(x).
+// Version 5 readers accept version-4 files (the quant section is
+// simply absent); version-4 readers reject version-5 files by the
+// header version — they could not honor the quantization the writer
+// requested. Encode is deterministic: equal Results produce
+// byte-identical files, and encode(decode(encode(x))) == encode(x).
+// Re-encoding a version-4 file writes the current version, exactly as
+// loading-then-saving a legacy bundle upgrades it.
 
 const (
 	bundleBinFile = "bundle.bin"
@@ -62,6 +72,11 @@ const (
 	secSymbols    = 4
 	secArena      = 5
 	secProvenance = 6
+	secQuant      = 7
+
+	// bundleVersionMin is the oldest binary header version this build
+	// reads (4 introduced the format; 5 added the quant section).
+	bundleVersionMin = 4
 
 	// maxSections bounds what a lying header can claim before the
 	// per-entry bounds checks kick in.
@@ -123,8 +138,9 @@ func (w *sectionWriter) add(id int, payload []byte) {
 	w.buf = append(w.buf, payload...)
 }
 
-// encodeBundleV4 serializes r as a version-4 bundle.bin. Output is
-// byte-identical for equal Results.
+// encodeBundleV4 serializes r as a bundle.bin at the current format
+// version. Output is byte-identical for equal Results; the quant
+// section is written only when r.Quant is set.
 func encodeBundleV4(r *Result) ([]byte, error) {
 	cfgData, err := json.Marshal(v4Config{
 		FormatVersion:      BundleFormatVersion,
@@ -187,15 +203,33 @@ func encodeBundleV4(r *Result) ([]byte, error) {
 		arena = binary.LittleEndian.AppendUint64(arena, math.Float64bits(v))
 	}
 
+	// Quant (optional): the int8 arena, mirroring the float arena's
+	// shape exactly.
+	var quant []byte
+	if r.Quant != nil {
+		if r.Quant.Rows != m.Rows || r.Quant.Cols != m.Cols {
+			return nil, fmt.Errorf("core: quantized arena is %dx%d, embedding arena is %dx%d",
+				r.Quant.Rows, r.Quant.Cols, m.Rows, m.Cols)
+		}
+		quant = encodeQuantSection(r.Quant)
+	}
+
+	sections := 6
+	if quant != nil {
+		sections = 7
+	}
 	w := &sectionWriter{}
-	headerLen := len(bundleMagic) + 4 + 4 + 6*24
-	w.buf = make([]byte, headerLen, headerLen+len(cfgData)+len(cols)+len(modelData)+len(syms)+len(arena)+len(provData)+64)
+	headerLen := len(bundleMagic) + 4 + 4 + sections*24
+	w.buf = make([]byte, headerLen, headerLen+len(cfgData)+len(cols)+len(modelData)+len(syms)+len(arena)+len(provData)+len(quant)+64)
 	w.add(secConfig, cfgData)
 	w.add(secColumns, cols)
 	w.add(secTextify, modelData)
 	w.add(secSymbols, syms)
 	w.add(secArena, arena)
 	w.add(secProvenance, provData)
+	if quant != nil {
+		w.add(secQuant, quant)
+	}
 
 	h := w.buf[:0]
 	h = append(h, bundleMagic...)
@@ -219,26 +253,28 @@ func appendStr(buf []byte, s string) []byte {
 }
 
 // bundleSections parses the header and section table of a bundle.bin
-// buffer, returning section id → payload view. Shared by the full
-// decoder and the cheap ReadBundleInfo path.
-func bundleSections(data []byte) (map[int][]byte, error) {
+// buffer, returning section id → payload view plus the header format
+// version (4 or 5). Shared by the full decoder and the cheap
+// ReadBundleInfo path.
+func bundleSections(data []byte) (map[int][]byte, int, error) {
 	if len(data) < len(bundleMagic) || string(data[:len(bundleMagic)]) != bundleMagic {
-		return nil, ErrBadMagic
+		return nil, 0, ErrBadMagic
 	}
 	if len(data) < len(bundleMagic)+8 {
-		return nil, fmt.Errorf("%w: %d-byte file has no header", ErrCorrupt, len(data))
+		return nil, 0, fmt.Errorf("%w: %d-byte file has no header", ErrCorrupt, len(data))
 	}
-	version := binary.LittleEndian.Uint32(data[len(bundleMagic):])
-	if version != BundleFormatVersion {
-		return nil, fmt.Errorf("%w: file has version %d, this build writes version %d", ErrVersion, version, BundleFormatVersion)
+	version := int(binary.LittleEndian.Uint32(data[len(bundleMagic):]))
+	if version < bundleVersionMin || version > BundleFormatVersion {
+		return nil, 0, fmt.Errorf("%w: file has version %d, this build reads versions %d through %d",
+			ErrVersion, version, bundleVersionMin, BundleFormatVersion)
 	}
 	count := int(binary.LittleEndian.Uint32(data[len(bundleMagic)+4:]))
 	if count < 0 || count > maxSections {
-		return nil, fmt.Errorf("%w: implausible section count %d", ErrCorrupt, count)
+		return nil, 0, fmt.Errorf("%w: implausible section count %d", ErrCorrupt, count)
 	}
 	tableOff := len(bundleMagic) + 8
 	if len(data)-tableOff < count*24 {
-		return nil, fmt.Errorf("%w: section table truncated", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: section table truncated", ErrCorrupt)
 	}
 	secs := make(map[int][]byte, count)
 	for i := 0; i < count; i++ {
@@ -247,18 +283,18 @@ func bundleSections(data []byte) (map[int][]byte, error) {
 		off := binary.LittleEndian.Uint64(e[8:])
 		length := binary.LittleEndian.Uint64(e[16:])
 		if off%8 != 0 {
-			return nil, fmt.Errorf("%w: section %d starts at unaligned offset %d", ErrCorrupt, id, off)
+			return nil, 0, fmt.Errorf("%w: section %d starts at unaligned offset %d", ErrCorrupt, id, off)
 		}
 		if off > uint64(len(data)) || length > uint64(len(data))-off {
-			return nil, fmt.Errorf("%w: section %d spans [%d, %d+%d) beyond the %d-byte file",
+			return nil, 0, fmt.Errorf("%w: section %d spans [%d, %d+%d) beyond the %d-byte file",
 				ErrCorrupt, id, off, off, length, len(data))
 		}
 		if _, dup := secs[id]; dup {
-			return nil, fmt.Errorf("%w: duplicate section id %d", ErrCorrupt, id)
+			return nil, 0, fmt.Errorf("%w: duplicate section id %d", ErrCorrupt, id)
 		}
 		secs[id] = data[off : off+length]
 	}
-	return secs, nil
+	return secs, version, nil
 }
 
 func requireSection(secs map[int][]byte, id int, name string) ([]byte, error) {
@@ -324,7 +360,7 @@ func viewF64(b []byte, n int) []float64 {
 // must be impossible to construct. Failures wrap ErrBadMagic,
 // ErrVersion, or ErrCorrupt; the decoder never panics.
 func decodeBundleV4(data []byte) (*Result, error) {
-	secs, err := bundleSections(data)
+	secs, version, err := bundleSections(data)
 	if err != nil {
 		return nil, err
 	}
@@ -337,9 +373,9 @@ func decodeBundleV4(data []byte) (*Result, error) {
 	if err := json.Unmarshal(cfgData, &cfg); err != nil {
 		return nil, fmt.Errorf("%w: config section: %v", ErrCorrupt, err)
 	}
-	if cfg.FormatVersion != BundleFormatVersion {
+	if cfg.FormatVersion != version {
 		return nil, fmt.Errorf("%w: config records format version %d inside a version-%d file",
-			ErrVersion, cfg.FormatVersion, BundleFormatVersion)
+			ErrVersion, cfg.FormatVersion, version)
 	}
 	if cfg.Dim < 1 || cfg.Dim > 1<<20 {
 		return nil, fmt.Errorf("%w: implausible dimension %d", ErrCorrupt, cfg.Dim)
@@ -408,7 +444,7 @@ func decodeBundleV4(data []byte) (*Result, error) {
 		Embedding:    e,
 		Textifier:    model,
 		MethodUsed:   cfg.MethodUsed,
-		BundleFormat: BundleFormatVersion,
+		BundleFormat: version,
 		Config: Config{
 			Dim:                cfg.Dim,
 			Featurization:      cfg.Featurization,
@@ -426,9 +462,73 @@ func decodeBundleV4(data []byte) (*Result, error) {
 		}
 		res.UnweightedFallback = prov.UnweightedFallback
 	}
+	// The quant section only exists from version 5 on; a version-4 file
+	// claiming one carries an id that version's writers never emitted.
+	if quantData, ok := secs[secQuant]; ok && version >= 5 {
+		q, err := decodeQuantSection(quantData)
+		if err != nil {
+			return nil, err
+		}
+		if q.Rows != rows || q.Cols != dim {
+			return nil, fmt.Errorf("%w: quant section is %dx%d, arena is %dx%d",
+				ErrCorrupt, q.Rows, q.Cols, rows, dim)
+		}
+		res.Quant = q
+	}
 	// The columns section is informational (the model carries the
 	// fitted order); it is validated by ReadBundleInfo, not here.
 	return res, nil
+}
+
+// encodeQuantSection serializes a quantized arena as a quant section
+// payload: u32 cols, u32 rows, rows×f64 scale bits, rows×cols int8
+// elements. Deterministic; the 8-byte header keeps the scales
+// 8-aligned relative to the (8-aligned) section start.
+func encodeQuantSection(q *embed.QuantizedMatrix) []byte {
+	buf := make([]byte, 0, 8+8*len(q.Scales)+len(q.Data))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Cols))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(q.Rows))
+	for _, s := range q.Scales {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s))
+	}
+	for _, b := range q.Data {
+		buf = append(buf, byte(b))
+	}
+	return buf
+}
+
+// decodeQuantSection parses a quant section payload into a validated
+// QuantizedMatrix whose slices view data (zero copy on aligned
+// little-endian hosts). It accepts exactly the canonical encoding —
+// encodeQuantSection(decodeQuantSection(x)) == x for every accepted x
+// — and never panics on hostile input; failures wrap ErrCorrupt.
+func decodeQuantSection(data []byte) (*embed.QuantizedMatrix, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("%w: quant section is %d bytes", ErrCorrupt, len(data))
+	}
+	cols := int(binary.LittleEndian.Uint32(data))
+	rows := int(binary.LittleEndian.Uint32(data[4:]))
+	if cols < 0 || cols > 1<<20 || rows < 0 || rows >= math.MaxInt32 {
+		return nil, fmt.Errorf("%w: implausible quant shape %dx%d", ErrCorrupt, rows, cols)
+	}
+	want := int64(8) + 8*int64(rows) + int64(rows)*int64(cols)
+	if int64(len(data)) != want {
+		return nil, fmt.Errorf("%w: quant section is %d bytes, want %d for %dx%d",
+			ErrCorrupt, len(data), want, rows, cols)
+	}
+	scales := viewF64(data[8:], rows)
+	raw := data[8+8*rows:]
+	var cells []int8
+	if len(raw) == 0 {
+		cells = []int8{}
+	} else {
+		cells = unsafe.Slice((*int8)(unsafe.Pointer(&raw[0])), len(raw))
+	}
+	q, err := embed.QuantizedFromParts(rows, cols, cells, scales)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return q, nil
 }
 
 // decodeColumns parses a columns section into (table, fitted columns)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/durable"
 	"repro/internal/embed"
 	"repro/internal/graph"
 	"repro/internal/obs"
@@ -193,10 +194,42 @@ type Result struct {
 	// BundleFormat is the on-disk format version this Result was loaded
 	// from (0 for Results built in-process rather than loaded).
 	BundleFormat int
+	// Quant is the optional int8 quantization of the embedding arena:
+	// populated by `leva embed -quantize` before saving, or restored
+	// from a version-5 bundle's quant section. Featurization never
+	// touches it — it exists for the ANN serving path.
+	Quant *embed.QuantizedMatrix
+
+	// mapped is the whole-file mmap behind this Result's views when it
+	// was loaded with LoadOptions.MMap; nil otherwise. Owned by Unmap.
+	mapped []byte
+	// unmapOnce makes Unmap idempotent.
+	unmapOnce sync.Once
 
 	// mu guards Timings.Featurize accrual from concurrent
 	// FeaturizeWithMode calls.
 	mu sync.Mutex
+}
+
+// Mapped reports whether this Result's symbol and vector views point
+// into a live file mapping (see LoadOptions.MMap) — in which case the
+// holder must call Unmap once nothing can touch them again.
+func (r *Result) Mapped() bool { return r.mapped != nil }
+
+// Unmap releases the file mapping behind a Result loaded with
+// LoadOptions.MMap. Every view into the Result — embedding vectors,
+// symbol strings, the quantized arena — is invalid afterward, so this
+// must be the very last call; serving ties it to the bundle
+// generation's refcount draining. Unmap is idempotent and a no-op for
+// Results that were read rather than mapped.
+func (r *Result) Unmap() error {
+	var err error
+	r.unmapOnce.Do(func() {
+		if r.mapped != nil {
+			err = durable.Unmap(r.mapped)
+		}
+	})
+	return err
 }
 
 // BuildEmbedding runs textification, graph construction/refinement and

@@ -17,12 +17,12 @@ const MapSupported = true
 // is 8-aligned in memory, which is what the bundle arena's zero-copy
 // float64 view relies on.
 //
-// The mapping is intentionally never unmapped: callers hand out string
-// and slice views into it with no lifetime tracking, and a clean
-// file-backed read-only mapping costs address space, not resident
-// memory, once the kernel evicts its pages. A serving process that hot
-// reloads N times retains N mappings — bounded and observable, unlike
-// a dangling view into an unmapped page, which is a SIGSEGV.
+// The caller owns the mapping's lifetime: pass the returned slice to
+// Unmap once every view into it is unreachable. Serving code tracks
+// this with the bundle generation refcount — a retired generation
+// unmaps when its last in-flight request finishes; touching a view
+// after that is a SIGSEGV, which is why the refcount, not a
+// finalizer, is the release point.
 func MapFile(path string) ([]byte, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -45,4 +45,18 @@ func MapFile(path string) ([]byte, error) {
 		return nil, fmt.Errorf("durable: mmap %s: %w", path, err)
 	}
 	return data, nil
+}
+
+// Unmap releases a mapping returned by MapFile. data must be the exact
+// slice MapFile returned (not a subslice); every view into it is
+// invalid afterward. The zero-length mapping MapFile returns for an
+// empty file is a no-op, as is nil.
+func Unmap(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	if err := syscall.Munmap(data); err != nil {
+		return fmt.Errorf("durable: munmap: %w", err)
+	}
+	return nil
 }

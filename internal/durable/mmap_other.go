@@ -10,3 +10,9 @@ const MapSupported = false
 func MapFile(path string) ([]byte, error) {
 	return nil, ErrMapUnsupported
 }
+
+// Unmap is a no-op off linux: MapFile never produces a mapping here,
+// so there is nothing to release.
+func Unmap(data []byte) error {
+	return nil
+}

@@ -64,8 +64,8 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // writeErrorReason is writeError with a machine-readable taxonomy tag:
 // clients branch on "reason" (capacity, queue_timeout, client_gone,
 // breaker_open, chaos_injected, dependency_timeout, bad_deadline,
-// deadline_exceeded, chaos_disabled, no_index) instead of parsing the
-// human-facing message.
+// deadline_exceeded, chaos_disabled, no_index, bad_param) instead of
+// parsing the human-facing message.
 func writeErrorReason(w http.ResponseWriter, status int, reason, format string, args ...any) {
 	writeJSON(w, status, map[string]string{
 		"error":  fmt.Sprintf(format, args...),
@@ -204,8 +204,12 @@ func (s *Server) handleEmbedding(st *store, w http.ResponseWriter, r *http.Reque
 // drain a browning-out replica before it starts shedding hard.
 func (s *Server) handleHealthz(st *store, w http.ResponseWriter, _ *http.Request) {
 	annVectors := 0
+	quantized := false
+	var quantBytes int64
 	if st.index != nil {
 		annVectors = st.index.Len()
+		quantized = st.index.Quantized()
+		quantBytes = st.index.QuantBytes()
 	}
 	status := "ok"
 	breakers := make(map[string]string, len(depNames))
@@ -221,6 +225,8 @@ func (s *Server) handleHealthz(st *store, w http.ResponseWriter, _ *http.Request
 		"vectors":      st.res.Embedding.Len(),
 		"dim":          st.res.Embedding.Dim,
 		"annVectors":   annVectors,
+		"quantized":    quantized,
+		"quantBytes":   quantBytes,
 		"generation":   st.gen,
 		"bundleFormat": st.res.BundleFormat,
 		"breakers":     breakers,

@@ -38,6 +38,8 @@ const (
 	metricANNCacheHits    = "leva_ann_cache_hits_total"
 	metricANNCacheMisses  = "leva_ann_cache_misses_total"
 	metricANNIndexSize    = "leva_ann_index_size"
+	metricQuantEnabled    = "leva_quant_enabled"
+	metricQuantArenaBytes = "leva_quant_arena_bytes"
 	metricGeneration      = "leva_bundle_generation"
 	metricReloads         = "leva_reloads_total"
 	metricReloadFailures  = "leva_reload_failures_total"
@@ -75,22 +77,24 @@ type metrics struct {
 	reg   *obs.Registry
 	start time.Time
 
-	inFlight       *obs.Gauge
-	shed           *obs.Counter
-	panics         *obs.Counter
-	requests       *obs.CounterVec   // by endpoint
-	requestErrors  *obs.CounterVec   // by endpoint, status >= 400
-	latency        *obs.HistogramVec // by endpoint, seconds
-	statuses       *obs.CounterVec   // by code ("200", ..., "other")
-	cacheHits      *obs.Counter
-	cacheMisses    *obs.Counter
-	cacheCapGauge  *obs.Gauge
-	rowsFeaturized *obs.Counter
-	batches        *obs.Counter
-	batchedRows    *obs.Counter
-	annCacheHits   *obs.Counter
-	annCacheMisses *obs.Counter
-	annIndexSize   *obs.Gauge
+	inFlight        *obs.Gauge
+	shed            *obs.Counter
+	panics          *obs.Counter
+	requests        *obs.CounterVec   // by endpoint
+	requestErrors   *obs.CounterVec   // by endpoint, status >= 400
+	latency         *obs.HistogramVec // by endpoint, seconds
+	statuses        *obs.CounterVec   // by code ("200", ..., "other")
+	cacheHits       *obs.Counter
+	cacheMisses     *obs.Counter
+	cacheCapGauge   *obs.Gauge
+	rowsFeaturized  *obs.Counter
+	batches         *obs.Counter
+	batchedRows     *obs.Counter
+	annCacheHits    *obs.Counter
+	annCacheMisses  *obs.Counter
+	annIndexSize    *obs.Gauge
+	quantEnabled    *obs.Gauge
+	quantArenaBytes *obs.Gauge
 
 	abandoned          *obs.CounterVec // by reason (deadline, disconnect)
 	backoffs           *obs.Counter
@@ -161,6 +165,10 @@ func newMetrics() *metrics {
 			"Neighbor-query cache misses."),
 		annIndexSize: r.Gauge(metricANNIndexSize,
 			"Vectors in the serving ANN index (0 = no index loaded)."),
+		quantEnabled: r.Gauge(metricQuantEnabled,
+			"Whether the serving ANN index searches the int8 quantized arena (1) or float vectors (0)."),
+		quantArenaBytes: r.Gauge(metricQuantArenaBytes,
+			"Bytes held by the serving index's int8 arena plus per-vector scales (0 = not quantized)."),
 		generation: r.Gauge(metricGeneration,
 			"Serving bundle generation (1 at startup, +1 per successful reload)."),
 		reloads: r.Counter(metricReloads,

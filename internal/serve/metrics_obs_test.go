@@ -95,6 +95,14 @@ const goldenServeMeta = `# HELP leva_ann_build_seconds Wall time of HNSW index b
 # TYPE leva_parallel_inflight_fanouts gauge
 # HELP leva_parallel_shards_total Shards executed across all fan-outs.
 # TYPE leva_parallel_shards_total counter
+# HELP leva_quant_arena_bytes Bytes held by the serving index's int8 arena plus per-vector scales (0 = not quantized).
+# TYPE leva_quant_arena_bytes gauge
+# HELP leva_quant_enabled Whether the serving ANN index searches the int8 quantized arena (1) or float vectors (0).
+# TYPE leva_quant_enabled gauge
+# HELP leva_quant_queries_total ANN searches answered through the int8 quantized arena (subset of leva_ann_queries_total).
+# TYPE leva_quant_queries_total counter
+# HELP leva_quant_reranked_total Candidates re-ranked in float64 after int8 graph traversal (the accuracy-restoring pass of quantized searches).
+# TYPE leva_quant_reranked_total counter
 # HELP leva_reload_failures_total Hot-reload attempts that failed (the previous bundle kept serving).
 # TYPE leva_reload_failures_total counter
 # HELP leva_reload_last_duration_seconds Duration of the last reload attempt.

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ann"
+	"repro/internal/core"
+	"repro/internal/durable"
+	"repro/internal/embed"
+	"repro/internal/synth"
+)
+
+// countMappings returns how many /proc/self/maps entries reference
+// substr (a bundle directory path). Skips the test off linux.
+func countMappings(t *testing.T, substr string) int {
+	t.Helper()
+	data, err := os.ReadFile("/proc/self/maps")
+	if err != nil {
+		t.Skipf("no /proc/self/maps on this platform: %v", err)
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+// mmapBundleDir saves an independent copy of the serve fixture's
+// deployment for mmap-lifecycle tests (each test gets its own dir so
+// map counts cannot cross-talk).
+func mmapBundleDir(t *testing.T) string {
+	t.Helper()
+	built, _, _ := fixture(t)
+	dir := t.TempDir() + "/bundle"
+	if err := built.SaveBundle(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func mmapLoader(dir string) func() (*core.Result, error) {
+	return func() (*core.Result, error) {
+		return core.LoadBundleOpts(dir, core.LoadOptions{MMap: true})
+	}
+}
+
+// TestReloadUnmapsRetiredGenerations is the mmap-leak regression: before
+// the fix, every hot reload of an -mmap server leaked the retired
+// generation's mapping for the life of the process (durable.MapFile had
+// no release path at all). 50 reloads must leave the process with
+// exactly one mapping of the bundle, and shutdown must drop that too.
+func TestReloadUnmapsRetiredGenerations(t *testing.T) {
+	if !durable.MapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	dir := mmapBundleDir(t)
+	load := mmapLoader(dir)
+	first, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Mapped() {
+		t.Fatal("mmap load did not map the bundle")
+	}
+	srv := New(first, Config{Loader: load})
+	if got := countMappings(t, dir); got != 1 {
+		t.Fatalf("mappings before reloads = %d, want 1", got)
+	}
+	for i := 0; i < 50; i++ {
+		if err := srv.Reload(); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+	}
+	if got := countMappings(t, dir); got != 1 {
+		t.Errorf("mappings after 50 reloads = %d, want 1 (retired generations leaked)", got)
+	}
+	if gen := srv.curStore().gen; gen != 51 {
+		t.Errorf("generation = %d, want 51", gen)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := countMappings(t, dir); got != 0 {
+		t.Errorf("mappings after shutdown = %d, want 0", got)
+	}
+}
+
+// TestReloadRejectedCandidateUnmapped: a candidate bundle that fails
+// validation must not leak its mapping either — rejection paths unmap
+// before returning.
+func TestReloadRejectedCandidateUnmapped(t *testing.T) {
+	if !durable.MapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	_, loaded, _ := fixture(t)
+	// An incompatible candidate: same schema, different dimension.
+	spec := synth.Student(synth.StudentOptions{Students: 40, Seed: 11})
+	wrong, err := core.BuildEmbedding(spec.DB, core.Config{Dim: 4, Seed: 11, Method: embed.MethodMF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	altDir := t.TempDir() + "/wrong"
+	if err := wrong.SaveBundle(altDir); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(loaded, Config{Loader: mmapLoader(altDir), BreakerFailures: 100})
+	for i := 0; i < 3; i++ {
+		if err := srv.Reload(); err == nil || !strings.Contains(err.Error(), "dim") {
+			t.Fatalf("reload %d: err = %v, want a dim rejection", i, err)
+		}
+	}
+	if got := countMappings(t, altDir); got != 0 {
+		t.Errorf("mappings of the rejected candidate = %d, want 0", got)
+	}
+}
+
+// TestCarriedIndexKeepsRetiredMappingAlive: a server whose in-process
+// index reads vectors straight out of the mmap'd bundle (ann.Build
+// aliases the arena and symbol table) carries that index across reloads
+// when no IndexLoader is configured. The generation-1 mapping must stay
+// alive exactly as long as the index does — while every intermediate
+// generation is still unmapped on retirement.
+func TestCarriedIndexKeepsRetiredMappingAlive(t *testing.T) {
+	if !durable.MapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	dir := mmapBundleDir(t)
+	load := mmapLoader(dir)
+	first, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ann.Build(first.Embedding, ann.Options{Seed: 7, Metric: ann.MetricDot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.SharesStorage(first.Embedding) {
+		t.Fatal("dot-metric in-process index does not alias the embedding; the test is vacuous")
+	}
+	srv := New(first, Config{Index: ix, Loader: load})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	token := ix.Names()[0]
+	want, err := ix.SearchName(token, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := srv.Reload(); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		// The gen-1 mapping (feeding the carried index) plus the current
+		// generation's own mapping; every other generation is unmapped.
+		if got := countMappings(t, dir); got != 2 {
+			t.Fatalf("mappings after reload %d = %d, want 2 (gen-1 retained + current)", i, got)
+		}
+	}
+	// The carried index must still answer correctly off the retained
+	// mapping — names resolve through the gen-1 symbol table.
+	resp, err := http.Get(fmt.Sprintf("%s/v1/neighbors?token=%s&k=3", ts.URL, token))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out neighborsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(out.Neighbors) != len(want) {
+		t.Fatalf("neighbors after 10 reloads: status %d, %d results", resp.StatusCode, len(out.Neighbors))
+	}
+	for i, n := range out.Neighbors {
+		if n.Token != want[i].Name || n.Score != want[i].Score {
+			t.Errorf("neighbor %d = %s/%g, want %s/%g", i, n.Token, n.Score, want[i].Name, want[i].Score)
+		}
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := countMappings(t, dir); got != 0 {
+		t.Errorf("mappings after shutdown = %d, want 0 (retained gen-1 mapping leaked)", got)
+	}
+}
+
+// TestReloadUnderMMapWhileQuerying hammers the swap path with live
+// traffic: neighbor and featurize requests run nonstop while the bundle
+// hot-reloads under mmap 20 times. Run under -race this doubles as the
+// use-after-unmap detector for the ownership-transfer logic.
+func TestReloadUnderMMapWhileQuerying(t *testing.T) {
+	if !durable.MapSupported {
+		t.Skip("mmap unsupported on this platform")
+	}
+	dir := mmapBundleDir(t)
+	load := mmapLoader(dir)
+	first, err := load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ann.Build(first.Embedding, ann.Options{Seed: 7, Metric: ann.MetricDot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, spec := fixture(t)
+	srv := New(first, Config{Index: ix, Loader: load})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	token := ix.Names()[0]
+	row := jsonRow(spec.DB.Table(spec.BaseTable), 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var resp *http.Response
+				var err error
+				if g%2 == 0 {
+					resp, err = http.Get(fmt.Sprintf("%s/v1/neighbors?token=%s&k=3", ts.URL, token))
+				} else {
+					resp, err = http.Post(ts.URL+"/v1/featurize", "application/json",
+						strings.NewReader(mustJSON(map[string]any{"table": spec.BaseTable, "rows": []any{row}})))
+				}
+				if err != nil {
+					select {
+					case errs <- err.Error():
+					default:
+					}
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					select {
+					case errs <- fmt.Sprintf("status %d", resp.StatusCode):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 20; i++ {
+		if err := srv.Reload(); err != nil {
+			t.Fatalf("reload %d under load: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Errorf("query under reload failed: %s", e)
+	}
+}

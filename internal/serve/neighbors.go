@@ -69,15 +69,15 @@ func (s *Server) handleNeighbors(st *store, w http.ResponseWriter, r *http.Reque
 		req.Token = q.Get("token")
 		var err error
 		if req.K, err = intParam(q.Get("k"), 10); err != nil {
-			writeError(w, http.StatusBadRequest, "bad k: %v", err)
+			writeErrorReason(w, http.StatusBadRequest, "bad_param", "bad k: %v", err)
 			return
 		}
 		if req.EfSearch, err = intParam(q.Get("ef"), 0); err != nil {
-			writeError(w, http.StatusBadRequest, "bad ef: %v", err)
+			writeErrorReason(w, http.StatusBadRequest, "bad_param", "bad ef: %v", err)
 			return
 		}
 		if req.Token == "" {
-			writeError(w, http.StatusBadRequest, "missing token parameter (POST a JSON body to query by raw vector)")
+			writeErrorReason(w, http.StatusBadRequest, "bad_param", "missing token parameter (POST a JSON body to query by raw vector)")
 			return
 		}
 	} else {
@@ -97,21 +97,33 @@ func (s *Server) handleNeighbors(st *store, w http.ResponseWriter, r *http.Reque
 			req.K = 10
 		}
 	}
+	// Parameter bounds are checked before the index is ever touched —
+	// GET and POST share these — and every rejection carries the
+	// "bad_param" taxonomy tag so clients can branch without parsing
+	// the message.
 	if (req.Token == "") == (len(req.Vector) == 0) {
-		writeError(w, http.StatusBadRequest, "exactly one of token and vector must be set")
+		writeErrorReason(w, http.StatusBadRequest, "bad_param", "exactly one of token and vector must be set")
 		return
 	}
 	if req.K < 1 || req.K > maxNeighborsK {
-		writeError(w, http.StatusBadRequest, "k must be in [1, %d], got %d", maxNeighborsK, req.K)
+		writeErrorReason(w, http.StatusBadRequest, "bad_param", "k must be in [1, %d], got %d", maxNeighborsK, req.K)
+		return
+	}
+	if req.K > st.index.Len() {
+		writeErrorReason(w, http.StatusBadRequest, "bad_param", "k=%d exceeds the index size %d", req.K, st.index.Len())
 		return
 	}
 	if req.EfSearch < 0 {
-		writeError(w, http.StatusBadRequest, "efSearch must be >= 0, got %d", req.EfSearch)
+		writeErrorReason(w, http.StatusBadRequest, "bad_param", "efSearch must be >= 0, got %d", req.EfSearch)
+		return
+	}
+	if req.EfSearch != 0 && req.EfSearch < req.K {
+		writeErrorReason(w, http.StatusBadRequest, "bad_param", "efSearch=%d is smaller than k=%d (use 0 for the index default)", req.EfSearch, req.K)
 		return
 	}
 
 	if req.Token == "" && len(req.Vector) != st.index.Dim() {
-		writeError(w, http.StatusBadRequest, "vector has %d dimensions, index has %d", len(req.Vector), st.index.Dim())
+		writeErrorReason(w, http.StatusBadRequest, "bad_param", "vector has %d dimensions, index has %d", len(req.Vector), st.index.Dim())
 		return
 	}
 

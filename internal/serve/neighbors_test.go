@@ -422,6 +422,23 @@ func BenchmarkANNSearch(b *testing.B) {
 		}
 	})
 
+	b.Run("hnsw-int8", func(b *testing.B) {
+		qix, err := ann.Build(loaded.Embedding, ann.Options{Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := qix.Quantize(nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := qix.SearchVector(query, 10, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
 	b.Run("brute-force", func(b *testing.B) {
 		names := ix.Names()
 		b.ReportAllocs()

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/ann"
+)
+
+// quantFixtureIndex builds a fresh quantized index over the serve
+// fixture (the shared fixtureIndex stays float — Quantize mutates).
+func quantFixtureIndex(t *testing.T) *ann.Index {
+	t.Helper()
+	_, loaded, _ := fixture(t)
+	ix, err := ann.Build(loaded.Embedding, ann.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Quantize(nil); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestQuantizedServingEndToEnd: a server over an int8-quantized index
+// answers /v1/neighbors exactly as a direct index search, reports the
+// quantized arena in /healthz, and exposes the leva_quant_* gauges.
+func TestQuantizedServingEndToEnd(t *testing.T) {
+	_, loaded, _ := fixture(t)
+	ix := quantFixtureIndex(t)
+	srv := New(loaded, Config{Index: ix})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	token := ix.Names()[0]
+	want, err := ix.SearchName(token, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, status := getNeighbors(t, ts.URL, token, 5)
+	if status != http.StatusOK {
+		t.Fatalf("GET status %d", status)
+	}
+	if len(out.Neighbors) != len(want) {
+		t.Fatalf("got %d neighbors, want %d", len(out.Neighbors), len(want))
+	}
+	for i, n := range out.Neighbors {
+		if n.Token != want[i].Name || n.Score != want[i].Score {
+			t.Errorf("neighbor %d = %s/%g, want %s/%g", i, n.Token, n.Score, want[i].Name, want[i].Score)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz["quantized"] != true {
+		t.Errorf("healthz quantized = %v, want true", hz["quantized"])
+	}
+	if qb, ok := hz["quantBytes"].(float64); !ok || int64(qb) != ix.QuantBytes() {
+		t.Errorf("healthz quantBytes = %v, want %d", hz["quantBytes"], ix.QuantBytes())
+	}
+	if got := srv.metrics.quantEnabled.Value(); got != 1 {
+		t.Errorf("leva_quant_enabled = %v, want 1", got)
+	}
+	if got := srv.metrics.quantArenaBytes.Value(); got != float64(ix.QuantBytes()) {
+		t.Errorf("leva_quant_arena_bytes = %v, want %d", got, ix.QuantBytes())
+	}
+}
+
+// TestFloatServingReportsUnquantized pins the gauge/healthz zero state.
+func TestFloatServingReportsUnquantized(t *testing.T) {
+	_, loaded, _ := fixture(t)
+	srv := New(loaded, Config{Index: fixtureIndex(t)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz["quantized"] != false || hz["quantBytes"] != float64(0) {
+		t.Errorf("healthz = quantized:%v quantBytes:%v, want false/0", hz["quantized"], hz["quantBytes"])
+	}
+	if got := srv.metrics.quantEnabled.Value(); got != 0 {
+		t.Errorf("leva_quant_enabled = %v, want 0", got)
+	}
+}
+
+// TestFeaturizeByteIdenticalUnderQuantization is the acceptance
+// contract: quantization touches only the neighbors path — the same
+// featurize request against a float-index server and a quantized-index
+// server returns byte-identical bodies (the float arena answers both).
+func TestFeaturizeByteIdenticalUnderQuantization(t *testing.T) {
+	_, loaded, spec := fixture(t)
+	body := map[string]any{
+		"table": spec.BaseTable,
+		"rows": []any{
+			jsonRow(spec.DB.Table(spec.BaseTable), 0),
+			jsonRow(spec.DB.Table(spec.BaseTable), 1),
+			jsonRow(spec.DB.Table(spec.BaseTable), 2),
+		},
+	}
+	responses := make([]string, 2)
+	for i, ix := range []*ann.Index{fixtureIndex(t), quantFixtureIndex(t)} {
+		srv := New(loaded, Config{Index: ix})
+		ts := httptest.NewServer(srv.Handler())
+		resp, raw := postFeaturize(t, ts.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("server %d: featurize status %d: %s", i, resp.StatusCode, raw)
+		}
+		responses[i] = string(raw)
+		ts.Close()
+	}
+	if responses[0] != responses[1] {
+		t.Error("featurize responses differ between float and quantized servers")
+	}
+}
+
+// TestNeighborsBadParamReason: every parameter rejection of
+// /v1/neighbors carries the machine-readable "bad_param" tag, on GET
+// and POST alike, including the ef<k and k>index-size bounds.
+func TestNeighborsBadParamReason(t *testing.T) {
+	_, loaded, _ := fixture(t)
+	ix := fixtureIndex(t)
+	srv := New(loaded, Config{Index: ix})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	reason := func(t *testing.T, resp *http.Response) string {
+		t.Helper()
+		defer resp.Body.Close()
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body["reason"]
+	}
+	token := ix.Names()[0]
+	oversized := ix.Len() + 1
+	if oversized > maxNeighborsK {
+		t.Fatalf("fixture index too large for the oversize probe: %d", ix.Len())
+	}
+	for name, query := range map[string]string{
+		"k zero":         "?token=" + token + "&k=0",
+		"k negative":     "?token=" + token + "&k=-3",
+		"k over cap":     fmt.Sprintf("?token=%s&k=%d", token, maxNeighborsK+1),
+		"k over index":   fmt.Sprintf("?token=%s&k=%d", token, oversized),
+		"ef negative":    "?token=" + token + "&ef=-1",
+		"ef below k":     "?token=" + token + "&k=5&ef=2",
+		"non-numeric k":  "?token=" + token + "&k=banana",
+		"non-numeric ef": "?token=" + token + "&ef=x",
+		"missing token":  "?k=3",
+	} {
+		resp, err := http.Get(ts.URL + "/v1/neighbors" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			resp.Body.Close()
+			t.Errorf("GET %s: status %d, want 400", name, resp.StatusCode)
+			continue
+		}
+		if got := reason(t, resp); got != "bad_param" {
+			t.Errorf("GET %s: reason %q, want bad_param", name, got)
+		}
+	}
+	for name, body := range map[string]string{
+		"k over index": fmt.Sprintf(`{"token":%q,"k":%d}`, token, oversized),
+		"ef below k":   fmt.Sprintf(`{"token":%q,"k":5,"efSearch":2}`, token),
+		"both set":     `{"token":"a","vector":[1]}`,
+		"wrong dim":    `{"vector":[1,2,3]}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/neighbors", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			resp.Body.Close()
+			t.Errorf("POST %s: status %d, want 400", name, resp.StatusCode)
+			continue
+		}
+		if got := reason(t, resp); got != "bad_param" {
+			t.Errorf("POST %s: reason %q, want bad_param", name, got)
+		}
+	}
+	// ef=0 keeps meaning "index default", and a valid ef >= k passes.
+	for _, query := range []string{"?token=" + token + "&k=3&ef=0", "?token=" + token + "&k=3&ef=10"} {
+		resp, err := http.Get(ts.URL + "/v1/neighbors" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", query, resp.StatusCode)
+		}
+	}
+}

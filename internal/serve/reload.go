@@ -84,6 +84,7 @@ func (s *Server) reloadLocked() (int64, error) {
 	}
 	cur := s.st.Load()
 	if err := validateCandidate(cur.res, res); err != nil {
+		_ = res.Unmap() // the rejected candidate's mapping must not leak
 		return 0, fmt.Errorf("serve: reload rejected, still serving generation %d: %w", cur.gen, err)
 	}
 	// The index reloads with the bundle when an IndexLoader is
@@ -95,15 +96,34 @@ func (s *Server) reloadLocked() (int64, error) {
 	if s.cfg.IndexLoader != nil {
 		cand, err := s.cfg.IndexLoader()
 		if err != nil {
+			_ = res.Unmap()
 			return 0, fmt.Errorf("serve: reload rejected, still serving generation %d: load candidate index: %w", cur.gen, err)
 		}
 		if err := validateIndex(res, cand); err != nil {
+			_ = res.Unmap()
 			return 0, fmt.Errorf("serve: reload rejected, still serving generation %d: %w", cur.gen, err)
 		}
 		ix = cand
 	}
 	next := newStore(res, ix, s.cfg, s.metrics, s.guards)
 	next.gen = cur.gen + 1
+	// An index carried forward from an in-process build can read its
+	// vectors straight out of a retired bundle's mmap'd arena.
+	// Unmapping that arena when its store drains would leave the
+	// carried index on unmapped pages, so ownership of the mapping
+	// moves to the new store, which releases it when it retires in
+	// turn. Mappings the old store was already retaining for the same
+	// index move along with it (second and later reloads); the old
+	// store's own bundle joins them only if the index actually aliases
+	// it.
+	if s.cfg.IndexLoader == nil && ix != nil {
+		next.retain = cur.retain
+		cur.retain = nil
+		if cur.res.Mapped() && ix.SharesStorage(cur.res.Embedding) {
+			next.retain = append(next.retain, cur.res)
+			cur.ownsMap = false
+		}
+	}
 	s.st.Store(next)
 	s.metrics.generation.Set(float64(next.gen))
 	// Drop the serving reference of the replaced store; its batcher

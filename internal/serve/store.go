@@ -47,6 +47,16 @@ type store struct {
 	// reload. Nil in direct store tests.
 	guards *guards
 
+	// ownsMap records whether this store releases res's mmap region
+	// when it retires. Normally true; a reload that carries forward an
+	// in-process index aliasing this bundle's arena transfers ownership
+	// to the successor store instead (see reloadLocked).
+	ownsMap bool
+	// retain holds retired bundles whose mappings must outlive their
+	// own store because this store's carried index still reads vectors
+	// out of them. Released together with this store.
+	retain []*core.Result
+
 	// gen is the bundle generation this store serves: 1 for the store
 	// loaded at startup, +1 per successful reload.
 	gen int64
@@ -58,7 +68,7 @@ type store struct {
 }
 
 func newStore(res *core.Result, ix *ann.Index, cfg Config, m *metrics, g *guards) *store {
-	s := &store{res: res, index: ix, metrics: m, workers: cfg.Workers, guards: g}
+	s := &store{res: res, index: ix, metrics: m, workers: cfg.Workers, guards: g, ownsMap: true}
 	s.refs.Store(1) // the serving reference
 	if cfg.CacheSize > 0 {
 		s.cache = newLRU(cfg.CacheSize)
@@ -72,6 +82,13 @@ func newStore(res *core.Result, ix *ann.Index, cfg Config, m *metrics, g *guards
 	} else {
 		m.annIndexSize.Set(0)
 	}
+	if ix != nil && ix.Quantized() {
+		m.quantEnabled.Set(1)
+		m.quantArenaBytes.Set(float64(ix.QuantBytes()))
+	} else {
+		m.quantEnabled.Set(0)
+		m.quantArenaBytes.Set(0)
+	}
 	if cfg.BatchWindow > 0 {
 		s.batcher = newBatcher(cfg.BatchWindow, cfg.BatchMax, s.runBatch)
 	}
@@ -79,13 +96,22 @@ func newStore(res *core.Result, ix *ann.Index, cfg Config, m *metrics, g *guards
 }
 
 // release drops one reference; the last drop stops the batcher's gather
-// loop. Idempotence of the close is guarded so the acquire/swap race
-// (see Server.acquireStore) cannot close twice.
+// loop and returns the bundle's mmap region (plus any regions retained
+// on behalf of a carried index) to the kernel — a retired generation
+// must not keep its pages resident for the life of the process.
+// Idempotence of the close is guarded so the acquire/swap race (see
+// Server.acquireStore) cannot close twice.
 func (s *store) release() {
 	if s.refs.Add(-1) <= 0 {
 		s.closeOnce.Do(func() {
 			if s.batcher != nil {
 				s.batcher.close()
+			}
+			if s.ownsMap {
+				_ = s.res.Unmap()
+			}
+			for _, r := range s.retain {
+				_ = r.Unmap()
 			}
 		})
 	}

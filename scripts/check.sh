@@ -66,7 +66,7 @@ echo "levad smoke test passed"
 # A single flipped byte in a published bundle must be refused — by the
 # daemon at startup and by `leva apply` — with an error that names the
 # integrity check, never silently served. Bundles are one binary file
-# (bundle.bin, formatVersion 4) sealed by MANIFEST.json.
+# (bundle.bin, formatVersion 5) sealed by MANIFEST.json.
 cp -r "$SMOKE/bundle" "$SMOKE/bundle_corrupt"
 printf '\377' | dd of="$SMOKE/bundle_corrupt/bundle.bin" \
     bs=1 count=1 seek=12 conv=notrunc 2>/dev/null
@@ -405,14 +405,14 @@ wait "$LEVAD_PID"
 echo "chaos resilience smoke test passed"
 
 # --- bundle migration smoke test --------------------------------------
-# The binary (formatVersion 4) and legacy JSON (formatVersion 3)
+# The binary (formatVersion 5) and legacy JSON (formatVersion 3)
 # layouts must be interchangeable on the wire: convert the ann bundle
 # to the legacy layout with `leva bundle convert`, serve both against
-# the same index (the v4 daemon with -mmap, exercising the zero-copy
+# the same index (the v5 daemon with -mmap, exercising the zero-copy
 # fast path), and require byte-identical /v1/featurize and
 # /v1/neighbors responses. The legacy load must warn but still serve.
 "$SMOKE/bin/leva" bundle info "$SMOKE/bundle_ann" > "$SMOKE/info_v4.log"
-grep -q 'version 4' "$SMOKE/info_v4.log"
+grep -q 'version 5' "$SMOKE/info_v4.log"
 grep -q 'bundle.bin' "$SMOKE/info_v4.log"
 
 "$SMOKE/bin/leva" bundle convert -in "$SMOKE/bundle_ann" \
@@ -438,7 +438,7 @@ while [ ! -s "$SMOKE/addr" ]; do
     sleep 0.1
 done
 ADDR=$(cat "$SMOKE/addr")
-curl -fsS "http://$ADDR/healthz" | grep -q '"bundleFormat":4'
+curl -fsS "http://$ADDR/healthz" | grep -q '"bundleFormat":5'
 curl -fsS -X POST "http://$ADDR/v1/featurize" \
     -H 'Content-Type: application/json' -d "$FEAT_BODY" > "$SMOKE/v4_features.json"
 curl -fsS "http://$ADDR/v1/neighbors?token=expenses:0&k=5" > "$SMOKE/v4_neighbors.json"
@@ -472,3 +472,90 @@ cmp "$SMOKE/v4_features.json" "$SMOKE/v3_features.json"
 cmp "$SMOKE/v4_neighbors.json" "$SMOKE/v3_neighbors.json"
 
 echo "bundle migration smoke test passed"
+
+# --- int8 quantization smoke test -------------------------------------
+# `leva embed -quantize` publishes a bundle with the v5 quant section
+# (and the same float index artifact — quantization is a serving-time
+# transform), levad -quantize serves neighbors from the int8 arena while
+# /v1/featurize stays byte-identical to the float daemon, and 10 SIGHUP
+# hot reloads under -mmap leave the daemon's bundle mapping count flat
+# (the retired-generation munmap regression guard).
+"$SMOKE/bin/leva" embed -data "$SMOKE/csv" -dim 8 -seed 9 -workers 1 \
+    -cache "$CACHE" -out "$SMOKE/quant_emb.tsv" -bundle "$SMOKE/bundle_quant" \
+    -index "$SMOKE/index_quant" -quantize > "$SMOKE/quant_embed.log"
+grep -q 'quantized: int8 arena' "$SMOKE/quant_embed.log"
+"$SMOKE/bin/leva" bundle info "$SMOKE/bundle_quant" > "$SMOKE/info_quant.log"
+grep -q 'version 5' "$SMOKE/info_quant.log"
+grep -q 'quantized:' "$SMOKE/info_quant.log"
+# The saved index artifact is the same float index either way; the
+# quant arena never changes what is published.
+cmp "$SMOKE/index/index.bin" "$SMOKE/index_quant/index.bin"
+
+rm -f "$SMOKE/addr"
+"$SMOKE/bin/levad" -bundle "$SMOKE/bundle_quant" -index "$SMOKE/index_quant" \
+    -quantize -mmap -addr 127.0.0.1:0 -ready-file "$SMOKE/addr" \
+    2>"$SMOKE/levad_quant.log" &
+LEVAD_PID=$!
+i=0
+while [ ! -s "$SMOKE/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "levad (quant run) never became ready" >&2
+        cat "$SMOKE/levad_quant.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$SMOKE/addr")
+
+curl -fsS "http://$ADDR/healthz" | grep -q '"quantized":true'
+curl -fsS "http://$ADDR/metrics" | grep -q '^leva_quant_enabled 1$'
+curl -fsS "http://$ADDR/metrics" | grep -q '^leva_quant_arena_bytes [1-9]'
+curl -fsS "http://$ADDR/v1/neighbors?token=expenses:0&k=5" \
+    | grep -q '"neighbors"'
+curl -fsS "http://$ADDR/metrics" | grep -q '^leva_quant_queries_total [1-9]'
+curl -fsS "http://$ADDR/metrics" | grep -q '^leva_quant_reranked_total [1-9]'
+
+# Featurization is untouched by quantization: the bundle shares its
+# float arena with the seed-9 bundle the migration test served, so the
+# responses must be byte-identical.
+curl -fsS -X POST "http://$ADDR/v1/featurize" \
+    -H 'Content-Type: application/json' -d "$FEAT_BODY" > "$SMOKE/quant_features.json"
+cmp "$SMOKE/v4_features.json" "$SMOKE/quant_features.json"
+
+# Reload-leak guard: every SIGHUP remaps the bundle; the retired
+# generation must be munmap'd once its requests drain, so the mapping
+# count in /proc/<pid>/maps stays exactly where it started.
+if [ -r "/proc/$LEVAD_PID/maps" ]; then
+    MAPS_BEFORE=$(grep -c 'bundle_quant' "/proc/$LEVAD_PID/maps" || true)
+    i=0
+    while [ "$i" -lt 10 ]; do
+        i=$((i + 1))
+        kill -HUP "$LEVAD_PID"
+        j=0
+        until curl -fsS "http://$ADDR/healthz" | grep -q "\"generation\":$((i + 1))"; do
+            j=$((j + 1))
+            if [ "$j" -gt 100 ]; then
+                echo "quant reload $i never completed" >&2
+                cat "$SMOKE/levad_quant.log" >&2
+                exit 1
+            fi
+            sleep 0.1
+        done
+    done
+    MAPS_AFTER=$(grep -c 'bundle_quant' "/proc/$LEVAD_PID/maps" || true)
+    if [ "$MAPS_BEFORE" != "$MAPS_AFTER" ]; then
+        echo "mmap leak: $MAPS_BEFORE bundle mappings before reloads, $MAPS_AFTER after" >&2
+        grep 'bundle_quant' "/proc/$LEVAD_PID/maps" >&2 || true
+        exit 1
+    fi
+    # Quantized serving still healthy after the reload storm.
+    curl -fsS "http://$ADDR/healthz" | grep -q '"quantized":true'
+    curl -fsS "http://$ADDR/v1/neighbors?token=expenses:0&k=5" \
+        | grep -q '"neighbors"'
+fi
+
+kill -TERM "$LEVAD_PID"
+wait "$LEVAD_PID"
+
+echo "int8 quantization smoke test passed"
